@@ -1,0 +1,68 @@
+// Experiment E3.9 (paper §3.9, Tip 12): child/descendant axes never reach
+// attribute nodes, so //* and //node() indexes contain no attributes; the
+// //@* pattern is the broad-attribute-index idiom.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using xqdb::OrdersWorkloadConfig;
+using xqdb::bench::GetDatabase;
+using xqdb::bench::RunXQueryBenchmark;
+
+OrdersWorkloadConfig Config() {
+  OrdersWorkloadConfig config;
+  config.num_orders = 5000;
+  return config;
+}
+
+const char kAttrQuery[] =
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 950]";
+
+void BM_AttrPredicate_BroadAttrIndex(benchmark::State& state) {
+  // Tip 12: //@* (== /descendant-or-self::node()/attribute::*) covers any
+  // attribute predicate.
+  auto* db = GetDatabase(Config(),
+                         {"CREATE INDEX all_attrs ON orders(orddoc) USING "
+                          "XMLPATTERN '//@*' AS SQL DOUBLE"});
+  RunXQueryBenchmark(state, db, kAttrQuery);
+}
+BENCHMARK(BM_AttrPredicate_BroadAttrIndex)->Unit(benchmark::kMicrosecond);
+
+void BM_AttrPredicate_ElementWildcardIndex_Ineligible(
+    benchmark::State& state) {
+  // //* looks broad but holds zero attribute entries.
+  auto* db = GetDatabase(Config(),
+                         {"CREATE INDEX all_elems ON orders(orddoc) USING "
+                          "XMLPATTERN '//*' AS SQL DOUBLE"});
+  RunXQueryBenchmark(state, db, kAttrQuery);
+}
+BENCHMARK(BM_AttrPredicate_ElementWildcardIndex_Ineligible)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AttrPredicate_NodeKindIndex_Ineligible(benchmark::State& state) {
+  // //node() expands to /descendant-or-self::node()/child::node(): the
+  // child axis never delivers attributes.
+  auto* db = GetDatabase(Config(),
+                         {"CREATE INDEX all_nodes ON orders(orddoc) USING "
+                          "XMLPATTERN '//node()' AS SQL DOUBLE"});
+  RunXQueryBenchmark(state, db, kAttrQuery);
+}
+BENCHMARK(BM_AttrPredicate_NodeKindIndex_Ineligible)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AttrPredicate_FullAxisNotation(benchmark::State& state) {
+  // The long form from Tip 12 behaves exactly like //@*.
+  auto* db = GetDatabase(
+      Config(),
+      {"CREATE INDEX all_attrs_l ON orders(orddoc) USING XMLPATTERN "
+       "'/descendant-or-self::node()/attribute::*' AS SQL DOUBLE"});
+  RunXQueryBenchmark(state, db, kAttrQuery);
+}
+BENCHMARK(BM_AttrPredicate_FullAxisNotation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

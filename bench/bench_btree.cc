@@ -1,0 +1,104 @@
+// Substrate microbenchmark: the B+Tree backing every XML value index,
+// against std::multimap as the obvious baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <random>
+
+#include "index/btree.h"
+
+namespace {
+
+using xqdb::BPlusTree;
+using xqdb::ScanBound;
+
+struct Ref {
+  uint32_t row;
+  int32_t node;
+  friend bool operator==(const Ref&, const Ref&) = default;
+};
+
+void BM_BtreeInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(0, 1e6);
+  for (auto _ : state) {
+    BPlusTree<double, Ref> tree;
+    for (int i = 0; i < n; ++i) {
+      tree.Insert(dist(rng), Ref{static_cast<uint32_t>(i), 0});
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BtreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MultimapInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(0, 1e6);
+  for (auto _ : state) {
+    std::multimap<double, Ref> tree;
+    for (int i = 0; i < n; ++i) {
+      tree.emplace(dist(rng), Ref{static_cast<uint32_t>(i), 0});
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MultimapInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BtreeRangeScan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(0, 1e6);
+  BPlusTree<double, Ref> tree;
+  for (int i = 0; i < n; ++i) {
+    tree.Insert(dist(rng), Ref{static_cast<uint32_t>(i), 0});
+  }
+  for (auto _ : state) {
+    size_t count = 0;
+    tree.Scan(ScanBound<double>::Inclusive(4e5),
+              ScanBound<double>::Exclusive(6e5),
+              [&](const double&, const Ref&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BtreeRangeScan)->Arg(10000)->Arg(100000);
+
+void BM_BtreePointLookup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BPlusTree<double, Ref> tree;
+  for (int i = 0; i < n; ++i) {
+    tree.Insert(static_cast<double>(i), Ref{static_cast<uint32_t>(i), 0});
+  }
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  for (auto _ : state) {
+    size_t hits = 0;
+    tree.ScanEqual(static_cast<double>(pick(rng)),
+                   [&](const Ref&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_BtreePointLookup)->Arg(10000)->Arg(1000000);
+
+void BM_BtreeStringInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937 rng(7);
+  for (auto _ : state) {
+    BPlusTree<std::string, Ref> tree;
+    for (int i = 0; i < n; ++i) {
+      tree.Insert("key-" + std::to_string(rng() % 100000),
+                  Ref{static_cast<uint32_t>(i), 0});
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BtreeStringInsert)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

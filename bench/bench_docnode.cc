@@ -1,0 +1,69 @@
+// Experiment E3.5 (paper §3.5, Queries 23–25, Tip 8): document-node vs
+// element-node context. The claims here are semantic (an extra navigation
+// level; XPDY0050 on constructed trees); the benchmark measures the cost of
+// the correct and incorrect formulations, plus the error path.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using xqdb::OrdersWorkloadConfig;
+using xqdb::bench::GetDatabase;
+using xqdb::bench::RunXQueryBenchmark;
+
+OrdersWorkloadConfig Config() {
+  OrdersWorkloadConfig config;
+  config.num_orders = 3000;
+  return config;
+}
+
+void BM_Query23_DocumentNodeNavigation(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {});
+  RunXQueryBenchmark(state, db,
+                     "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem");
+}
+BENCHMARK(BM_Query23_DocumentNodeNavigation)->Unit(benchmark::kMicrosecond);
+
+void BM_Query23_WrongExtraStep(benchmark::State& state) {
+  // The common mistake: one navigation level too many — runs the whole
+  // collection and returns nothing.
+  auto* db = GetDatabase(Config(), {});
+  RunXQueryBenchmark(state, db,
+                     "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/order/lineitem");
+}
+BENCHMARK(BM_Query23_WrongExtraStep)->Unit(benchmark::kMicrosecond);
+
+void BM_Query24_ConstructedContextEmptyResult(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {});
+  RunXQueryBenchmark(
+      state, db,
+      "for $ord in (for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "return <my_order>{$o/*}</my_order>) "
+      "return $ord/my_order");
+}
+BENCHMARK(BM_Query24_ConstructedContextEmptyResult)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Query25_AbsolutePathTypeErrorCost(benchmark::State& state) {
+  // The error is raised per evaluation; this measures how quickly the
+  // engine rejects the query (it still pays the construction).
+  auto* db = GetDatabase(Config(), {});
+  long long errors = 0;
+  for (auto _ : state) {
+    auto r = db->ExecuteXQuery(
+        "let $order := <neworder>{db2-fn:xmlcolumn('ORDERS.ORDDOC')/"
+        "order[custid > 40]}</neworder> "
+        "return $order[//customer/name]");
+    if (!r.ok()) ++errors;
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.counters["errors"] = static_cast<double>(errors);
+}
+BENCHMARK(BM_Query25_AbsolutePathTypeErrorCost)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Experiment E2.2 (paper §2.2, Queries 1/2, Definition 1): an eligible
+// index probe touches only qualifying documents; the wildcard variant of
+// the same query must fall back to a collection scan because the index
+// would miss qualifying documents.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using xqdb::OrdersWorkloadConfig;
+using xqdb::bench::GetDatabase;
+using xqdb::bench::kLiPriceDdl;
+using xqdb::bench::RunXQueryBenchmark;
+
+OrdersWorkloadConfig ConfigFor(int orders) {
+  OrdersWorkloadConfig config;
+  config.num_orders = orders;
+  return config;
+}
+
+const char kQuery1[] =
+    "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+    "//order[lineitem/@price > 950] return $i";
+const char kQuery2[] =
+    "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+    "//order[lineitem/@* > 950] return $i";
+
+void BM_Query1_WithIndex(benchmark::State& state) {
+  auto* db = GetDatabase(ConfigFor(static_cast<int>(state.range(0))),
+                         {kLiPriceDdl});
+  RunXQueryBenchmark(state, db, kQuery1);
+}
+BENCHMARK(BM_Query1_WithIndex)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Query1_NoIndex(benchmark::State& state) {
+  auto* db = GetDatabase(ConfigFor(static_cast<int>(state.range(0))), {});
+  RunXQueryBenchmark(state, db, kQuery1);
+}
+BENCHMARK(BM_Query1_NoIndex)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Query2_WildcardAttr_IndexIneligible(benchmark::State& state) {
+  // The index exists but cannot be used (Definition 1): identical to a
+  // collection scan.
+  auto* db = GetDatabase(ConfigFor(static_cast<int>(state.range(0))),
+                         {kLiPriceDdl});
+  RunXQueryBenchmark(state, db, kQuery2);
+}
+BENCHMARK(BM_Query2_WildcardAttr_IndexIneligible)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Selectivity sweep: the index advantage shrinks as the predicate admits
+// more of the collection.
+void BM_Query1_SelectivitySweep(benchmark::State& state) {
+  auto* db = GetDatabase(ConfigFor(10000), {kLiPriceDdl});
+  std::string query =
+      "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "//order[lineitem/@price > " +
+      std::to_string(state.range(0)) + "] return $i";
+  RunXQueryBenchmark(state, db, query);
+}
+BENCHMARK(BM_Query1_SelectivitySweep)
+    ->Arg(999)->Arg(950)->Arg(750)->Arg(500)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Experiment E-index (paper §2.1): index maintenance cost at insert time,
+// tolerant-cast behaviour, and the footprint of broad indexes like //@*.
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+#include "workload/generator.h"
+#include "xml/parser.h"
+
+namespace {
+
+using xqdb::Database;
+using xqdb::GenerateOrderXml;
+using xqdb::OrdersWorkloadConfig;
+
+void LoadWithDdl(benchmark::State& state,
+                 const std::vector<std::string>& ddl, double string_prices) {
+  OrdersWorkloadConfig config;
+  config.num_orders = static_cast<int>(state.range(0));
+  config.string_price_fraction = string_prices;
+  long long entries = 0;
+  for (auto _ : state) {
+    Database db;
+    auto s = xqdb::SetupPaperSchema(&db);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    for (const std::string& stmt : ddl) {
+      auto rs = db.ExecuteSql(stmt);
+      if (!rs.ok()) {
+        state.SkipWithError(rs.status().ToString().c_str());
+        return;
+      }
+    }
+    s = xqdb::LoadOrders(&db, config);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    // Report the total index entries created.
+    auto table = db.catalog().GetTable("ORDERS");
+    entries = 0;
+    for (auto* idx : table.value()->indexes().AllXmlIndexes()) {
+      entries += static_cast<long long>(idx->entry_count());
+    }
+    benchmark::DoNotOptimize(entries);
+  }
+  state.counters["index_entries"] = static_cast<double>(entries);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Load_NoIndex(benchmark::State& state) { LoadWithDdl(state, {}, 0); }
+BENCHMARK(BM_Load_NoIndex)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Load_OneNarrowIndex(benchmark::State& state) {
+  LoadWithDdl(state,
+              {"CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN "
+               "'//lineitem/@price' AS SQL DOUBLE"},
+              0);
+}
+BENCHMARK(BM_Load_OneNarrowIndex)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Load_BroadAttrIndex(benchmark::State& state) {
+  LoadWithDdl(state,
+              {"CREATE INDEX all_attrs ON orders(orddoc) USING XMLPATTERN "
+               "'//@*' AS SQL DOUBLE"},
+              0);
+}
+BENCHMARK(BM_Load_BroadAttrIndex)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Load_EverythingVarcharIndex(benchmark::State& state) {
+  // The "index every element" anti-pattern the paper warns about: storage
+  // several-fold larger and much slower maintenance.
+  LoadWithDdl(state,
+              {"CREATE INDEX everything ON orders(orddoc) USING XMLPATTERN "
+               "'//*' AS SQL VARCHAR(64)"},
+              0);
+}
+BENCHMARK(BM_Load_EverythingVarcharIndex)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Load_TolerantCasts(benchmark::State& state) {
+  // 30% of price elements read "99.50USD": the double index skips them
+  // (tolerant casts) with no insert failures.
+  LoadWithDdl(state,
+              {"CREATE INDEX price_d ON orders(orddoc) USING XMLPATTERN "
+               "'//lineitem/price' AS SQL DOUBLE"},
+              0.3);
+}
+BENCHMARK(BM_Load_TolerantCasts)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CreateIndexBackfill(benchmark::State& state) {
+  // CREATE INDEX on an already-loaded table (backfill path).
+  OrdersWorkloadConfig config;
+  config.num_orders = static_cast<int>(state.range(0));
+  int n = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    if (!xqdb::LoadPaperWorkload(&db, config).ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    state.ResumeTiming();
+    auto rs = db.ExecuteSql(
+        "CREATE INDEX li_price" + std::to_string(n++) +
+        " ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' "
+        "AS SQL DOUBLE");
+    if (!rs.ok()) {
+      state.SkipWithError(rs.status().ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CreateIndexBackfill)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Experiment E3.4 (paper §3.4, Queries 17–22, Tip 7): let-bindings preserve
+// empty sequences and block index use; for-bindings, where clauses and
+// bind-out all discard empties and keep the index eligible.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using xqdb::OrdersWorkloadConfig;
+using xqdb::bench::GetDatabase;
+using xqdb::bench::kLiPriceDdl;
+using xqdb::bench::RunXQueryBenchmark;
+
+OrdersWorkloadConfig Config() {
+  OrdersWorkloadConfig config;
+  config.num_orders = 5000;
+  return config;
+}
+
+void BM_Query17_ForBinding_Indexed(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunXQueryBenchmark(state, db,
+                     "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') "
+                     "for $item in $doc//lineitem[@price > 950] "
+                     "return <result>{$item}</result>");
+}
+BENCHMARK(BM_Query17_ForBinding_Indexed)->Unit(benchmark::kMicrosecond);
+
+void BM_Query18_LetBinding_NotIndexed(benchmark::State& state) {
+  // Same predicate, let-bound: returns a row per *document* and must visit
+  // every document.
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunXQueryBenchmark(state, db,
+                     "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') "
+                     "let $item := $doc//lineitem[@price > 950] "
+                     "return <result>{$item}</result>");
+}
+BENCHMARK(BM_Query18_LetBinding_NotIndexed)->Unit(benchmark::kMicrosecond);
+
+void BM_Query19_ConstructorInReturn_NotIndexed(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunXQueryBenchmark(state, db,
+                     "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+                     "return <result>{$ord/lineitem[@price > 950]}</result>");
+}
+BENCHMARK(BM_Query19_ConstructorInReturn_NotIndexed)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Query20_WherePredicate_Indexed(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunXQueryBenchmark(state, db,
+                     "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+                     "where $ord/lineitem/@price > 950 "
+                     "return <result>{$ord/lineitem}</result>");
+}
+BENCHMARK(BM_Query20_WherePredicate_Indexed)->Unit(benchmark::kMicrosecond);
+
+void BM_Query21_LetRescuedByWhere_Indexed(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunXQueryBenchmark(state, db,
+                     "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+                     "let $price := $ord/lineitem/@price "
+                     "where $price > 950 "
+                     "return <result>{$ord/lineitem}</result>");
+}
+BENCHMARK(BM_Query21_LetRescuedByWhere_Indexed)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Query22_BindOut_Indexed(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunXQueryBenchmark(state, db,
+                     "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+                     "return $ord/lineitem[@price > 950]");
+}
+BENCHMARK(BM_Query22_BindOut_Indexed)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

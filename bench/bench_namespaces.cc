@@ -1,0 +1,88 @@
+// Experiment E3.7 (paper §3.7, Query 28, Tip 10): namespace mismatches
+// between data, query and index definition silently disable indexes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using xqdb::OrdersWorkloadConfig;
+using xqdb::bench::GetDatabase;
+using xqdb::bench::RunXQueryBenchmark;
+
+OrdersWorkloadConfig NsConfig() {
+  OrdersWorkloadConfig config;
+  config.num_orders = 5000;
+  config.use_namespaces = true;  // order/customer elements are namespaced
+  return config;
+}
+
+const char kQuery28Orders[] =
+    "declare default element namespace \"http://ournamespaces.com/order\"; "
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[lineitem/@price > 950]";
+
+void BM_Query28_NamespacelessIndex_Ineligible(benchmark::State& state) {
+  // The paper's li_price: no namespace declarations → indexes nothing in a
+  // namespaced collection, and the eligibility check correctly refuses it.
+  auto* db = GetDatabase(NsConfig(),
+                         {"CREATE INDEX li_price ON orders(orddoc) USING "
+                          "XMLPATTERN '//lineitem/@price' AS SQL DOUBLE"});
+  RunXQueryBenchmark(state, db, kQuery28Orders);
+}
+BENCHMARK(BM_Query28_NamespacelessIndex_Ineligible)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Query28_AttributePatternIndex_Eligible(benchmark::State& state) {
+  // li_price_ns from the paper: //@price has no element step to
+  // mis-namespace (default namespaces never apply to attributes).
+  auto* db = GetDatabase(NsConfig(),
+                         {"CREATE INDEX li_price_ns ON orders(orddoc) USING "
+                          "XMLPATTERN '//@price' AS SQL DOUBLE"});
+  RunXQueryBenchmark(state, db, kQuery28Orders);
+}
+BENCHMARK(BM_Query28_AttributePatternIndex_Eligible)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Query28_DeclaredNamespaceIndex_Eligible(benchmark::State& state) {
+  auto* db = GetDatabase(
+      NsConfig(),
+      {"CREATE INDEX li_price_d ON orders(orddoc) USING XMLPATTERN "
+       "'declare default element namespace "
+       "\"http://ournamespaces.com/order\"; //lineitem/@price' "
+       "AS SQL DOUBLE"});
+  RunXQueryBenchmark(state, db, kQuery28Orders);
+}
+BENCHMARK(BM_Query28_DeclaredNamespaceIndex_Eligible)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Nation_WildcardIndex_Eligible(benchmark::State& state) {
+  // Tip 10's //*:nation escape hatch.
+  auto* db = GetDatabase(NsConfig(),
+                         {"CREATE INDEX w_nation ON customer(cdoc) USING "
+                          "XMLPATTERN '//*:nation' AS SQL DOUBLE"});
+  RunXQueryBenchmark(
+      state, db,
+      "declare namespace c=\"http://ournamespaces.com/customer\"; "
+      "db2-fn:xmlcolumn('CUSTOMER.CDOC')/c:customer[c:nation = 1]");
+}
+BENCHMARK(BM_Nation_WildcardIndex_Eligible)->Unit(benchmark::kMicrosecond);
+
+void BM_Nation_WrongNamespaceIndex_Ineligible(benchmark::State& state) {
+  // Index declared with the *order* namespace — wrong for customer docs.
+  auto* db = GetDatabase(
+      NsConfig(),
+      {"CREATE INDEX o_nation ON customer(cdoc) USING XMLPATTERN "
+       "'declare default element namespace "
+       "\"http://ournamespaces.com/order\"; //nation' AS SQL DOUBLE"});
+  RunXQueryBenchmark(
+      state, db,
+      "declare namespace c=\"http://ournamespaces.com/customer\"; "
+      "db2-fn:xmlcolumn('CUSTOMER.CDOC')/c:customer[c:nation = 1]");
+}
+BENCHMARK(BM_Nation_WrongNamespaceIndex_Ineligible)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Experiment E-scale (paper §1): the workload regime the paper motivates —
+// large collections of small documents, where the index's job is to filter
+// *documents*. The index/scan gap grows linearly with collection size at
+// fixed result size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using xqdb::OrdersWorkloadConfig;
+using xqdb::bench::GetDatabase;
+using xqdb::bench::kLiPriceDdl;
+using xqdb::bench::RunXQueryBenchmark;
+
+OrdersWorkloadConfig ConfigFor(int orders) {
+  OrdersWorkloadConfig config;
+  config.num_orders = orders;
+  return config;
+}
+
+// Fixed high selectivity (price > 995 ≈ 0.5% of lineitems): result size
+// grows slowly while the collection grows 100x.
+const char kQuery[] =
+    "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+    "//order[lineitem/@price > 995] return $i";
+
+void BM_Scaling_WithIndex(benchmark::State& state) {
+  auto* db = GetDatabase(ConfigFor(static_cast<int>(state.range(0))),
+                         {kLiPriceDdl});
+  RunXQueryBenchmark(state, db, kQuery);
+}
+BENCHMARK(BM_Scaling_WithIndex)
+    ->Arg(500)->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Scaling_CollectionScan(benchmark::State& state) {
+  auto* db = GetDatabase(ConfigFor(static_cast<int>(state.range(0))), {});
+  RunXQueryBenchmark(state, db, kQuery);
+}
+BENCHMARK(BM_Scaling_CollectionScan)
+    ->Arg(500)->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Unit(benchmark::kMicrosecond);
+
+// SQL/XML shape of the same sweep (Query 8 formulation).
+void BM_Scaling_SqlXmlExists(benchmark::State& state) {
+  auto* db = GetDatabase(ConfigFor(static_cast<int>(state.range(0))),
+                         {kLiPriceDdl});
+  xqdb::bench::RunSqlBenchmark(
+      state, db,
+      "SELECT ordid FROM orders WHERE XMLEXISTS("
+      "'$order//lineitem[@price > 995]' passing orddoc as \"order\")");
+}
+BENCHMARK(BM_Scaling_SqlXmlExists)
+    ->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Experiment E3.2 (paper §3.2, Queries 5–12, Tips 2–4): where a predicate
+// sits in SQL/XML decides whether it can filter rows — and therefore
+// whether the XML index applies.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using xqdb::OrdersWorkloadConfig;
+using xqdb::bench::GetDatabase;
+using xqdb::bench::kLiPriceDdl;
+using xqdb::bench::RunSqlBenchmark;
+using xqdb::bench::RunXQueryBenchmark;
+
+OrdersWorkloadConfig Config() {
+  OrdersWorkloadConfig config;
+  config.num_orders = 3000;
+  return config;
+}
+
+void BM_Query5_XmlQuerySelectList(benchmark::State& state) {
+  // Row per order, empty results included → not index eligible.
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunSqlBenchmark(state, db,
+                  "SELECT XMLQUERY('$order//lineitem[@price > 950]' "
+                  "passing orddoc as \"order\") FROM orders");
+}
+BENCHMARK(BM_Query5_XmlQuerySelectList)->Unit(benchmark::kMicrosecond);
+
+void BM_Query7_StandaloneXQuery(benchmark::State& state) {
+  // Tip 2: the stand-alone interface returns one row per fragment and uses
+  // the index.
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunXQueryBenchmark(state, db,
+                     "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                     "//lineitem[@price > 950]");
+}
+BENCHMARK(BM_Query7_StandaloneXQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_Query8_XmlExists(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunSqlBenchmark(state, db,
+                  "SELECT ordid, orddoc FROM orders "
+                  "WHERE XMLEXISTS('$order//lineitem[@price > 950]' "
+                  "passing orddoc as \"order\")");
+}
+BENCHMARK(BM_Query8_XmlExists)->Unit(benchmark::kMicrosecond);
+
+void BM_Query9_BooleanTrap(benchmark::State& state) {
+  // Returns every row AND cannot use the index: the worst of both.
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunSqlBenchmark(state, db,
+                  "SELECT ordid FROM orders "
+                  "WHERE XMLEXISTS('$order//lineitem/@price > 950' "
+                  "passing orddoc as \"order\")");
+}
+BENCHMARK(BM_Query9_BooleanTrap)->Unit(benchmark::kMicrosecond);
+
+void BM_Query10_ExistsPlusQuery(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunSqlBenchmark(state, db,
+                  "SELECT ordid, XMLQUERY('$order//lineitem[@price > 950]' "
+                  "passing orddoc as \"order\") FROM orders "
+                  "WHERE XMLEXISTS('$order//lineitem[@price > 950]' "
+                  "passing orddoc as \"order\")");
+}
+BENCHMARK(BM_Query10_ExistsPlusQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_Query11_XmlTableRowProducer(benchmark::State& state) {
+  // Tip 4: the predicate in the row-producing expression is eligible.
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunSqlBenchmark(state, db,
+                  "SELECT o.ordid, t.lineitem FROM orders o, "
+                  "XMLTABLE('$order//lineitem[@price > 950]' "
+                  "passing o.orddoc as \"order\" "
+                  "COLUMNS \"lineitem\" XML BY REF PATH '.') as t(lineitem)");
+}
+BENCHMARK(BM_Query11_XmlTableRowProducer)->Unit(benchmark::kMicrosecond);
+
+void BM_Query12_XmlTableColumnPredicate(benchmark::State& state) {
+  // The predicate buried in the column path: row per lineitem, NULLs for
+  // misses, no index.
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunSqlBenchmark(
+      state, db,
+      "SELECT o.ordid, t.price FROM orders o, "
+      "XMLTABLE('$order//lineitem' passing o.orddoc as \"order\" "
+      "COLUMNS \"lineitem\" XML BY REF PATH '.', "
+      "\"price\" DECIMAL(6,3) PATH '@price[. > 950]') as t(lineitem, price)");
+}
+BENCHMARK(BM_Query12_XmlTableColumnPredicate)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Experiment E3.8 (paper §3.8, Query 29, Tip 11): /text() steps in queries
+// and index definitions must align; mixed-content values ("99.50USD") make
+// the element-value and text-node indexes genuinely different.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using xqdb::OrdersWorkloadConfig;
+using xqdb::bench::GetDatabase;
+using xqdb::bench::RunXQueryBenchmark;
+
+OrdersWorkloadConfig Config() {
+  OrdersWorkloadConfig config;
+  config.num_orders = 5000;
+  config.string_price_fraction = 0.1;  // some "99.50USD" price elements
+  return config;
+}
+
+const char kElementValueIndex[] =
+    "CREATE INDEX price_elem ON orders(orddoc) USING XMLPATTERN "
+    "'//price' AS SQL VARCHAR(32)";
+const char kTextNodeIndex[] =
+    "CREATE INDEX price_text ON orders(orddoc) USING XMLPATTERN "
+    "'//price/text()' AS SQL VARCHAR(32)";
+
+const char kTextQuery[] =
+    "for $ord in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")"
+    "/order[lineitem/price/text() = \"500.17\"] return $ord";
+const char kElementQuery[] =
+    "for $ord in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")"
+    "/order[lineitem/price = \"500.17\"] return $ord";
+
+void BM_TextQuery_ElementIndexMisaligned(benchmark::State& state) {
+  // Query 29: the //price element-value index cannot serve the /text()
+  // query — full scan despite the index.
+  auto* db = GetDatabase(Config(), {kElementValueIndex});
+  RunXQueryBenchmark(state, db, kTextQuery);
+}
+BENCHMARK(BM_TextQuery_ElementIndexMisaligned)->Unit(benchmark::kMicrosecond);
+
+void BM_TextQuery_TextIndexAligned(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {kTextNodeIndex});
+  RunXQueryBenchmark(state, db, kTextQuery);
+}
+BENCHMARK(BM_TextQuery_TextIndexAligned)->Unit(benchmark::kMicrosecond);
+
+void BM_ElementQuery_ElementIndexAligned(benchmark::State& state) {
+  // Tip 11's fix in the other direction: drop /text() from the query.
+  auto* db = GetDatabase(Config(), {kElementValueIndex});
+  RunXQueryBenchmark(state, db, kElementQuery);
+}
+BENCHMARK(BM_ElementQuery_ElementIndexAligned)->Unit(benchmark::kMicrosecond);
+
+void BM_ElementQuery_TextIndexMisaligned(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {kTextNodeIndex});
+  RunXQueryBenchmark(state, db, kElementQuery);
+}
+BENCHMARK(BM_ElementQuery_TextIndexMisaligned)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

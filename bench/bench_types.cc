@@ -1,0 +1,85 @@
+// Experiment E3.1 (paper §3.1, Queries 3/4, Tip 1): the comparison's data
+// type decides which index type is eligible. A numeric predicate can use
+// the DOUBLE index; the same predicate with a quoted literal becomes a
+// *string* comparison — different answers AND no double-index support.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using xqdb::OrdersWorkloadConfig;
+using xqdb::bench::GetDatabase;
+using xqdb::bench::kLiPriceDdl;
+using xqdb::bench::kLiPriceVarcharDdl;
+using xqdb::bench::RunXQueryBenchmark;
+
+OrdersWorkloadConfig Config() {
+  OrdersWorkloadConfig config;
+  config.num_orders = 5000;
+  return config;
+}
+
+void BM_NumericLiteral_DoubleIndex(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {kLiPriceDdl, kLiPriceVarcharDdl});
+  RunXQueryBenchmark(state, db,
+                     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                     "//order[lineitem/@price > 950] return $i");
+}
+BENCHMARK(BM_NumericLiteral_DoubleIndex)->Unit(benchmark::kMicrosecond);
+
+void BM_StringLiteral_VarcharIndex(benchmark::State& state) {
+  // Query 3: > "950" is a string comparison; the varchar index serves it —
+  // but note `rows` differs from the numeric run (string order!).
+  auto* db = GetDatabase(Config(), {kLiPriceDdl, kLiPriceVarcharDdl});
+  RunXQueryBenchmark(state, db,
+                     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                     "//order[lineitem/@price > \"950\"] return $i");
+}
+BENCHMARK(BM_StringLiteral_VarcharIndex)->Unit(benchmark::kMicrosecond);
+
+void BM_StringLiteral_OnlyDoubleIndexAvailable(benchmark::State& state) {
+  // With only the double index defined, the string predicate scans.
+  auto* db = GetDatabase(Config(), {kLiPriceDdl});
+  RunXQueryBenchmark(state, db,
+                     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                     "//order[lineitem/@price > \"950\"] return $i");
+}
+BENCHMARK(BM_StringLiteral_OnlyDoubleIndexAvailable)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CastPredicate_DoubleIndex(benchmark::State& state) {
+  // Tip 1: custid/xs:double(.) = N forces the numeric comparison type, so
+  // a double index on //custid applies.
+  auto* db = GetDatabase(Config(),
+                         {"CREATE INDEX o_custid ON orders(orddoc) USING "
+                          "XMLPATTERN '//custid' AS SQL DOUBLE"});
+  RunXQueryBenchmark(state, db,
+                     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                     "/order[custid/xs:double(.) = 17] return $i");
+}
+BENCHMARK(BM_CastPredicate_DoubleIndex)->Unit(benchmark::kMicrosecond);
+
+void BM_CastPredicate_NoIndex(benchmark::State& state) {
+  auto* db = GetDatabase(Config(), {});
+  RunXQueryBenchmark(state, db,
+                     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                     "/order[custid/xs:double(.) = 17] return $i");
+}
+BENCHMARK(BM_CastPredicate_NoIndex)->Unit(benchmark::kMicrosecond);
+
+void BM_DateIndex(benchmark::State& state) {
+  auto* db = GetDatabase(Config(),
+                         {"CREATE INDEX o_date ON orders(orddoc) USING "
+                          "XMLPATTERN '/order/date' AS SQL DATE"});
+  RunXQueryBenchmark(state, db,
+                     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                     "/order[date/xs:date(.) = xs:date(\"2006-06-14\")] "
+                     "return $i");
+}
+BENCHMARK(BM_DateIndex)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

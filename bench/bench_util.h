@@ -1,0 +1,105 @@
+#ifndef XQDB_BENCH_BENCH_UTIL_H_
+#define XQDB_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "workload/generator.h"
+
+namespace xqdb::bench {
+
+/// Loads (and memoizes) a database with the paper's workload plus a list of
+/// DDL statements. Setup cost is paid once per distinct configuration, not
+/// per benchmark iteration.
+inline Database* GetDatabase(const OrdersWorkloadConfig& config,
+                             const std::vector<std::string>& ddl) {
+  static auto* cache = new std::map<std::string, std::unique_ptr<Database>>;
+  std::string key = std::to_string(config.num_orders) + "|" +
+                    std::to_string(config.seed) + "|" +
+                    std::to_string(config.multi_price_fraction) + "|" +
+                    std::to_string(config.string_price_fraction) + "|" +
+                    std::to_string(config.use_namespaces) + "|" +
+                    std::to_string(config.canadian_postal_fraction);
+  for (const std::string& stmt : ddl) key += ";" + stmt;
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second.get();
+
+  auto db = std::make_unique<Database>();
+  Status status = LoadPaperWorkload(db.get(), config);
+  if (!status.ok()) {
+    std::fprintf(stderr, "workload load failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  for (const std::string& stmt : ddl) {
+    auto rs = db->ExecuteSql(stmt);
+    if (!rs.ok()) {
+      std::fprintf(stderr, "DDL failed: %s => %s\n", stmt.c_str(),
+                   rs.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  Database* ptr = db.get();
+  cache->emplace(std::move(key), std::move(db));
+  return ptr;
+}
+
+/// Runs a standalone XQuery once per iteration; reports rows, documents
+/// navigated and index entries touched as counters.
+inline void RunXQueryBenchmark(benchmark::State& state, Database* db,
+                               const std::string& query) {
+  long long rows = 0, navigated = 0, entries = 0, prefiltered = 0;
+  for (auto _ : state) {
+    auto result = db->ExecuteXQuery(query);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows = static_cast<long long>(result->rows.size());
+    navigated = result->stats.rows_scanned;
+    entries = result->stats.index_entries;
+    prefiltered = result->stats.rows_prefiltered;
+    benchmark::DoNotOptimize(result->rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["docs_navigated"] = static_cast<double>(navigated);
+  state.counters["index_entries"] = static_cast<double>(entries);
+  state.counters["docs_prefiltered"] = static_cast<double>(prefiltered);
+}
+
+/// Runs a SQL query once per iteration with the same counters.
+inline void RunSqlBenchmark(benchmark::State& state, Database* db,
+                            const std::string& sql) {
+  long long rows = 0, scanned = 0, entries = 0;
+  for (auto _ : state) {
+    auto result = db->ExecuteSql(sql);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows = static_cast<long long>(result->rows.size());
+    scanned = result->stats.rows_scanned;
+    entries = result->stats.index_entries;
+    benchmark::DoNotOptimize(result->rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["rows_scanned"] = static_cast<double>(scanned);
+  state.counters["index_entries"] = static_cast<double>(entries);
+}
+
+inline const std::string kLiPriceDdl =
+    "CREATE INDEX li_price ON orders(orddoc) "
+    "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE";
+
+inline const std::string kLiPriceVarcharDdl =
+    "CREATE INDEX li_price_s ON orders(orddoc) "
+    "USING XMLPATTERN '//lineitem/@price' AS SQL VARCHAR(32)";
+
+}  // namespace xqdb::bench
+
+#endif  // XQDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Index advisor: runs the eligibility analyzer over a workload of queries
+// and proposes XMLPATTERN index definitions that would make every filtering
+// predicate indexable — the "design indexes and queries together" practice
+// the paper's tips add up to.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/planner.h"
+#include "core/predicate_extract.h"
+#include "workload/generator.h"
+#include "xquery/parser.h"
+
+namespace {
+
+/// Suggests an index type for a predicate's comparison type.
+const char* SuggestType(const xqdb::ExtractedPredicate& pred) {
+  if (!pred.has_value) return "VARCHAR(64)";
+  switch (pred.comparison_type) {
+    case xqdb::AtomicType::kDouble:
+      return "DOUBLE";
+    case xqdb::AtomicType::kDate:
+      return "DATE";
+    case xqdb::AtomicType::kDateTime:
+      return "TIMESTAMP";
+    default:
+      return "VARCHAR(64)";
+  }
+}
+
+}  // namespace
+
+int main() {
+  xqdb::Database db;
+  xqdb::OrdersWorkloadConfig config;
+  config.num_orders = 50;
+  if (auto s = xqdb::LoadPaperWorkload(&db, config); !s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // A query workload in the stand-alone XQuery interface.
+  std::vector<std::string> workload = {
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 100]",
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[custid = 17]",
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[date = \"2006-05-14\"]",
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "where $o/lineitem/product/id = \"p7\" return $o",
+      "db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer[nation = 3]",
+  };
+
+  std::map<std::string, std::string> suggestions;  // DDL → example query
+  for (const std::string& query : workload) {
+    auto parsed = xqdb::ParseXQuery(query);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n",
+                   parsed.status().ToString().c_str());
+      continue;
+    }
+    for (const auto& [table, column] :
+         xqdb::CollectXmlColumnSources(*parsed->body)) {
+      xqdb::ExtractionResult extraction =
+          xqdb::ExtractPredicates(*parsed->body, table, column, {});
+      for (const auto& pred : extraction.predicates) {
+        if (!pred.has_value) continue;  // Structural: rarely worth an index.
+        // Rebuild a pattern string from the extracted path: the extracted
+        // predicate's path_text is close to XMLPATTERN syntax already.
+        std::string ddl = "CREATE INDEX idx" +
+                          std::to_string(suggestions.size() + 1) + " ON " +
+                          table + "(" + column + ") USING XMLPATTERN '" +
+                          pred.path_text + "' AS SQL " + SuggestType(pred);
+        suggestions.emplace(ddl, query);
+      }
+    }
+  }
+
+  std::printf("Workload of %zu queries analyzed.\n\n", workload.size());
+  std::printf("Suggested indexes:\n");
+  for (const auto& [ddl, query] : suggestions) {
+    std::printf("  %s\n    (for: %s)\n", ddl.c_str(), query.c_str());
+  }
+
+  // Show before/after for the first workload query.
+  std::printf("\nBefore any index:\n%s\n",
+              db.ExplainXQuery(workload[0]).value().c_str());
+  (void)db.ExecuteSql(
+      "CREATE INDEX advisor_price ON orders(orddoc) "
+      "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE");
+  std::printf("After creating //lineitem/@price DOUBLE:\n%s\n",
+              db.ExplainXQuery(workload[0]).value().c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+#ifndef XQDB_COMMON_RESULT_H_
+#define XQDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace xqdb {
+
+/// Either a value of type T or a non-OK Status. Modeled after
+/// arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call sites
+  /// terse: `return 42;` / `return Status::TypeError(...);`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result<T> must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// `XQDB_ASSIGN_OR_RETURN(auto x, Compute())` — assigns on success,
+/// propagates the error Status otherwise.
+#define XQDB_CONCAT_IMPL_(a, b) a##b
+#define XQDB_CONCAT_(a, b) XQDB_CONCAT_IMPL_(a, b)
+#define XQDB_ASSIGN_OR_RETURN(decl, expr)                    \
+  auto XQDB_CONCAT_(_res_, __LINE__) = (expr);               \
+  if (!XQDB_CONCAT_(_res_, __LINE__).ok())                   \
+    return XQDB_CONCAT_(_res_, __LINE__).status();           \
+  decl = std::move(XQDB_CONCAT_(_res_, __LINE__)).value()
+
+}  // namespace xqdb
+
+#endif  // XQDB_COMMON_RESULT_H_

@@ -1,0 +1,127 @@
+#include "common/str_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace xqdb {
+
+namespace {
+
+bool IsXmlSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+}  // namespace
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && IsXmlSpace(s[b])) ++b;
+  size_t e = s.size();
+  while (e > b && IsXmlSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!IsXmlSpace(c)) return false;
+  }
+  return true;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = std::toupper(static_cast<unsigned char>(c));
+  return out;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = std::tolower(static_cast<unsigned char>(c));
+  return out;
+}
+
+std::vector<std::string> SplitString(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      parts.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::optional<double> ParseXsDouble(std::string_view s) {
+  std::string_view t = TrimWhitespace(s);
+  if (t.empty()) return std::nullopt;
+  if (t == "INF" || t == "+INF") return std::numeric_limits<double>::infinity();
+  if (t == "-INF") return -std::numeric_limits<double>::infinity();
+  if (t == "NaN") return std::numeric_limits<double>::quiet_NaN();
+  // strtod accepts hex floats and "inf"/"nan" spellings that xs:double does
+  // not; reject any alphabetic character other than 'e'/'E'.
+  for (char c : t) {
+    if (std::isalpha(static_cast<unsigned char>(c)) && c != 'e' && c != 'E') {
+      return std::nullopt;
+    }
+  }
+  std::string buf(t);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    // xs:double overflow maps to +/-INF.
+    return v > 0 ? std::numeric_limits<double>::infinity()
+                 : -std::numeric_limits<double>::infinity();
+  }
+  return v;
+}
+
+std::optional<long long> ParseXsInteger(std::string_view s) {
+  std::string_view t = TrimWhitespace(s);
+  if (t.empty()) return std::nullopt;
+  std::string buf(t);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+std::string FormatXsDouble(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "INF" : "-INF";
+  // Integral values within long-long range print without a decimal point,
+  // matching XPath fn:string() for integral doubles (e.g. "100").
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    return FormatInt(static_cast<long long>(d));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", d);
+  return buf;
+}
+
+std::string FormatInt(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,46 @@
+#ifndef XQDB_COMMON_STR_UTIL_H_
+#define XQDB_COMMON_STR_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xqdb {
+
+/// Removes leading and trailing XML whitespace (space, tab, CR, LF).
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True if `s` consists only of XML whitespace (or is empty).
+bool IsAllWhitespace(std::string_view s);
+
+/// Case-insensitive ASCII equality (SQL keywords).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII letters (SQL identifier normalization).
+std::string ToUpperAscii(std::string_view s);
+std::string ToLowerAscii(std::string_view s);
+
+/// Splits on a delimiter character; does not trim pieces.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Parses the full string as an xs:double-style number (supports scientific
+/// notation, INF, -INF, NaN). Returns nullopt if the string (after trimming
+/// whitespace) is not a valid number. Used for tolerant index casts and
+/// untypedAtomic-to-double conversions.
+std::optional<double> ParseXsDouble(std::string_view s);
+
+/// Parses the full trimmed string as an xs:integer. Returns nullopt on
+/// syntax error or overflow.
+std::optional<long long> ParseXsInteger(std::string_view s);
+
+/// Canonical xs:double formatting: integral doubles print without ".0"
+/// exponent clutter (matches how the paper's examples print 99.50 etc.).
+std::string FormatXsDouble(double d);
+
+/// Formats an integer.
+std::string FormatInt(long long v);
+
+}  // namespace xqdb
+
+#endif  // XQDB_COMMON_STR_UTIL_H_

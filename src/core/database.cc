@@ -1,0 +1,168 @@
+#include "core/database.h"
+
+#include "core/planner.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/parser.h"
+
+namespace xqdb {
+
+Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
+  XQDB_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
+  switch (stmt.kind) {
+    case SqlStatement::Kind::kCreateTable:
+      return RunCreateTable(*stmt.create_table);
+    case SqlStatement::Kind::kCreateIndex:
+      return RunCreateIndex(*stmt.create_index);
+    case SqlStatement::Kind::kInsert:
+      return RunInsert(*stmt.insert);
+    case SqlStatement::Kind::kDelete: {
+      SqlExecutor executor(&catalog_);
+      XQDB_ASSIGN_OR_RETURN(size_t n, executor.RunDelete(*stmt.del));
+      ResultSet rs;
+      rs.stats.rows_scanned = static_cast<long long>(n);
+      return rs;
+    }
+    case SqlStatement::Kind::kSelect: {
+      Planner planner(&catalog_);
+      XQDB_ASSIGN_OR_RETURN(SelectPlan plan, planner.PlanSelect(*stmt.select));
+      SqlExecutor executor(&catalog_);
+      return executor.Run(*stmt.select, plan);
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<std::string> Database::ExplainSql(const std::string& sql) {
+  XQDB_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
+  if (stmt.kind != SqlStatement::Kind::kSelect) {
+    return std::string("  (DDL/DML statement — no access plan)\n");
+  }
+  Planner planner(&catalog_);
+  XQDB_ASSIGN_OR_RETURN(SelectPlan plan, planner.PlanSelect(*stmt.select));
+  return plan.Explain(*stmt.select);
+}
+
+Result<Database::XQueryResult> Database::ExecuteXQuery(
+    const std::string& query) {
+  XQDB_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseXQuery(query));
+  Planner planner(&catalog_);
+  XQDB_ASSIGN_OR_RETURN(XQueryPlan plan, planner.PlanXQuery(*parsed.body));
+
+  XQueryResult out;
+  out.plan = plan.Explain();
+  out.runtime = std::make_shared<QueryRuntime>();
+
+  std::unique_ptr<FilteredProvider> filtered;
+  const XmlColumnProvider* provider = &catalog_;
+  if (plan.use_index) {
+    ProbeStats pstats;
+    std::vector<uint32_t> rows;
+    switch (plan.access.kind) {
+      case AccessPath::Kind::kIndexRange:
+      case AccessPath::Kind::kIndexStructural: {
+        XQDB_ASSIGN_OR_RETURN(
+            rows, plan.access.index->ProbeRange(plan.access.lo,
+                                                plan.access.hi, &pstats));
+        break;
+      }
+      case AccessPath::Kind::kIndexIntersect: {
+        XQDB_ASSIGN_OR_RETURN(
+            std::vector<uint32_t> a,
+            plan.access.index->ProbeRange(plan.access.lo, plan.access.hi,
+                                          &pstats));
+        XQDB_ASSIGN_OR_RETURN(
+            std::vector<uint32_t> b,
+            plan.access.index2->ProbeRange(plan.access.lo2, plan.access.hi2,
+                                           &pstats));
+        std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                              std::back_inserter(rows));
+        break;
+      }
+      case AccessPath::Kind::kFullScan:
+        break;
+    }
+    out.stats.index_entries =
+        static_cast<long long>(pstats.entries_scanned);
+    out.stats.rows_prefiltered = static_cast<long long>(rows.size());
+    filtered = std::make_unique<FilteredProvider>(
+        &catalog_, plan.table, plan.column, std::move(rows));
+    provider = filtered.get();
+  }
+
+  Evaluator eval(&parsed.static_context, provider, out.runtime.get());
+  XQDB_ASSIGN_OR_RETURN(out.items, eval.Eval(*parsed.body));
+  out.stats.rows_scanned = eval.docs_navigated();
+  out.stats.xquery_evals = 1;
+
+  out.rows.reserve(out.items.size());
+  for (const Item& item : out.items) {
+    if (item.is_node()) {
+      out.rows.push_back(SerializeXml(item.node()));
+    } else {
+      out.rows.push_back(item.atomic().Lexical());
+    }
+  }
+  return out;
+}
+
+Result<std::string> Database::ExplainXQuery(const std::string& query) {
+  XQDB_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseXQuery(query));
+  Planner planner(&catalog_);
+  XQDB_ASSIGN_OR_RETURN(XQueryPlan plan, planner.PlanXQuery(*parsed.body));
+  return plan.Explain();
+}
+
+Result<ResultSet> Database::RunCreateTable(const CreateTableStmt& stmt) {
+  XQDB_ASSIGN_OR_RETURN(Table * table,
+                        catalog_.CreateTable(stmt.table_name, stmt.columns));
+  (void)table;
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::RunCreateIndex(const CreateIndexStmt& stmt) {
+  XQDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table_name));
+  if (stmt.is_xml_pattern) {
+    XQDB_RETURN_IF_ERROR(table->CreateXmlIndex(
+        stmt.index_name, stmt.column_name, stmt.pattern, stmt.xml_type));
+  } else {
+    XQDB_RETURN_IF_ERROR(
+        table->CreateRelationalIndex(stmt.index_name, stmt.column_name));
+  }
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::RunInsert(const InsertStmt& stmt) {
+  XQDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table_name));
+  for (const std::vector<SqlValue>& row : stmt.rows) {
+    if (row.size() != table->columns().size()) {
+      return Status::InvalidArgument("INSERT arity mismatch");
+    }
+    std::vector<SqlValue> values;
+    std::vector<std::unique_ptr<Document>> docs;
+    for (size_t i = 0; i < row.size(); ++i) {
+      const ColumnDef& col = table->columns()[i];
+      if (col.type == SqlType::kXml) {
+        if (row[i].is_null()) {
+          docs.push_back(nullptr);
+          values.push_back(SqlValue::Null());
+        } else if (row[i].kind() == SqlValue::Kind::kVarchar) {
+          XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Document> doc,
+                                ParseXml(row[i].varchar_value()));
+          docs.push_back(std::move(doc));
+          values.push_back(SqlValue::Null());  // patched by InsertRow
+        } else {
+          return Status::InvalidArgument(
+              "XML column requires a string literal containing XML");
+        }
+      } else {
+        values.push_back(row[i]);
+      }
+    }
+    XQDB_RETURN_IF_ERROR(
+        table->InsertRow(std::move(values), std::move(docs)).status());
+  }
+  return ResultSet{};
+}
+
+}  // namespace xqdb

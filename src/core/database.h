@@ -1,0 +1,70 @@
+#ifndef XQDB_CORE_DATABASE_H_
+#define XQDB_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/executor.h"
+#include "sql/sql_parser.h"
+#include "storage/catalog.h"
+
+namespace xqdb {
+
+/// The xqdb public facade: a single-process XML database with SQL/XML and
+/// standalone XQuery front ends, XML value indexes, and an EXPLAIN facility
+/// that narrates index eligibility (the paper's subject matter).
+///
+/// Typical use:
+///
+///   Database db;
+///   db.ExecuteSql("CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+///   db.ExecuteSql("CREATE INDEX li_price ON orders(orddoc) "
+///                 "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE");
+///   db.ExecuteSql("INSERT INTO orders VALUES (1, '<order>...</order>')");
+///   auto rs = db.ExecuteSql(
+///       "SELECT ordid FROM orders WHERE XMLEXISTS('$o//lineitem"
+///       "[@price > 100]' passing orddoc as \"o\")");
+///   auto plan = db.ExplainSql("SELECT ...");
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Executes one SQL statement. DDL/DML return an empty ResultSet with a
+  /// populated `message` column convention: zero columns, zero rows.
+  Result<ResultSet> ExecuteSql(const std::string& sql);
+
+  /// EXPLAIN: parses and plans the statement, returns the access-path
+  /// narration without executing.
+  Result<std::string> ExplainSql(const std::string& sql);
+
+  /// Result of a standalone XQuery (the paper's Query 7 interface): one row
+  /// per top-level item.
+  struct XQueryResult {
+    std::vector<std::string> rows;  // serialized items
+    Sequence items;
+    std::shared_ptr<QueryRuntime> runtime;
+    std::string plan;
+    ExecStats stats;
+  };
+
+  Result<XQueryResult> ExecuteXQuery(const std::string& query);
+  Result<std::string> ExplainXQuery(const std::string& query);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+ private:
+  Result<ResultSet> RunCreateTable(const CreateTableStmt& stmt);
+  Result<ResultSet> RunCreateIndex(const CreateIndexStmt& stmt);
+  Result<ResultSet> RunInsert(const InsertStmt& stmt);
+
+  Catalog catalog_;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_CORE_DATABASE_H_

@@ -1,0 +1,43 @@
+#ifndef XQDB_CORE_ELIGIBILITY_H_
+#define XQDB_CORE_ELIGIBILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/predicate_extract.h"
+#include "index/xml_index.h"
+#include "sql/plan.h"
+
+namespace xqdb {
+
+/// The verdict for one (index, predicate) pair, with the reason — the
+/// paper's Definition 1 made executable.
+struct EligibilityVerdict {
+  bool eligible = false;
+  std::string reason;
+};
+
+/// Checks whether `index` can answer `pred`:
+///  1. Structural containment — every node the query path can match must be
+///     in the index (PatternContains; covers §3.7 namespaces, §3.8 text()
+///     alignment, §3.9 attribute axes).
+///  2. Type compatibility (§3.1) — a double comparison needs a double
+///     index (a varchar index cannot enforce numeric equality like
+///     10E3 = 1000); a string comparison needs a varchar index (a double
+///     index lacks the non-numeric values); temporal comparisons need the
+///     matching temporal index. Structural predicates need a varchar index
+///     (only it contains *all* matching nodes by definition, §2.2).
+EligibilityVerdict CheckEligibility(const XmlIndex& index,
+                                    const ExtractedPredicate& pred);
+
+/// Chooses an access path for one table's XML column given its candidate
+/// indexes and the extraction result: prefers a merged-between range, then a
+/// single value-predicate range, then ANDing two value probes (§3.10), then
+/// a structural probe, else full scan. The summary/notes narrate every
+/// considered index, eligible or not.
+AccessPath ChooseAccessPath(const std::vector<const XmlIndex*>& indexes,
+                            const ExtractionResult& extraction);
+
+}  // namespace xqdb
+
+#endif  // XQDB_CORE_ELIGIBILITY_H_

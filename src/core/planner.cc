@@ -1,0 +1,268 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "core/eligibility.h"
+#include "core/predicate_extract.h"
+
+namespace xqdb {
+
+namespace {
+
+void CollectSourcesRec(const Expr& e,
+                       std::set<std::pair<std::string, std::string>>* out) {
+  if (e.kind == ExprKind::kXmlColumn) {
+    out->insert({e.table_name, e.column_name});
+  }
+  for (const auto& c : e.children) {
+    if (c != nullptr) CollectSourcesRec(*c, out);
+  }
+  if (e.kind == ExprKind::kPath) {
+    for (const PathStep& step : e.steps) {
+      if (step.expr != nullptr) CollectSourcesRec(*step.expr, out);
+      for (const auto& p : step.predicates) CollectSourcesRec(*p, out);
+    }
+  }
+  if (e.kind == ExprKind::kFlwor) {
+    for (const auto& clause : e.clauses) CollectSourcesRec(*clause.expr, out);
+    if (e.where != nullptr) CollectSourcesRec(*e.where, out);
+    for (const auto& spec : e.order_by) CollectSourcesRec(*spec.key, out);
+  }
+  if (e.kind == ExprKind::kDirectElement) {
+    for (const auto& part : e.ctor_content) {
+      if (part.expr != nullptr) CollectSourcesRec(*part.expr, out);
+    }
+    for (const auto& attr : e.ctor_attrs) {
+      for (const auto& part : attr.value_parts) {
+        if (part.expr != nullptr) CollectSourcesRec(*part.expr, out);
+      }
+    }
+  }
+}
+
+/// Splits a WHERE tree into top-level AND conjuncts.
+void Conjuncts(const SqlExpr& e, std::vector<const SqlExpr*>* out) {
+  if (e.kind == SqlExprKind::kAnd) {
+    Conjuncts(*e.children[0], out);
+    Conjuncts(*e.children[1], out);
+  } else {
+    out->push_back(&e);
+  }
+}
+
+/// If `e` is a column reference to an XML column of base ref `ref`,
+/// returns the column name.
+std::optional<std::string> XmlColumnOfRef(const SqlExpr& e,
+                                          const TableRef& ref,
+                                          const Table& table) {
+  if (e.kind != SqlExprKind::kColumnRef) return std::nullopt;
+  if (!e.qualifier.empty() && e.qualifier != ref.alias) return std::nullopt;
+  int col = table.ColumnIndex(e.column);
+  if (col < 0) return std::nullopt;
+  if (table.columns()[static_cast<size_t>(col)].type != SqlType::kXml) {
+    return std::nullopt;
+  }
+  return e.column;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> CollectXmlColumnSources(
+    const Expr& e) {
+  std::set<std::pair<std::string, std::string>> set;
+  CollectSourcesRec(e, &set);
+  return {set.begin(), set.end()};
+}
+
+Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) const {
+  SelectPlan plan;
+  plan.access.resize(stmt.from.size());
+
+  std::vector<const SqlExpr*> where_conjuncts;
+  if (stmt.where != nullptr) Conjuncts(*stmt.where, &where_conjuncts);
+
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    const TableRef& ref = stmt.from[i];
+    AccessPath& access = plan.access[i];
+    if (ref.kind != TableRef::Kind::kBaseTable) {
+      access.summary = "XMLTABLE (lateral row producer)";
+      continue;
+    }
+    auto table_result = catalog_->GetTable(ref.table_name);
+    if (!table_result.ok()) return table_result.status();
+    const Table* table = table_result.value();
+
+    // Gather filtering XQuery contexts touching this table's XML columns.
+    ExtractionResult merged;
+    std::vector<const XmlIndex*> candidate_indexes;
+    std::string used_column;
+
+    // Maps a variable name in the embedded query to the FROM position of
+    // the base ref whose column the PASSING clause binds it to.
+    auto passing_ref_index = [&](const EmbeddedXQuery& q,
+                                 const std::string& var) -> int {
+      for (const PassingArg& arg : q.passing) {
+        if (arg.var_name != var) continue;
+        if (arg.value->kind != SqlExprKind::kColumnRef) return -1;
+        for (size_t j = 0; j < stmt.from.size(); ++j) {
+          if (stmt.from[j].kind == TableRef::Kind::kBaseTable &&
+              (arg.value->qualifier.empty() ||
+               arg.value->qualifier == stmt.from[j].alias)) {
+            auto tr = catalog_->GetTable(stmt.from[j].table_name);
+            if (tr.ok() &&
+                tr.value()->ColumnIndex(arg.value->column) >= 0) {
+              return static_cast<int>(j);
+            }
+          }
+        }
+        return -1;
+      }
+      return -1;
+    };
+
+    // The root variable of the outer side of a join candidate.
+    std::function<const std::string*(const Expr&)> root_var =
+        [&](const Expr& expr) -> const std::string* {
+      if (expr.kind == ExprKind::kVarRef) return &expr.var;
+      if (expr.kind == ExprKind::kCastAs && !expr.children.empty()) {
+        return root_var(*expr.children[0]);
+      }
+      if (expr.kind == ExprKind::kPath && !expr.steps.empty() &&
+          !expr.steps[0].is_axis_step && expr.steps[0].expr != nullptr) {
+        return root_var(*expr.steps[0].expr);
+      }
+      return nullptr;
+    };
+
+    auto analyze_embedded = [&](const EmbeddedXQuery& q, bool filtering,
+                                const char* context_desc) {
+      for (const PassingArg& arg : q.passing) {
+        auto col = XmlColumnOfRef(*arg.value, ref, *table);
+        if (!col.has_value()) continue;
+        if (!filtering) {
+          merged.notes.push_back(
+              std::string(context_desc) +
+              " does not eliminate rows — its predicates on " + ref.alias +
+              "." + *col + " are not index eligible");
+          continue;
+        }
+        ExtractionResult r = ExtractPredicates(
+            *q.parsed.body, ref.table_name, *col, {arg.var_name});
+        for (auto& p : r.predicates) {
+          merged.predicates.push_back(std::move(p));
+        }
+        for (auto& jc : r.joins) {
+          // A join probe needs the outer side to be computable before this
+          // ref joins: its root variable must be passed from an *earlier*
+          // FROM item.
+          const std::string* var = jc.outer_expr != nullptr
+                                       ? root_var(*jc.outer_expr)
+                                       : nullptr;
+          int outer_ref = var != nullptr ? passing_ref_index(q, *var) : -1;
+          if (outer_ref < 0 || outer_ref >= static_cast<int>(i)) {
+            merged.notes.push_back(
+                "join candidate " + jc.description +
+                " skipped: the outer side is not available before this "
+                "table in the join order");
+            continue;
+          }
+          jc.source = &q;
+          merged.joins.push_back(std::move(jc));
+        }
+        for (auto& n : r.notes) merged.notes.push_back(std::move(n));
+        if (used_column.empty() &&
+            (!merged.predicates.empty() || !merged.joins.empty())) {
+          used_column = *col;
+        }
+      }
+    };
+
+    for (const SqlExpr* conjunct : where_conjuncts) {
+      if (conjunct->kind == SqlExprKind::kXmlExists) {
+        analyze_embedded(*conjunct->xquery, /*filtering=*/true,
+                         "XMLEXISTS in WHERE");
+      }
+    }
+    for (const TableRef& other : stmt.from) {
+      if (other.kind == TableRef::Kind::kXmlTable &&
+          other.row_query != nullptr) {
+        analyze_embedded(*other.row_query, /*filtering=*/true,
+                         "XMLTABLE row producer");
+        for (const XmlTableColumn& col : other.columns) {
+          if (!col.for_ordinality && col.path_text.find('[') !=
+                                         std::string::npos) {
+            merged.notes.push_back(
+                "XMLTABLE column '" + col.name + "' PATH '" + col.path_text +
+                "': an empty column result becomes NULL, the row survives — "
+                "column predicates are not index eligible (Tip 4, Query 12)");
+          }
+        }
+      }
+    }
+    for (const SelectItem& item : stmt.items) {
+      if (!item.star && item.expr != nullptr &&
+          item.expr->kind == SqlExprKind::kXmlQuery) {
+        analyze_embedded(*item.expr->xquery, /*filtering=*/false,
+                         "XMLQUERY in the SELECT list (Tip 2, Query 5)");
+      }
+    }
+
+    // Candidate indexes: all XML indexes on the column we found predicates
+    // for (or any XML column if none).
+    if (used_column.empty()) {
+      for (const ColumnDef& col : table->columns()) {
+        if (col.type == SqlType::kXml) {
+          used_column = col.name;
+          break;
+        }
+      }
+    }
+    if (!used_column.empty()) {
+      candidate_indexes = table->indexes().XmlIndexesOn(used_column);
+    }
+    AccessPath chosen = ChooseAccessPath(candidate_indexes, merged);
+    chosen.notes.insert(chosen.notes.begin(),
+                        std::make_move_iterator(merged.notes.begin()),
+                        std::make_move_iterator(merged.notes.end()));
+    // ChooseAccessPath already copied extraction.notes; remove duplicates.
+    std::sort(chosen.notes.begin(), chosen.notes.end());
+    chosen.notes.erase(
+        std::unique(chosen.notes.begin(), chosen.notes.end()),
+        chosen.notes.end());
+    access = std::move(chosen);
+  }
+  return plan;
+}
+
+Result<XQueryPlan> Planner::PlanXQuery(const Expr& body) const {
+  XQueryPlan plan;
+  auto sources = CollectXmlColumnSources(body);
+  for (const auto& [table_name, column] : sources) {
+    auto table_result = catalog_->GetTable(table_name);
+    if (!table_result.ok()) continue;  // Execution will surface the error.
+    const Table* table = table_result.value();
+    ExtractionResult extraction =
+        ExtractPredicates(body, table_name, column, {});
+    std::vector<const XmlIndex*> indexes =
+        table->indexes().XmlIndexesOn(column);
+    AccessPath access = ChooseAccessPath(indexes, extraction);
+    if (access.kind != AccessPath::Kind::kFullScan) {
+      plan.use_index = true;
+      plan.table = table_name;
+      plan.column = column;
+      plan.access = std::move(access);
+      return plan;
+    }
+    // Keep the most informative no-index story.
+    if (plan.access.summary.empty() || !access.notes.empty()) {
+      plan.table = table_name;
+      plan.column = column;
+      plan.access = std::move(access);
+    }
+  }
+  return plan;
+}
+
+}  // namespace xqdb

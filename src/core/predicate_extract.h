@@ -1,0 +1,87 @@
+#ifndef XQDB_CORE_PREDICATE_EXTRACT_H_
+#define XQDB_CORE_PREDICATE_EXTRACT_H_
+
+#include <string>
+#include <vector>
+
+#include "xdm/atomic.h"
+#include "xdm/compare.h"
+#include "xpath/pattern.h"
+#include "xquery/ast.h"
+
+namespace xqdb {
+
+/// One indexable predicate found in a *filtering* position of a query: a
+/// structural path from the document root, optionally with a value
+/// constraint (and a second constraint when a "between" was recognized,
+/// §3.10).
+struct ExtractedPredicate {
+  Pattern path;           // query-side path, in the index-pattern algebra
+  std::string path_text;  // diagnostics
+
+  bool has_value = false;
+  CompareOp op = CompareOp::kEq;
+  AtomicValue constant;
+  /// The comparison's data-type (paper §3.1): decides which index *type*
+  /// can serve it — kString → varchar, kDouble → double, kDate → date,
+  /// kDateTime → timestamp.
+  AtomicType comparison_type = AtomicType::kString;
+
+  /// Merged "between": a second bound on the same singleton value.
+  bool has_second = false;
+  CompareOp op2 = CompareOp::kEq;
+  AtomicValue constant2;
+
+  /// The compared value is provably a singleton per context node (self
+  /// axis, attribute step, or value comparison) — the §3.10 precondition
+  /// for merging two range predicates into one index range scan.
+  bool singleton_operand = false;
+
+  std::string description;
+};
+
+/// An equality join candidate: one comparison side is a path over the
+/// analyzed column, the other references variables bound elsewhere (another
+/// table's column, per the paper's §3.3 join queries). The planner can turn
+/// this into an index-nested-loop probe (Tips 5/6).
+struct EmbeddedXQuery;  // sql/sql_ast.h — set by the planner, not here.
+
+struct JoinCandidate {
+  Pattern inner_path;  // path over the analyzed column
+  std::string inner_path_text;
+  AtomicType comparison_type = AtomicType::kString;
+  /// The outer side, borrowed from the query AST (valid while the parsed
+  /// statement lives).
+  const Expr* outer_expr = nullptr;
+  /// The embedded query the candidate came from (for its static context
+  /// and PASSING list); filled in by the planner.
+  const EmbeddedXQuery* source = nullptr;
+  std::string description;
+};
+
+/// The analysis result: conjunctive filtering predicates, join candidates,
+/// plus human-readable notes about constructs that *blocked* extraction
+/// (the paper's pitfalls: boolean XMLEXISTS bodies, let-bound sequences,
+/// constructors in return clauses, ...). Notes surface in EXPLAIN output.
+struct ExtractionResult {
+  std::vector<ExtractedPredicate> predicates;
+  std::vector<JoinCandidate> joins;
+  std::vector<std::string> notes;
+};
+
+/// Analyzes an XQuery body for filtering predicates over one XML column.
+///
+/// `column_vars` lists external variables bound to this column's value (the
+/// SQL/XML `passing orddoc as "order"` mechanism); standalone queries are
+/// matched through db2-fn:xmlcolumn(table.column) sources instead. Only
+/// predicates whose evaluation *eliminates documents* (Definition 1) are
+/// extracted; everything reachable only through empty-preserving contexts
+/// (let bindings not checked in a where clause, constructor content,
+/// XMLQuery select-list style usage) is reported in notes.
+ExtractionResult ExtractPredicates(const Expr& body, const std::string& table,
+                                   const std::string& column,
+                                   const std::vector<std::string>& column_vars);
+
+}  // namespace xqdb
+
+#endif  // XQDB_CORE_PREDICATE_EXTRACT_H_

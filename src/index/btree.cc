@@ -1,0 +1,21 @@
+// BPlusTree is a header-only template (index/btree.h). This translation unit
+// pins common instantiations so template code is compiled (and its warnings
+// surfaced) exactly once in the library build.
+
+#include "index/btree.h"
+
+#include <string>
+
+namespace xqdb {
+
+struct BtreeRowRef {
+  uint32_t row = 0;
+  int32_t node = 0;
+  friend bool operator==(const BtreeRowRef&, const BtreeRowRef&) = default;
+};
+
+template class BPlusTree<double, BtreeRowRef>;
+template class BPlusTree<long long, BtreeRowRef>;
+template class BPlusTree<std::string, BtreeRowRef>;
+
+}  // namespace xqdb

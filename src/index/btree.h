@@ -1,0 +1,287 @@
+#ifndef XQDB_INDEX_BTREE_H_
+#define XQDB_INDEX_BTREE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace xqdb {
+
+/// One end of a range scan: unbounded, or a key with inclusivity.
+template <typename Key>
+struct ScanBound {
+  std::optional<Key> key;  // nullopt = unbounded
+  bool inclusive = true;
+
+  static ScanBound Unbounded() { return ScanBound{}; }
+  static ScanBound Inclusive(Key k) { return ScanBound{std::move(k), true}; }
+  static ScanBound Exclusive(Key k) { return ScanBound{std::move(k), false}; }
+};
+
+/// In-memory B+Tree with multimap semantics (duplicate keys allowed),
+/// modeled after the structure DB2 uses for XML value indexes (paper §2.1).
+/// Interior nodes hold separator keys; leaves hold (key, value) pairs and
+/// are linked for range scans.
+///
+/// Order is the max number of entries per node. Values are stored by value;
+/// xqdb uses small PODs (row/node references).
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class BPlusTree {
+ public:
+  static constexpr size_t kOrder = 64;
+
+  BPlusTree() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Insert(const Key& key, const Value& value) {
+    SplitResult split = InsertRec(root_.get(), key, value);
+    if (split.happened) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->keys.push_back(split.separator);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(split.right));
+      root_ = std::move(new_root);
+    }
+    ++size_;
+  }
+
+  /// Removes one (key, value) pair matching both (value compared with ==).
+  /// Returns true if found. Underflow is tolerated (nodes are merged lazily
+  /// only at the root), which keeps deletes simple while preserving scan
+  /// correctness — acceptable for xqdb's workloads where deletes are rare.
+  bool Erase(const Key& key, const Value& value) {
+    bool erased = EraseRec(root_.get(), key, value);
+    if (erased) {
+      --size_;
+      while (!root_->leaf && root_->children.size() == 1) {
+        root_ = std::move(root_->children[0]);
+      }
+    }
+    return erased;
+  }
+
+  /// Calls fn(key, value) for every entry in [lo, hi], in key order.
+  /// Returns the number of entries visited (the benchmarks' "index entries
+  /// touched" statistic).
+  size_t Scan(const ScanBound<Key>& lo, const ScanBound<Key>& hi,
+              const std::function<void(const Key&, const Value&)>& fn) const {
+    const Node* leaf = root_.get();
+    while (!leaf->leaf) {
+      size_t i = 0;
+      if (lo.key.has_value()) {
+        // First child whose subtree may contain keys >= lo.
+        while (i < leaf->keys.size() && cmp_(leaf->keys[i], *lo.key)) ++i;
+      }
+      leaf = leaf->children[i].get();
+    }
+    size_t visited = 0;
+    while (leaf != nullptr) {
+      for (size_t i = 0; i < leaf->keys.size(); ++i) {
+        const Key& k = leaf->keys[i];
+        if (lo.key.has_value()) {
+          if (cmp_(k, *lo.key)) continue;
+          if (!lo.inclusive && !cmp_(*lo.key, k)) continue;  // k == lo
+        }
+        if (hi.key.has_value()) {
+          if (cmp_(*hi.key, k)) return visited;
+          if (!hi.inclusive && !cmp_(k, *hi.key)) return visited;  // k == hi
+        }
+        fn(k, leaf->values[i]);
+        ++visited;
+      }
+      leaf = leaf->next;
+    }
+    return visited;
+  }
+
+  /// Equality lookup.
+  size_t ScanEqual(const Key& key,
+                   const std::function<void(const Value&)>& fn) const {
+    return Scan(ScanBound<Key>::Inclusive(key), ScanBound<Key>::Inclusive(key),
+                [&](const Key&, const Value& v) { fn(v); });
+  }
+
+  /// Approximate rank of `key` in [0, 1]: the fraction of entries whose
+  /// keys are less than (`upper`=false) or not greater than (`upper`=true)
+  /// `key`. Computed by one root-to-leaf descent assuming uniform fanout —
+  /// the classic cheap selectivity estimate used by cost-based optimizers.
+  double EstimateRank(const Key& key, bool upper) const {
+    if (size_ == 0) return 0.0;
+    const Node* node = root_.get();
+    double lo = 0.0, span = 1.0;
+    while (!node->leaf) {
+      size_t idx = upper ? UpperBound(node->keys, key)
+                         : LowerBound(node->keys, key);
+      size_t fanout = node->children.size();
+      lo += span * static_cast<double>(idx) / static_cast<double>(fanout);
+      span /= static_cast<double>(fanout);
+      node = node->children[idx].get();
+    }
+    size_t pos = upper ? UpperBound(node->keys, key)
+                       : LowerBound(node->keys, key);
+    size_t n = node->keys.empty() ? 1 : node->keys.size();
+    lo += span * static_cast<double>(pos) / static_cast<double>(n);
+    return lo < 0 ? 0.0 : (lo > 1 ? 1.0 : lo);
+  }
+
+  /// Approximate number of entries in [lo, hi] (bounds optional).
+  double EstimateRangeCount(const ScanBound<Key>& lo,
+                            const ScanBound<Key>& hi) const {
+    double lo_rank =
+        lo.key.has_value() ? EstimateRank(*lo.key, !lo.inclusive) : 0.0;
+    double hi_rank =
+        hi.key.has_value() ? EstimateRank(*hi.key, hi.inclusive) : 1.0;
+    double frac = hi_rank - lo_rank;
+    if (frac < 0) frac = 0;
+    return frac * static_cast<double>(size_);
+  }
+
+  /// Structural depth (for tests asserting balance).
+  int height() const {
+    int h = 1;
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      n = n->children[0].get();
+      ++h;
+    }
+    return h;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<Key> keys;
+    // Leaf payloads (leaves only).
+    std::vector<Value> values;
+    // Interior children (interior only): children.size() == keys.size() + 1.
+    std::vector<std::unique_ptr<Node>> children;
+    Node* next = nullptr;  // leaf chain
+  };
+
+  struct SplitResult {
+    bool happened = false;
+    Key separator{};
+    std::unique_ptr<Node> right;
+  };
+
+  /// Index of the first key in `keys` not less than `key` (lower bound).
+  size_t LowerBound(const std::vector<Key>& keys, const Key& key) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cmp_(keys[mid], key)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Index of the first key greater than `key` (upper bound).
+  size_t UpperBound(const std::vector<Key>& keys, const Key& key) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cmp_(key, keys[mid])) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  SplitResult InsertRec(Node* node, const Key& key, const Value& value) {
+    if (node->leaf) {
+      size_t pos = UpperBound(node->keys, key);
+      node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(pos), key);
+      node->values.insert(node->values.begin() + static_cast<ptrdiff_t>(pos),
+                          value);
+      return MaybeSplit(node);
+    }
+    size_t child = UpperBound(node->keys, key);
+    SplitResult split = InsertRec(node->children[child].get(), key, value);
+    if (split.happened) {
+      node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(child),
+                        split.separator);
+      node->children.insert(
+          node->children.begin() + static_cast<ptrdiff_t>(child) + 1,
+          std::move(split.right));
+    }
+    return MaybeSplit(node);
+  }
+
+  SplitResult MaybeSplit(Node* node) {
+    SplitResult result;
+    if (node->keys.size() <= kOrder) return result;
+    size_t mid = node->keys.size() / 2;
+    auto right = std::make_unique<Node>(node->leaf);
+    if (node->leaf) {
+      // Right leaf takes keys[mid..]; separator is its first key.
+      right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid),
+                         node->keys.end());
+      right->values.assign(node->values.begin() + static_cast<ptrdiff_t>(mid),
+                           node->values.end());
+      node->keys.resize(mid);
+      node->values.resize(mid);
+      right->next = node->next;
+      node->next = right.get();
+      result.separator = right->keys.front();
+    } else {
+      // Middle key moves up; right takes keys[mid+1..].
+      result.separator = node->keys[mid];
+      right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid) + 1,
+                         node->keys.end());
+      for (size_t i = mid + 1; i < node->children.size(); ++i) {
+        right->children.push_back(std::move(node->children[i]));
+      }
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+    }
+    result.happened = true;
+    result.right = std::move(right);
+    return result;
+  }
+
+  bool EraseRec(Node* node, const Key& key, const Value& value) {
+    if (node->leaf) {
+      size_t pos = LowerBound(node->keys, key);
+      for (size_t i = pos;
+           i < node->keys.size() && !cmp_(key, node->keys[i]); ++i) {
+        if (node->values[i] == value) {
+          node->keys.erase(node->keys.begin() + static_cast<ptrdiff_t>(i));
+          node->values.erase(node->values.begin() +
+                             static_cast<ptrdiff_t>(i));
+          return true;
+        }
+      }
+      return false;
+    }
+    // Duplicates of `key` can span multiple children; try each candidate.
+    size_t first = LowerBound(node->keys, key);
+    size_t last = UpperBound(node->keys, key);
+    for (size_t c = first; c <= last && c < node->children.size(); ++c) {
+      if (EraseRec(node->children[c].get(), key, value)) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  Compare cmp_;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_INDEX_BTREE_H_

@@ -1,0 +1,95 @@
+#include "index/index_manager.h"
+
+namespace xqdb {
+
+std::vector<uint32_t> RelationalIndex::LookupString(const std::string& key,
+                                                    size_t* scanned) const {
+  std::vector<uint32_t> rows;
+  size_t n = string_tree_.ScanEqual(
+      key, [&](const uint32_t& row) { rows.push_back(row); });
+  if (scanned != nullptr) *scanned += n;
+  return rows;
+}
+
+std::vector<uint32_t> RelationalIndex::LookupDouble(double key,
+                                                    size_t* scanned) const {
+  std::vector<uint32_t> rows;
+  size_t n = double_tree_.ScanEqual(
+      key, [&](const uint32_t& row) { rows.push_back(row); });
+  if (scanned != nullptr) *scanned += n;
+  return rows;
+}
+
+Status IndexManager::AddXmlIndex(const std::string& column, XmlIndex index) {
+  if (HasIndexNamed(index.name())) {
+    return Status::AlreadyExists("index " + index.name() + " already exists");
+  }
+  xml_indexes_[column].push_back(
+      std::make_unique<XmlIndex>(std::move(index)));
+  return Status::OK();
+}
+
+Status IndexManager::AddRelationalIndex(const std::string& column,
+                                        RelationalIndex index) {
+  if (HasIndexNamed(index.name())) {
+    return Status::AlreadyExists("index " + index.name() + " already exists");
+  }
+  rel_indexes_[column].push_back(
+      std::make_unique<RelationalIndex>(std::move(index)));
+  return Status::OK();
+}
+
+std::vector<const XmlIndex*> IndexManager::XmlIndexesOn(
+    const std::string& column) const {
+  std::vector<const XmlIndex*> out;
+  auto it = xml_indexes_.find(column);
+  if (it == xml_indexes_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& idx : it->second) out.push_back(idx.get());
+  return out;
+}
+
+std::vector<XmlIndex*> IndexManager::AllXmlIndexes() {
+  std::vector<XmlIndex*> out;
+  for (auto& [column, list] : xml_indexes_) {
+    for (auto& idx : list) out.push_back(idx.get());
+  }
+  return out;
+}
+
+const RelationalIndex* IndexManager::RelationalIndexOn(
+    const std::string& column) const {
+  auto it = rel_indexes_.find(column);
+  if (it == rel_indexes_.end() || it->second.empty()) return nullptr;
+  return it->second.front().get();
+}
+
+std::vector<RelationalIndex*> IndexManager::AllRelationalIndexes() {
+  std::vector<RelationalIndex*> out;
+  for (auto& [column, list] : rel_indexes_) {
+    for (auto& idx : list) out.push_back(idx.get());
+  }
+  return out;
+}
+
+const XmlIndex* IndexManager::FindXmlIndexByName(
+    const std::string& name) const {
+  for (const auto& [column, list] : xml_indexes_) {
+    for (const auto& idx : list) {
+      if (idx->name() == name) return idx.get();
+    }
+  }
+  return nullptr;
+}
+
+bool IndexManager::HasIndexNamed(const std::string& name) const {
+  if (FindXmlIndexByName(name) != nullptr) return true;
+  for (const auto& [column, list] : rel_indexes_) {
+    for (const auto& idx : list) {
+      if (idx->name() == name) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,84 @@
+#ifndef XQDB_INDEX_INDEX_MANAGER_H_
+#define XQDB_INDEX_INDEX_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/btree.h"
+#include "index/xml_index.h"
+
+namespace xqdb {
+
+/// A classic single-column relational index (for the paper's §3.3
+/// discussion: SQL-side join predicates can only use *relational* indexes).
+/// Keys are the SQL column values rendered to the column's comparison
+/// space: strings (with SQL trailing-blank-insensitive normalization) or
+/// doubles.
+class RelationalIndex {
+ public:
+  RelationalIndex(std::string name, std::string column, bool numeric)
+      : name_(std::move(name)), column_(std::move(column)),
+        numeric_(numeric) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& column() const { return column_; }
+  bool numeric() const { return numeric_; }
+
+  void InsertString(const std::string& key, uint32_t row) {
+    string_tree_.Insert(key, row);
+  }
+  void InsertDouble(double key, uint32_t row) { double_tree_.Insert(key, row); }
+  bool EraseString(const std::string& key, uint32_t row) {
+    return string_tree_.Erase(key, row);
+  }
+  bool EraseDouble(double key, uint32_t row) {
+    return double_tree_.Erase(key, row);
+  }
+
+  std::vector<uint32_t> LookupString(const std::string& key,
+                                     size_t* scanned) const;
+  std::vector<uint32_t> LookupDouble(double key, size_t* scanned) const;
+
+ private:
+  std::string name_;
+  std::string column_;
+  bool numeric_;
+  BPlusTree<std::string, uint32_t> string_tree_;
+  BPlusTree<double, uint32_t> double_tree_;
+};
+
+/// Per-table registry of XML value indexes and relational indexes, keyed by
+/// the column they index.
+class IndexManager {
+ public:
+  IndexManager() = default;
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  Status AddXmlIndex(const std::string& column, XmlIndex index);
+  Status AddRelationalIndex(const std::string& column,
+                            RelationalIndex index);
+
+  /// All XML indexes on `column` (candidates for eligibility checks).
+  std::vector<const XmlIndex*> XmlIndexesOn(const std::string& column) const;
+  /// All XML indexes on the table (for maintenance on insert).
+  std::vector<XmlIndex*> AllXmlIndexes();
+
+  const RelationalIndex* RelationalIndexOn(const std::string& column) const;
+  std::vector<RelationalIndex*> AllRelationalIndexes();
+
+  const XmlIndex* FindXmlIndexByName(const std::string& name) const;
+  bool HasIndexNamed(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::vector<std::unique_ptr<XmlIndex>>> xml_indexes_;
+  std::map<std::string, std::vector<std::unique_ptr<RelationalIndex>>>
+      rel_indexes_;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_INDEX_INDEX_MANAGER_H_

@@ -1,0 +1,252 @@
+#include "index/xml_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+#include "xdm/cast.h"
+#include "xdm/item.h"
+
+namespace xqdb {
+
+std::string_view IndexValueTypeName(IndexValueType t) {
+  switch (t) {
+    case IndexValueType::kVarchar:
+      return "VARCHAR";
+    case IndexValueType::kDouble:
+      return "DOUBLE";
+    case IndexValueType::kDate:
+      return "DATE";
+    case IndexValueType::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "?";
+}
+
+AtomicType IndexKeyAtomicType(IndexValueType t) {
+  switch (t) {
+    case IndexValueType::kVarchar:
+      return AtomicType::kString;
+    case IndexValueType::kDouble:
+      return AtomicType::kDouble;
+    case IndexValueType::kDate:
+      return AtomicType::kDate;
+    case IndexValueType::kTimestamp:
+      return AtomicType::kDateTime;
+  }
+  return AtomicType::kString;
+}
+
+Result<XmlIndex> XmlIndex::Create(std::string name, std::string pattern_text,
+                                  IndexValueType type) {
+  XmlIndex idx;
+  idx.name_ = std::move(name);
+  XQDB_ASSIGN_OR_RETURN(idx.pattern_, ParsePattern(pattern_text));
+  XQDB_ASSIGN_OR_RETURN(idx.nfa_, PatternNfa::Compile(idx.pattern_));
+  idx.type_ = type;
+  return idx;
+}
+
+std::optional<AtomicValue> XmlIndex::KeyFor(const Document& doc,
+                                            NodeIdx node) const {
+  // The indexed value is the node's typed value cast to the index type;
+  // schema annotations participate (§2.1 "taking into consideration the
+  // node's type annotation").
+  NodeHandle h{&doc, node};
+  auto typed = TypedValueOf(h);
+  if (!typed.ok()) return std::nullopt;  // Tolerant: annotation parse failed.
+  auto key = CastTo(typed.value(), IndexKeyAtomicType(type_));
+  if (!key.ok()) return std::nullopt;  // Tolerant: not castable.
+  return key.value();
+}
+
+void XmlIndex::InsertDocument(uint32_t row, const Document& doc) {
+  ForEachMatch(nfa_, doc, [&](NodeIdx node) {
+    std::optional<AtomicValue> key = KeyFor(doc, node);
+    if (!key.has_value()) return;
+    IndexedNodeRef ref{row, node};
+    switch (type_) {
+      case IndexValueType::kVarchar:
+        string_tree_.Insert(key->string_value(), ref);
+        break;
+      case IndexValueType::kDouble:
+        double_tree_.Insert(key->double_value(), ref);
+        break;
+      case IndexValueType::kDate:
+      case IndexValueType::kTimestamp:
+        temporal_tree_.Insert(key->temporal_value(), ref);
+        break;
+    }
+    ++entry_count_;
+  });
+}
+
+void XmlIndex::EraseDocument(uint32_t row, const Document& doc) {
+  ForEachMatch(nfa_, doc, [&](NodeIdx node) {
+    std::optional<AtomicValue> key = KeyFor(doc, node);
+    if (!key.has_value()) return;
+    IndexedNodeRef ref{row, node};
+    bool erased = false;
+    switch (type_) {
+      case IndexValueType::kVarchar:
+        erased = string_tree_.Erase(key->string_value(), ref);
+        break;
+      case IndexValueType::kDouble:
+        erased = double_tree_.Erase(key->double_value(), ref);
+        break;
+      case IndexValueType::kDate:
+      case IndexValueType::kTimestamp:
+        erased = temporal_tree_.Erase(key->temporal_value(), ref);
+        break;
+    }
+    if (erased) --entry_count_;
+  });
+}
+
+namespace {
+
+Result<AtomicValue> CoerceKey(const AtomicValue& v, IndexValueType type) {
+  return CastTo(v, IndexKeyAtomicType(type));
+}
+
+std::vector<uint32_t> Dedup(std::set<uint32_t> rows) {
+  return std::vector<uint32_t>(rows.begin(), rows.end());
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> XmlIndex::ProbeRange(const ProbeBound& lo,
+                                                   const ProbeBound& hi,
+                                                   ProbeStats* stats) const {
+  std::set<uint32_t> rows;
+  size_t scanned = 0;
+  switch (type_) {
+    case IndexValueType::kVarchar: {
+      ScanBound<std::string> slo = ScanBound<std::string>::Unbounded();
+      ScanBound<std::string> shi = ScanBound<std::string>::Unbounded();
+      if (lo.value.has_value()) {
+        XQDB_ASSIGN_OR_RETURN(AtomicValue k, CoerceKey(*lo.value, type_));
+        slo = ScanBound<std::string>{k.string_value(), lo.inclusive};
+      }
+      if (hi.value.has_value()) {
+        XQDB_ASSIGN_OR_RETURN(AtomicValue k, CoerceKey(*hi.value, type_));
+        shi = ScanBound<std::string>{k.string_value(), hi.inclusive};
+      }
+      scanned = string_tree_.Scan(
+          slo, shi, [&](const std::string&, const IndexedNodeRef& ref) {
+            rows.insert(ref.row);
+          });
+      break;
+    }
+    case IndexValueType::kDouble: {
+      ScanBound<double> slo = ScanBound<double>::Unbounded();
+      ScanBound<double> shi = ScanBound<double>::Unbounded();
+      if (lo.value.has_value()) {
+        XQDB_ASSIGN_OR_RETURN(AtomicValue k, CoerceKey(*lo.value, type_));
+        slo = ScanBound<double>{k.double_value(), lo.inclusive};
+      }
+      if (hi.value.has_value()) {
+        XQDB_ASSIGN_OR_RETURN(AtomicValue k, CoerceKey(*hi.value, type_));
+        shi = ScanBound<double>{k.double_value(), hi.inclusive};
+      }
+      scanned = double_tree_.Scan(
+          slo, shi, [&](double, const IndexedNodeRef& ref) {
+            rows.insert(ref.row);
+          });
+      break;
+    }
+    case IndexValueType::kDate:
+    case IndexValueType::kTimestamp: {
+      ScanBound<long long> slo = ScanBound<long long>::Unbounded();
+      ScanBound<long long> shi = ScanBound<long long>::Unbounded();
+      if (lo.value.has_value()) {
+        XQDB_ASSIGN_OR_RETURN(AtomicValue k, CoerceKey(*lo.value, type_));
+        slo = ScanBound<long long>{k.temporal_value(), lo.inclusive};
+      }
+      if (hi.value.has_value()) {
+        XQDB_ASSIGN_OR_RETURN(AtomicValue k, CoerceKey(*hi.value, type_));
+        shi = ScanBound<long long>{k.temporal_value(), hi.inclusive};
+      }
+      scanned = temporal_tree_.Scan(
+          slo, shi, [&](long long, const IndexedNodeRef& ref) {
+            rows.insert(ref.row);
+          });
+      break;
+    }
+  }
+  if (stats != nullptr) stats->entries_scanned += scanned;
+  return Dedup(std::move(rows));
+}
+
+Result<std::vector<uint32_t>> XmlIndex::ProbeEqual(const AtomicValue& key,
+                                                   ProbeStats* stats) const {
+  ProbeBound b{key, true};
+  return ProbeRange(b, b, stats);
+}
+
+double XmlIndex::EstimateRangeFraction(const ProbeBound& lo,
+                                       const ProbeBound& hi) const {
+  if (entry_count_ == 0) return 0.0;
+  double count = 0;
+  switch (type_) {
+    case IndexValueType::kVarchar: {
+      ScanBound<std::string> slo = ScanBound<std::string>::Unbounded();
+      ScanBound<std::string> shi = ScanBound<std::string>::Unbounded();
+      if (lo.value.has_value()) {
+        auto k = CoerceKey(*lo.value, type_);
+        if (!k.ok()) return 1.0;
+        slo = ScanBound<std::string>{k->string_value(), lo.inclusive};
+      }
+      if (hi.value.has_value()) {
+        auto k = CoerceKey(*hi.value, type_);
+        if (!k.ok()) return 1.0;
+        shi = ScanBound<std::string>{k->string_value(), hi.inclusive};
+      }
+      count = string_tree_.EstimateRangeCount(slo, shi);
+      break;
+    }
+    case IndexValueType::kDouble: {
+      ScanBound<double> slo = ScanBound<double>::Unbounded();
+      ScanBound<double> shi = ScanBound<double>::Unbounded();
+      if (lo.value.has_value()) {
+        auto k = CoerceKey(*lo.value, type_);
+        if (!k.ok()) return 1.0;
+        slo = ScanBound<double>{k->double_value(), lo.inclusive};
+      }
+      if (hi.value.has_value()) {
+        auto k = CoerceKey(*hi.value, type_);
+        if (!k.ok()) return 1.0;
+        shi = ScanBound<double>{k->double_value(), hi.inclusive};
+      }
+      count = double_tree_.EstimateRangeCount(slo, shi);
+      break;
+    }
+    case IndexValueType::kDate:
+    case IndexValueType::kTimestamp: {
+      ScanBound<long long> slo = ScanBound<long long>::Unbounded();
+      ScanBound<long long> shi = ScanBound<long long>::Unbounded();
+      if (lo.value.has_value()) {
+        auto k = CoerceKey(*lo.value, type_);
+        if (!k.ok()) return 1.0;
+        slo = ScanBound<long long>{k->temporal_value(), lo.inclusive};
+      }
+      if (hi.value.has_value()) {
+        auto k = CoerceKey(*hi.value, type_);
+        if (!k.ok()) return 1.0;
+        shi = ScanBound<long long>{k->temporal_value(), hi.inclusive};
+      }
+      count = temporal_tree_.EstimateRangeCount(slo, shi);
+      break;
+    }
+  }
+  return count / static_cast<double>(entry_count_);
+}
+
+std::vector<uint32_t> XmlIndex::AllRows() const {
+  ProbeStats stats;
+  auto result = ProbeRange(ProbeBound{}, ProbeBound{}, &stats);
+  // Unbounded probes cannot fail (no cast involved).
+  return result.ok() ? std::move(result).value() : std::vector<uint32_t>{};
+}
+
+}  // namespace xqdb

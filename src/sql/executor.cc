@@ -1,0 +1,482 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+#include "xdm/cast.h"
+#include "xquery/evaluator.h"
+
+namespace xqdb {
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns[i];
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows[r][c].ToDisplayString();
+    }
+    out += "\n";
+  }
+  if (rows.size() > max_rows) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  }
+  return out;
+}
+
+Result<Sequence> SqlExecutor::PassingToSequence(const SqlValue& v) {
+  switch (v.kind()) {
+    case SqlValue::Kind::kNull:
+      return Sequence{};
+    case SqlValue::Kind::kInteger:
+      return Sequence{Item(AtomicValue::Integer(v.integer_value()))};
+    case SqlValue::Kind::kDouble:
+      return Sequence{Item(AtomicValue::Double(v.double_value()))};
+    case SqlValue::Kind::kVarchar:
+      return Sequence{Item(AtomicValue::String(v.varchar_value()))};
+    case SqlValue::Kind::kXml:
+      return v.xml_value();
+  }
+  return Status::Internal("unhandled SqlValue kind");
+}
+
+Result<Sequence> SqlExecutor::EvalEmbeddedXQuery(
+    const EmbeddedXQuery& q, const std::vector<ColumnSlot>& schema,
+    const std::vector<SqlValue>& row, QueryRuntime* runtime,
+    ExecStats* stats) {
+  Evaluator eval(&q.parsed.static_context, catalog_, runtime);
+  for (const PassingArg& arg : q.passing) {
+    XQDB_ASSIGN_OR_RETURN(SqlValue v,
+                          EvalScalar(*arg.value, schema, row, runtime, stats));
+    XQDB_ASSIGN_OR_RETURN(Sequence seq, PassingToSequence(v));
+    eval.BindVariable(arg.var_name, std::move(seq));
+  }
+  if (stats != nullptr) ++stats->xquery_evals;
+  return eval.Eval(*q.parsed.body);
+}
+
+Result<SqlValue> SqlExecutor::XmlCastValue(const Sequence& seq, SqlType type,
+                                           int len) {
+  if (seq.empty()) return SqlValue::Null();
+  if (seq.size() > 1) {
+    // The paper's Query 14 pitfall: XMLCAST insists on a singleton.
+    return Status::TypeError(
+        "XMLCAST requires a sequence of at most one item (got " +
+        std::to_string(seq.size()) + ")");
+  }
+  XQDB_ASSIGN_OR_RETURN(Sequence atoms, Atomize(seq));
+  const AtomicValue& v = atoms[0].atomic();
+  switch (type) {
+    case SqlType::kVarchar: {
+      XQDB_ASSIGN_OR_RETURN(AtomicValue s, CastTo(v, AtomicType::kString));
+      if (len > 0 &&
+          s.string_value().size() > static_cast<size_t>(len)) {
+        // Query 14's second failure mode: the value does not fit the
+        // declared VARCHAR length.
+        return Status::CastError("value '" + s.string_value() +
+                                 "' exceeds VARCHAR(" + std::to_string(len) +
+                                 ")");
+      }
+      return SqlValue::Varchar(s.string_value());
+    }
+    case SqlType::kDouble:
+    case SqlType::kDecimal: {
+      XQDB_ASSIGN_OR_RETURN(AtomicValue d, CastTo(v, AtomicType::kDouble));
+      return SqlValue::Double(d.double_value());
+    }
+    case SqlType::kInteger: {
+      XQDB_ASSIGN_OR_RETURN(AtomicValue i, CastTo(v, AtomicType::kInteger));
+      return SqlValue::Integer(i.integer_value());
+    }
+    case SqlType::kXml:
+      return SqlValue::Xml(seq);
+  }
+  return Status::Internal("unhandled XMLCAST target");
+}
+
+Result<SqlValue> SqlExecutor::EvalScalar(const SqlExpr& e,
+                                         const std::vector<ColumnSlot>& schema,
+                                         const std::vector<SqlValue>& row,
+                                         QueryRuntime* runtime,
+                                         ExecStats* stats) {
+  switch (e.kind) {
+    case SqlExprKind::kLiteral:
+      return e.literal;
+    case SqlExprKind::kColumnRef: {
+      int found = -1;
+      for (size_t i = 0; i < schema.size(); ++i) {
+        if (schema[i].name != e.column) continue;
+        if (!e.qualifier.empty() && schema[i].qualifier != e.qualifier) {
+          continue;
+        }
+        if (found >= 0) {
+          return Status::InvalidArgument("ambiguous column reference " +
+                                         e.column);
+        }
+        found = static_cast<int>(i);
+      }
+      if (found < 0) {
+        return Status::NotFound("column " +
+                                (e.qualifier.empty()
+                                     ? e.column
+                                     : e.qualifier + "." + e.column) +
+                                " not found");
+      }
+      return row[static_cast<size_t>(found)];
+    }
+    case SqlExprKind::kXmlQuery: {
+      XQDB_ASSIGN_OR_RETURN(
+          Sequence seq, EvalEmbeddedXQuery(*e.xquery, schema, row, runtime,
+                                           stats));
+      return SqlValue::Xml(std::move(seq));
+    }
+    case SqlExprKind::kXmlCast: {
+      XQDB_ASSIGN_OR_RETURN(
+          SqlValue inner,
+          EvalScalar(*e.children[0], schema, row, runtime, stats));
+      if (inner.kind() != SqlValue::Kind::kXml) {
+        return Status::TypeError("XMLCAST requires an XML operand");
+      }
+      return XmlCastValue(inner.xml_value(), e.cast_type, e.cast_len);
+    }
+    case SqlExprKind::kXmlExists: {
+      XQDB_ASSIGN_OR_RETURN(bool b,
+                            EvalPredicate(e, schema, row, runtime, stats));
+      return SqlValue::Integer(b ? 1 : 0);
+    }
+    case SqlExprKind::kCompare:
+    case SqlExprKind::kAnd:
+    case SqlExprKind::kOr:
+    case SqlExprKind::kNot:
+    case SqlExprKind::kIsNull: {
+      XQDB_ASSIGN_OR_RETURN(bool b,
+                            EvalPredicate(e, schema, row, runtime, stats));
+      return SqlValue::Integer(b ? 1 : 0);
+    }
+  }
+  return Status::Internal("unhandled SQL expression kind");
+}
+
+Result<bool> SqlExecutor::EvalPredicate(const SqlExpr& e,
+                                        const std::vector<ColumnSlot>& schema,
+                                        const std::vector<SqlValue>& row,
+                                        QueryRuntime* runtime,
+                                        ExecStats* stats) {
+  switch (e.kind) {
+    case SqlExprKind::kAnd: {
+      XQDB_ASSIGN_OR_RETURN(
+          bool a, EvalPredicate(*e.children[0], schema, row, runtime, stats));
+      if (!a) return false;
+      return EvalPredicate(*e.children[1], schema, row, runtime, stats);
+    }
+    case SqlExprKind::kOr: {
+      XQDB_ASSIGN_OR_RETURN(
+          bool a, EvalPredicate(*e.children[0], schema, row, runtime, stats));
+      if (a) return true;
+      return EvalPredicate(*e.children[1], schema, row, runtime, stats);
+    }
+    case SqlExprKind::kNot: {
+      XQDB_ASSIGN_OR_RETURN(
+          bool a, EvalPredicate(*e.children[0], schema, row, runtime, stats));
+      return !a;
+    }
+    case SqlExprKind::kIsNull: {
+      XQDB_ASSIGN_OR_RETURN(
+          SqlValue v,
+          EvalScalar(*e.children[0], schema, row, runtime, stats));
+      bool is_null = v.is_null();
+      return e.is_null_negated ? !is_null : is_null;
+    }
+    case SqlExprKind::kCompare: {
+      XQDB_ASSIGN_OR_RETURN(
+          SqlValue a, EvalScalar(*e.children[0], schema, row, runtime, stats));
+      XQDB_ASSIGN_OR_RETURN(
+          SqlValue b, EvalScalar(*e.children[1], schema, row, runtime, stats));
+      if (a.is_null() || b.is_null()) return false;  // UNKNOWN → filtered
+      XQDB_ASSIGN_OR_RETURN(int c, SqlValue::Compare(a, b));
+      switch (e.cmp_op) {
+        case CompareOp::kEq:
+          return c == 0;
+        case CompareOp::kNe:
+          return c != 0;
+        case CompareOp::kLt:
+          return c < 0;
+        case CompareOp::kLe:
+          return c <= 0;
+        case CompareOp::kGt:
+          return c > 0;
+        case CompareOp::kGe:
+          return c >= 0;
+      }
+      return false;
+    }
+    case SqlExprKind::kXmlExists: {
+      // XMLEXISTS: true iff the XQuery result is non-empty. A boolean
+      // result item is still one item — XMLEXISTS('... > 100') is the Q9
+      // trap that returns every row.
+      XQDB_ASSIGN_OR_RETURN(
+          Sequence seq, EvalEmbeddedXQuery(*e.xquery, schema, row, runtime,
+                                           stats));
+      return !seq.empty();
+    }
+    default: {
+      XQDB_ASSIGN_OR_RETURN(SqlValue v,
+                            EvalScalar(e, schema, row, runtime, stats));
+      if (v.is_null()) return false;
+      if (v.kind() == SqlValue::Kind::kInteger) return v.integer_value() != 0;
+      return Status::TypeError("expression is not a predicate");
+    }
+  }
+}
+
+Result<size_t> SqlExecutor::RunDelete(const DeleteStmt& stmt) {
+  XQDB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table_name));
+  std::vector<ColumnSlot> schema;
+  for (const ColumnDef& col : table->columns()) {
+    schema.push_back(ColumnSlot{table->name(), col.name});
+  }
+  QueryRuntime runtime;
+  ExecStats stats;
+  std::vector<uint32_t> victims;
+  for (uint32_t r = 0; r < table->row_count(); ++r) {
+    if (table->is_deleted(r)) continue;
+    if (stmt.where != nullptr) {
+      XQDB_ASSIGN_OR_RETURN(
+          bool hit, EvalPredicate(*stmt.where, schema, table->row(r),
+                                  &runtime, &stats));
+      if (!hit) continue;
+    }
+    victims.push_back(r);
+  }
+  for (uint32_t r : victims) {
+    XQDB_RETURN_IF_ERROR(table->DeleteRow(r));
+  }
+  return victims.size();
+}
+
+Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
+                                   const SelectPlan& plan) {
+  ResultSet rs;
+  rs.runtime = std::make_shared<QueryRuntime>();
+  ExecStats& stats = rs.stats;
+
+  std::vector<ColumnSlot> schema;
+  std::vector<std::vector<SqlValue>> rows;
+  rows.emplace_back();  // One empty row to seed the joins.
+
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    const TableRef& ref = stmt.from[i];
+    const AccessPath* path =
+        i < plan.access.size() ? &plan.access[i] : nullptr;
+    std::vector<std::vector<SqlValue>> next;
+
+    if (ref.kind == TableRef::Kind::kBaseTable) {
+      XQDB_ASSIGN_OR_RETURN(Table * table,
+                            catalog_->GetTable(ref.table_name));
+      bool per_row_probe =
+          path != nullptr && path->kind == AccessPath::Kind::kIndexJoinProbe;
+
+      // Which row ids to visit (join probes recompute per outer row).
+      std::vector<uint32_t> static_row_ids;
+      if (!per_row_probe && path != nullptr &&
+          path->kind != AccessPath::Kind::kFullScan) {
+        ProbeStats pstats;
+        switch (path->kind) {
+          case AccessPath::Kind::kIndexRange:
+          case AccessPath::Kind::kIndexStructural: {
+            XQDB_ASSIGN_OR_RETURN(
+                static_row_ids,
+                path->index->ProbeRange(path->lo, path->hi, &pstats));
+            break;
+          }
+          case AccessPath::Kind::kIndexIntersect: {
+            XQDB_ASSIGN_OR_RETURN(
+                std::vector<uint32_t> a,
+                path->index->ProbeRange(path->lo, path->hi, &pstats));
+            XQDB_ASSIGN_OR_RETURN(
+                std::vector<uint32_t> b,
+                path->index2->ProbeRange(path->lo2, path->hi2, &pstats));
+            std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                                  std::back_inserter(static_row_ids));
+            break;
+          }
+          default:
+            break;
+        }
+        stats.index_entries += static_cast<long long>(pstats.entries_scanned);
+        stats.rows_prefiltered +=
+            static_cast<long long>(static_row_ids.size());
+      } else if (!per_row_probe) {
+        static_row_ids.reserve(table->live_row_count());
+        for (uint32_t r = 0; r < table->row_count(); ++r) {
+          if (!table->is_deleted(r)) static_row_ids.push_back(r);
+        }
+      }
+
+      std::vector<ColumnSlot> base_schema(schema);
+      for (const ColumnDef& col : table->columns()) {
+        schema.push_back(ColumnSlot{ref.alias, col.name});
+      }
+      for (const auto& base : rows) {
+        std::vector<uint32_t> probe_row_ids;
+        const std::vector<uint32_t>* row_ids = &static_row_ids;
+        if (per_row_probe) {
+          // Tips 5/6 made executable: evaluate the outer join key against
+          // this row, then probe the inner table's index with it.
+          Evaluator eval(&path->join_source->parsed.static_context,
+                         catalog_, rs.runtime.get());
+          for (const PassingArg& arg : path->join_source->passing) {
+            auto value = EvalScalar(*arg.value, base_schema, base,
+                                    rs.runtime.get(), &stats);
+            if (!value.ok()) continue;  // References this (inner) table.
+            XQDB_ASSIGN_OR_RETURN(Sequence seq, PassingToSequence(*value));
+            eval.BindVariable(arg.var_name, std::move(seq));
+          }
+          auto keys = eval.Eval(*path->join_key_expr);
+          if (keys.ok()) {
+            XQDB_ASSIGN_OR_RETURN(Sequence atoms, Atomize(*keys));
+            ProbeStats pstats;
+            std::set<uint32_t> hit;
+            for (const Item& key : atoms) {
+              auto probed = path->index->ProbeEqual(key.atomic(), &pstats);
+              if (!probed.ok()) continue;  // Uncastable key: no matches.
+              hit.insert(probed->begin(), probed->end());
+            }
+            stats.index_entries +=
+                static_cast<long long>(pstats.entries_scanned);
+            probe_row_ids.assign(hit.begin(), hit.end());
+            stats.rows_prefiltered +=
+                static_cast<long long>(probe_row_ids.size());
+          } else {
+            // Could not compute the key (unexpected): fall back to pairing
+            // this outer row with every inner row; the residual WHERE
+            // keeps the result correct.
+            probe_row_ids.reserve(table->row_count());
+            for (uint32_t r = 0; r < table->row_count(); ++r) {
+              probe_row_ids.push_back(r);
+            }
+          }
+          row_ids = &probe_row_ids;
+        }
+        for (uint32_t r : *row_ids) {
+          if (table->is_deleted(r)) continue;  // tombstoned since probe
+          ++stats.rows_scanned;
+          std::vector<SqlValue> combined = base;
+          const std::vector<SqlValue>& trow = table->row(r);
+          combined.insert(combined.end(), trow.begin(), trow.end());
+          next.push_back(std::move(combined));
+        }
+      }
+    } else {
+      // XMLTABLE: lateral evaluation against each current row.
+      size_t base_width = schema.size();
+      for (const XmlTableColumn& col : ref.columns) {
+        schema.push_back(ColumnSlot{ref.alias, col.name});
+      }
+      for (const auto& base : rows) {
+        std::vector<ColumnSlot> base_schema(schema.begin(),
+                                            schema.begin() +
+                                                static_cast<ptrdiff_t>(
+                                                    base_width));
+        XQDB_ASSIGN_OR_RETURN(
+            Sequence row_items,
+            EvalEmbeddedXQuery(*ref.row_query, base_schema, base,
+                               rs.runtime.get(), &stats));
+        long long ordinal = 0;
+        for (const Item& item : row_items) {
+          ++ordinal;
+          std::vector<SqlValue> combined = base;
+          for (const XmlTableColumn& col : ref.columns) {
+            if (col.for_ordinality) {
+              combined.push_back(SqlValue::Integer(ordinal));
+              continue;
+            }
+            Evaluator eval(&ref.row_query->parsed.static_context, catalog_,
+                           rs.runtime.get());
+            Focus focus;
+            focus.has_item = true;
+            focus.item = item;
+            XQDB_ASSIGN_OR_RETURN(Sequence value,
+                                  eval.EvalWithFocus(*col.path_expr, focus));
+            ++stats.xquery_evals;
+            if (col.is_xml) {
+              if (col.by_ref) {
+                combined.push_back(SqlValue::Xml(std::move(value)));
+              } else {
+                // BY VALUE: deep copies with fresh node identities.
+                Sequence copied;
+                for (const Item& v : value) {
+                  if (!v.is_node()) {
+                    copied.push_back(v);
+                    continue;
+                  }
+                  Document* doc = rs.runtime->NewDocument();
+                  NodeIdx idx =
+                      DeepCopyNode(doc, kNullNode, v.node(), true);
+                  copied.push_back(Item(NodeHandle{doc, idx}));
+                }
+                combined.push_back(SqlValue::Xml(std::move(copied)));
+              }
+            } else {
+              // Scalar column: empty sequence → NULL (the §3.2 reason
+              // column predicates are not index eligible).
+              XQDB_ASSIGN_OR_RETURN(
+                  SqlValue cast,
+                  XmlCastValue(value, col.type, col.varchar_len));
+              combined.push_back(std::move(cast));
+            }
+          }
+          next.push_back(std::move(combined));
+        }
+      }
+    }
+    rows = std::move(next);
+  }
+
+  // WHERE.
+  if (stmt.where != nullptr) {
+    std::vector<std::vector<SqlValue>> kept;
+    for (auto& row : rows) {
+      XQDB_ASSIGN_OR_RETURN(
+          bool b,
+          EvalPredicate(*stmt.where, schema, row, rs.runtime.get(), &stats));
+      if (b) kept.push_back(std::move(row));
+    }
+    rows = std::move(kept);
+  }
+
+  // SELECT list.
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (const ColumnSlot& slot : schema) rs.columns.push_back(slot.name);
+    } else if (!item.alias.empty()) {
+      rs.columns.push_back(item.alias);
+    } else if (item.expr->kind == SqlExprKind::kColumnRef) {
+      rs.columns.push_back(item.expr->column);
+    } else {
+      rs.columns.push_back(std::to_string(rs.columns.size() + 1));
+    }
+  }
+  for (auto& row : rows) {
+    std::vector<SqlValue> out_row;
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        out_row.insert(out_row.end(), row.begin(), row.end());
+      } else {
+        XQDB_ASSIGN_OR_RETURN(
+            SqlValue v,
+            EvalScalar(*item.expr, schema, row, rs.runtime.get(), &stats));
+        out_row.push_back(std::move(v));
+      }
+    }
+    rs.rows.push_back(std::move(out_row));
+  }
+  return rs;
+}
+
+}  // namespace xqdb

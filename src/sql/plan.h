@@ -1,0 +1,64 @@
+#ifndef XQDB_SQL_PLAN_H_
+#define XQDB_SQL_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "index/xml_index.h"
+#include "sql/sql_ast.h"
+
+namespace xqdb {
+
+/// How one base-table FROM item is accessed. Produced by the core planner
+/// (core/planner.h) from the eligibility analysis; consumed by the
+/// executor. The residual predicate (the full WHERE) is always re-applied,
+/// so a chosen index only needs to satisfy Definition 1's pre-filtering
+/// contract.
+struct AccessPath {
+  enum class Kind {
+    kFullScan,        // no eligible index
+    kIndexRange,      // one B+Tree range/equality probe
+    kIndexIntersect,  // two probes ANDed (the §3.10 non-between shape)
+    kIndexStructural, // unbounded varchar probe: "the path exists"
+    kIndexJoinProbe,  // per-outer-row equality probe (Tips 5/6)
+  };
+  Kind kind = Kind::kFullScan;
+  const XmlIndex* index = nullptr;
+  const XmlIndex* index2 = nullptr;  // kIndexIntersect second probe
+  ProbeBound lo, hi;
+  ProbeBound lo2, hi2;
+
+  // kIndexJoinProbe: the outer-side key expression (borrowed from the
+  // statement AST) and the embedded XQuery it came from (static context +
+  // PASSING list for evaluating the key against the outer row).
+  const Expr* join_key_expr = nullptr;
+  const EmbeddedXQuery* join_source = nullptr;
+
+  /// Human-readable eligibility story for EXPLAIN: which predicates were
+  /// found, which indexes were considered, and why each was (in)eligible.
+  std::string summary;
+  std::vector<std::string> notes;
+};
+
+/// A full plan for one SELECT: an access path per FROM item (XMLTABLE items
+/// get a default entry whose notes describe row-producer eligibility).
+struct SelectPlan {
+  std::vector<AccessPath> access;
+
+  std::string Explain(const SelectStmt& stmt) const;
+};
+
+/// Plan for a standalone XQuery: at most one pre-filtering index probe on
+/// the dominant xmlcolumn source (Definition 1).
+struct XQueryPlan {
+  bool use_index = false;
+  std::string table;
+  std::string column;
+  AccessPath access;
+
+  std::string Explain() const;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_SQL_PLAN_H_

@@ -1,0 +1,61 @@
+#ifndef XQDB_STORAGE_CATALOG_H_
+#define XQDB_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "xquery/evaluator.h"
+
+namespace xqdb {
+
+/// The database catalog: tables by (uppercase) name. Also implements the
+/// XQuery engine's XmlColumnProvider so db2-fn:xmlcolumn('T.C') resolves to
+/// stored documents.
+class Catalog : public XmlColumnProvider {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Result<Table*> CreateTable(const std::string& name,
+                             std::vector<ColumnDef> columns);
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<const Table*> AllTables() const;
+
+  // XmlColumnProvider:
+  Result<std::vector<NodeHandle>> XmlColumn(
+      std::string_view table, std::string_view column) const override;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+/// A provider view that restricts one (table, column) to a set of rows —
+/// how an eligible index pre-filters a standalone XQuery per Definition 1:
+/// Q(D) == Q(I(P, D)).
+class FilteredProvider : public XmlColumnProvider {
+ public:
+  FilteredProvider(const Catalog* base, std::string table, std::string column,
+                   std::vector<uint32_t> rows)
+      : base_(base), table_(std::move(table)), column_(std::move(column)),
+        rows_(std::move(rows)) {}
+
+  Result<std::vector<NodeHandle>> XmlColumn(
+      std::string_view table, std::string_view column) const override;
+
+ private:
+  const Catalog* base_;
+  std::string table_;
+  std::string column_;
+  std::vector<uint32_t> rows_;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_STORAGE_CATALOG_H_

@@ -1,0 +1,182 @@
+#include "storage/table.h"
+
+#include "common/str_util.h"
+
+namespace xqdb {
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<uint32_t> Table::InsertRow(
+    std::vector<SqlValue> values,
+    std::vector<std::unique_ptr<Document>> xml_docs) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity mismatch for table " + name_ + ": got " +
+        std::to_string(values.size()) + ", want " +
+        std::to_string(columns_.size()));
+  }
+  // Lazily size the XML slot bookkeeping.
+  if (xml_slot_of_column_.empty()) {
+    xml_slot_of_column_.assign(columns_.size(), -1);
+    int slot = 0;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].type == SqlType::kXml) {
+        xml_slot_of_column_[i] = slot++;
+      }
+    }
+    xml_store_.resize(static_cast<size_t>(slot));
+  }
+
+  uint32_t row_id = static_cast<uint32_t>(rows_.size());
+  size_t doc_cursor = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type != SqlType::kXml) continue;
+    int slot = xml_slot_of_column_[i];
+    std::unique_ptr<Document> doc;
+    if (doc_cursor < xml_docs.size()) {
+      doc = std::move(xml_docs[doc_cursor++]);
+    }
+    if (doc != nullptr) {
+      // Maintain every XML index on this column.
+      for (XmlIndex* idx : indexes_.AllXmlIndexes()) {
+        idx->InsertDocument(row_id, *doc);
+      }
+      values[i] = SqlValue::Xml(
+          Sequence{Item(NodeHandle{doc.get(), doc->root()})});
+    } else {
+      values[i] = SqlValue::Null();
+    }
+    xml_store_[static_cast<size_t>(slot)].push_back(std::move(doc));
+  }
+  // Relational index maintenance.
+  size_t dummy = 0;
+  (void)dummy;
+  for (RelationalIndex* ridx : indexes_.AllRelationalIndexes()) {
+    int col = ColumnIndex(ridx->column());
+    if (col < 0) continue;
+    const SqlValue& v = values[static_cast<size_t>(col)];
+    if (v.is_null()) continue;
+    if (ridx->numeric()) {
+      double key = v.kind() == SqlValue::Kind::kInteger
+                       ? static_cast<double>(v.integer_value())
+                       : v.double_value();
+      ridx->InsertDouble(key, row_id);
+    } else {
+      std::string key = v.varchar_value();
+      while (!key.empty() && key.back() == ' ') key.pop_back();
+      ridx->InsertString(key, row_id);
+    }
+  }
+  rows_.push_back(std::move(values));
+  deleted_.push_back(false);
+  ++live_rows_;
+  return row_id;
+}
+
+Status Table::DeleteRow(uint32_t r) {
+  if (r >= rows_.size()) {
+    return Status::InvalidArgument("row id out of range");
+  }
+  if (deleted_[r]) return Status::OK();
+  // XML index maintenance.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type != SqlType::kXml) continue;
+    const Document* doc = xml_document(r, static_cast<int>(i));
+    if (doc == nullptr) continue;
+    for (XmlIndex* idx : indexes_.AllXmlIndexes()) {
+      idx->EraseDocument(r, *doc);
+    }
+  }
+  // Relational index maintenance.
+  for (RelationalIndex* ridx : indexes_.AllRelationalIndexes()) {
+    int col = ColumnIndex(ridx->column());
+    if (col < 0) continue;
+    const SqlValue& v = rows_[r][static_cast<size_t>(col)];
+    if (v.is_null()) continue;
+    if (ridx->numeric()) {
+      double key = v.kind() == SqlValue::Kind::kInteger
+                       ? static_cast<double>(v.integer_value())
+                       : v.double_value();
+      ridx->EraseDouble(key, r);
+    } else {
+      std::string key = v.varchar_value();
+      while (!key.empty() && key.back() == ' ') key.pop_back();
+      ridx->EraseString(key, r);
+    }
+  }
+  deleted_[r] = true;
+  --live_rows_;
+  return Status::OK();
+}
+
+const Document* Table::xml_document(uint32_t row, int column) const {
+  if (column < 0 || static_cast<size_t>(column) >= columns_.size()) {
+    return nullptr;
+  }
+  if (xml_slot_of_column_.empty()) return nullptr;
+  int slot = xml_slot_of_column_[static_cast<size_t>(column)];
+  if (slot < 0) return nullptr;
+  return xml_store_[static_cast<size_t>(slot)][row].get();
+}
+
+Status Table::CreateXmlIndex(const std::string& index_name,
+                             const std::string& column,
+                             const std::string& pattern,
+                             IndexValueType type) {
+  int col = ColumnIndex(column);
+  if (col < 0) {
+    return Status::NotFound("column " + column + " in table " + name_);
+  }
+  if (columns_[static_cast<size_t>(col)].type != SqlType::kXml) {
+    return Status::InvalidArgument("XMLPATTERN index requires an XML column");
+  }
+  XQDB_ASSIGN_OR_RETURN(XmlIndex idx,
+                        XmlIndex::Create(index_name, pattern, type));
+  // Backfill (live rows only).
+  for (uint32_t r = 0; r < rows_.size(); ++r) {
+    if (is_deleted(r)) continue;
+    const Document* doc = xml_document(r, col);
+    if (doc != nullptr) idx.InsertDocument(r, *doc);
+  }
+  return indexes_.AddXmlIndex(column, std::move(idx));
+}
+
+Status Table::CreateRelationalIndex(const std::string& index_name,
+                                    const std::string& column) {
+  int col = ColumnIndex(column);
+  if (col < 0) {
+    return Status::NotFound("column " + column + " in table " + name_);
+  }
+  SqlType type = columns_[static_cast<size_t>(col)].type;
+  if (type == SqlType::kXml) {
+    return Status::InvalidArgument(
+        "relational index cannot be created on an XML column; use USING "
+        "XMLPATTERN");
+  }
+  bool numeric = type == SqlType::kInteger || type == SqlType::kDouble ||
+                 type == SqlType::kDecimal;
+  RelationalIndex ridx(index_name, column, numeric);
+  for (uint32_t r = 0; r < rows_.size(); ++r) {
+    if (is_deleted(r)) continue;
+    const SqlValue& v = rows_[r][static_cast<size_t>(col)];
+    if (v.is_null()) continue;
+    if (numeric) {
+      double key = v.kind() == SqlValue::Kind::kInteger
+                       ? static_cast<double>(v.integer_value())
+                       : v.double_value();
+      ridx.InsertDouble(key, r);
+    } else {
+      std::string key = v.varchar_value();
+      while (!key.empty() && key.back() == ' ') key.pop_back();
+      ridx.InsertString(key, r);
+    }
+  }
+  return indexes_.AddRelationalIndex(column, std::move(ridx));
+}
+
+}  // namespace xqdb

@@ -1,0 +1,87 @@
+#ifndef XQDB_STORAGE_TABLE_H_
+#define XQDB_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/index_manager.h"
+#include "storage/value.h"
+#include "xml/document.h"
+
+namespace xqdb {
+
+/// An in-memory table with typed columns. XML columns store parsed Document
+/// trees owned by the table; scalar values live inline. All XML indexes on
+/// the table are maintained synchronously on insert (the paper's
+/// transactional-maintenance model, minus the transactions).
+class Table {
+ public:
+  Table(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Column index by (uppercase) name, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Physical row slots (deleted rows keep their slot; ids stay stable).
+  size_t row_count() const { return rows_.size(); }
+  /// Rows not deleted.
+  size_t live_row_count() const { return live_rows_; }
+  bool is_deleted(uint32_t r) const {
+    return r < deleted_.size() && deleted_[r];
+  }
+
+  /// Deletes one row: removes its entries from every XML and relational
+  /// index, then tombstones the slot.
+  Status DeleteRow(uint32_t r);
+
+  /// Inserts one row. For XML columns the matching entry of `xml_docs`
+  /// holds the parsed document; `values` holds SqlValue::Null() in that
+  /// position and is patched to reference the stored document.
+  ///
+  /// Simpler overload: pass scalar values plus raw XML text per XML column.
+  Result<uint32_t> InsertRow(std::vector<SqlValue> values,
+                             std::vector<std::unique_ptr<Document>> xml_docs);
+
+  const std::vector<SqlValue>& row(uint32_t r) const {
+    return rows_[static_cast<size_t>(r)];
+  }
+
+  /// The stored document of an XML column cell (nullptr if NULL).
+  const Document* xml_document(uint32_t row, int column) const;
+
+  IndexManager& indexes() { return indexes_; }
+  const IndexManager& indexes() const { return indexes_; }
+
+  /// Creates an XML value index over an XML column and backfills it from
+  /// existing rows.
+  Status CreateXmlIndex(const std::string& index_name,
+                        const std::string& column,
+                        const std::string& pattern, IndexValueType type);
+
+  /// Creates a relational index over a scalar column and backfills it.
+  Status CreateRelationalIndex(const std::string& index_name,
+                               const std::string& column);
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<std::vector<SqlValue>> rows_;
+  std::vector<bool> deleted_;
+  size_t live_rows_ = 0;
+  // xml_store_[col_slot][row]: owned documents for each XML column. The
+  // col_slot is the ordinal among XML columns.
+  std::vector<std::vector<std::unique_ptr<Document>>> xml_store_;
+  std::vector<int> xml_slot_of_column_;  // per column: slot or -1
+  IndexManager indexes_;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_STORAGE_TABLE_H_

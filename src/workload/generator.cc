@@ -1,0 +1,202 @@
+#include "workload/generator.h"
+
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "xml/parser.h"
+
+namespace xqdb {
+
+namespace {
+
+constexpr char kOrderNs[] = "http://ournamespaces.com/order";
+constexpr char kCustomerNs[] = "http://ournamespaces.com/customer";
+
+/// Product ids are small strings like "p17".
+std::string ProductId(int i) { return "p" + std::to_string(i); }
+
+std::string FormatPrice(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", p);
+  return buf;
+}
+
+std::mt19937 RngFor(unsigned seed, int entity_id) {
+  // Mix so that each document has an independent, reproducible stream.
+  return std::mt19937(seed * 2654435761u + static_cast<unsigned>(entity_id));
+}
+
+}  // namespace
+
+std::string GenerateOrderXml(const OrdersWorkloadConfig& config,
+                             int order_id) {
+  std::mt19937 rng = RngFor(config.seed, order_id);
+  std::uniform_int_distribution<int> li_count(config.lineitems_min,
+                                              config.lineitems_max);
+  std::uniform_real_distribution<double> price(config.price_min,
+                                               config.price_max);
+  std::uniform_int_distribution<int> cust(0, config.num_customers - 1);
+  std::uniform_int_distribution<int> prod(0, config.num_products - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> day(1, 28);
+  std::uniform_int_distribution<int> month(1, 12);
+
+  std::string xml;
+  xml.reserve(512);
+  if (config.use_namespaces) {
+    xml += "<order xmlns=\"";
+    xml += kOrderNs;
+    xml += "\">";
+  } else {
+    xml += "<order>";
+  }
+  xml += "<custid>" + std::to_string(cust(rng)) + "</custid>";
+  char date[16];
+  std::snprintf(date, sizeof(date), "2006-%02d-%02d", month(rng), day(rng));
+  xml += std::string("<date>") + date + "</date>";
+  if (config.canadian_postal_fraction > 0) {
+    bool canadian = coin(rng) < config.canadian_postal_fraction;
+    xml += "<shipping-address><postalcode>";
+    xml += canadian ? "K1A 0B1" : std::to_string(10000 + order_id % 89999);
+    xml += "</postalcode></shipping-address>";
+  }
+  int n = li_count(rng);
+  for (int i = 0; i < n; ++i) {
+    double p = price(rng);
+    std::string price_text = FormatPrice(p);
+    xml += "<lineitem quantity=\"" +
+           std::to_string(1 + (order_id + i) % 9) + "\" price=\"" +
+           price_text + "\">";
+    int pid = prod(rng);
+    xml += "<product id=\"" + ProductId(pid) + "\"><id>" + ProductId(pid) +
+           "</id><name>product-" + std::to_string(pid) + "</name></product>";
+    if (config.string_price_fraction > 0 &&
+        coin(rng) < config.string_price_fraction) {
+      xml += "<price>" + price_text + "USD</price>";
+    } else {
+      xml += "<price>" + price_text + "</price>";
+    }
+    if (config.multi_price_fraction > 0 &&
+        coin(rng) < config.multi_price_fraction) {
+      // A second price child, deliberately far from the first (the §3.10
+      // 50/250 shape: neither in [100, 200] but the pair straddles it).
+      xml += "<price>" + FormatPrice(p / 5.0) + "</price>";
+    }
+    xml += "</lineitem>";
+  }
+  xml += "</order>";
+  return xml;
+}
+
+std::string GenerateCustomerXml(const OrdersWorkloadConfig& config,
+                                int customer_id) {
+  std::mt19937 rng = RngFor(config.seed ^ 0x5ca1ab1eu, customer_id);
+  std::uniform_int_distribution<int> nation(0, 24);
+  std::string xml;
+  if (config.use_namespaces) {
+    xml += "<customer xmlns=\"";
+    xml += kCustomerNs;
+    xml += "\">";
+  } else {
+    xml += "<customer>";
+  }
+  xml += "<id>" + std::to_string(customer_id) + "</id>";
+  xml += "<name>customer-" + std::to_string(customer_id) + "</name>";
+  xml += "<nation>" + std::to_string(nation(rng)) + "</nation>";
+  xml += "</customer>";
+  return xml;
+}
+
+Status SetupPaperSchema(Database* db) {
+  XQDB_RETURN_IF_ERROR(
+      db->ExecuteSql("CREATE TABLE customer (cid INTEGER, cdoc XML)")
+          .status());
+  XQDB_RETURN_IF_ERROR(
+      db->ExecuteSql("CREATE TABLE orders (ordid INTEGER, orddoc XML)")
+          .status());
+  XQDB_RETURN_IF_ERROR(
+      db->ExecuteSql(
+            "CREATE TABLE products (id VARCHAR(13), name VARCHAR(32))")
+          .status());
+  return Status::OK();
+}
+
+Status LoadOrders(Database* db, const OrdersWorkloadConfig& config) {
+  XQDB_ASSIGN_OR_RETURN(Table * table, db->catalog().GetTable("ORDERS"));
+  for (int i = 0; i < config.num_orders; ++i) {
+    std::string xml = GenerateOrderXml(config, i);
+    XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Document> doc, ParseXml(xml));
+    std::vector<SqlValue> values;
+    values.push_back(SqlValue::Integer(i));
+    values.push_back(SqlValue::Null());
+    std::vector<std::unique_ptr<Document>> docs;
+    docs.push_back(std::move(doc));
+    XQDB_RETURN_IF_ERROR(
+        table->InsertRow(std::move(values), std::move(docs)).status());
+  }
+  return Status::OK();
+}
+
+Status LoadCustomers(Database* db, const OrdersWorkloadConfig& config) {
+  XQDB_ASSIGN_OR_RETURN(Table * table, db->catalog().GetTable("CUSTOMER"));
+  for (int i = 0; i < config.num_customers; ++i) {
+    std::string xml = GenerateCustomerXml(config, i);
+    XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Document> doc, ParseXml(xml));
+    std::vector<SqlValue> values;
+    values.push_back(SqlValue::Integer(i));
+    values.push_back(SqlValue::Null());
+    std::vector<std::unique_ptr<Document>> docs;
+    docs.push_back(std::move(doc));
+    XQDB_RETURN_IF_ERROR(
+        table->InsertRow(std::move(values), std::move(docs)).status());
+  }
+  return Status::OK();
+}
+
+Status LoadProducts(Database* db, const OrdersWorkloadConfig& config) {
+  XQDB_ASSIGN_OR_RETURN(Table * table, db->catalog().GetTable("PRODUCTS"));
+  for (int i = 0; i < config.num_products; ++i) {
+    std::vector<SqlValue> values;
+    values.push_back(SqlValue::Varchar(ProductId(i)));
+    values.push_back(SqlValue::Varchar("product-" + std::to_string(i)));
+    XQDB_RETURN_IF_ERROR(
+        table->InsertRow(std::move(values), {}).status());
+  }
+  return Status::OK();
+}
+
+Status LoadPaperWorkload(Database* db, const OrdersWorkloadConfig& config) {
+  XQDB_RETURN_IF_ERROR(SetupPaperSchema(db));
+  XQDB_RETURN_IF_ERROR(LoadCustomers(db, config));
+  XQDB_RETURN_IF_ERROR(LoadOrders(db, config));
+  XQDB_RETURN_IF_ERROR(LoadProducts(db, config));
+  return Status::OK();
+}
+
+std::string GenerateRssItemXml(int item_id, unsigned seed) {
+  std::mt19937 rng = RngFor(seed ^ 0xfeedu, item_id);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::string xml = "<item>";
+  xml += "<title>Post " + std::to_string(item_id) + "</title>";
+  xml += "<link>http://example.com/post/" + std::to_string(item_id) +
+         "</link>";
+  xml += "<pubDate>2006-09-" + std::to_string(1 + item_id % 28) +
+         "</pubDate>";
+  // Extension elements from foreign namespaces — RSS "allows elements of
+  // any namespace anywhere in the document" (paper §1).
+  if (coin(rng) < 0.5) {
+    xml += "<dc:creator xmlns:dc=\"http://purl.org/dc/elements/1.1/\">"
+           "author-" +
+           std::to_string(item_id % 7) + "</dc:creator>";
+  }
+  if (coin(rng) < 0.3) {
+    xml += "<geo:lat xmlns:geo=\"http://www.w3.org/2003/01/geo/\">" +
+           std::to_string(item_id % 90) + ".5</geo:lat>";
+  }
+  xml += "<description>Body of post " + std::to_string(item_id) +
+         "</description>";
+  xml += "</item>";
+  return xml;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,75 @@
+#ifndef XQDB_WORKLOAD_GENERATOR_H_
+#define XQDB_WORKLOAD_GENERATOR_H_
+
+#include <random>
+#include <string>
+
+#include "common/result.h"
+#include "core/database.h"
+
+namespace xqdb {
+
+/// Deterministic generator for the paper's running example schema
+/// (§2.2): many small order/customer documents — the workload regime the
+/// paper motivates (millions of documents under 1MB; indexes filter the
+/// collection).
+struct OrdersWorkloadConfig {
+  int num_orders = 1000;
+  unsigned seed = 42;
+
+  int lineitems_min = 1;
+  int lineitems_max = 4;
+  double price_min = 1.0;
+  double price_max = 1000.0;
+  int num_customers = 100;
+  int num_products = 50;
+
+  /// Fraction of lineitems carrying a second <price> element child —
+  /// multi-valued prices that break naive "between" predicates (§3.10).
+  double multi_price_fraction = 0.0;
+
+  /// Fraction of lineitems whose <price> element reads like "99.50USD" —
+  /// non-numeric values exercising tolerant index casts (§2.1, §3.8).
+  double string_price_fraction = 0.0;
+
+  /// Wrap order elements in the order namespace and customer elements in
+  /// the customer namespace (the §3.7 pitfall setup).
+  bool use_namespaces = false;
+
+  /// Fraction of orders with a <shipping-address> whose postalcode is a
+  /// Canadian string ("K1A 0B1") instead of numeric — the schema-evolution
+  /// story of §2.1.
+  double canadian_postal_fraction = 0.0;
+};
+
+/// One order document. Prices, products, customers derive from (seed,
+/// order_id) only — regeneration is reproducible.
+std::string GenerateOrderXml(const OrdersWorkloadConfig& config,
+                             int order_id);
+
+/// One customer document (id in [0, num_customers)).
+std::string GenerateCustomerXml(const OrdersWorkloadConfig& config,
+                                int customer_id);
+
+/// Creates the paper's tables:
+///   customer (cid INTEGER, cdoc XML)
+///   orders   (ordid INTEGER, orddoc XML)
+///   products (id VARCHAR(13), name VARCHAR(32))
+Status SetupPaperSchema(Database* db);
+
+/// Bulk-loads generated data through the storage API (bypassing the SQL
+/// parser for speed; index maintenance still runs).
+Status LoadOrders(Database* db, const OrdersWorkloadConfig& config);
+Status LoadCustomers(Database* db, const OrdersWorkloadConfig& config);
+Status LoadProducts(Database* db, const OrdersWorkloadConfig& config);
+
+/// Everything: schema + all three tables.
+Status LoadPaperWorkload(Database* db, const OrdersWorkloadConfig& config);
+
+/// An RSS-style feed document with foreign-namespace extension elements —
+/// the schema-flexibility scenario from the paper's introduction.
+std::string GenerateRssItemXml(int item_id, unsigned seed);
+
+}  // namespace xqdb
+
+#endif  // XQDB_WORKLOAD_GENERATOR_H_

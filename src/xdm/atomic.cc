@@ -1,0 +1,96 @@
+#include "xdm/atomic.h"
+
+#include "common/str_util.h"
+#include "xdm/datetime.h"
+
+namespace xqdb {
+
+std::string_view AtomicTypeName(AtomicType t) {
+  switch (t) {
+    case AtomicType::kUntypedAtomic:
+      return "xs:untypedAtomic";
+    case AtomicType::kString:
+      return "xs:string";
+    case AtomicType::kDouble:
+      return "xs:double";
+    case AtomicType::kInteger:
+      return "xs:integer";
+    case AtomicType::kBoolean:
+      return "xs:boolean";
+    case AtomicType::kDate:
+      return "xs:date";
+    case AtomicType::kDateTime:
+      return "xs:dateTime";
+  }
+  return "xs:anyAtomicType";
+}
+
+AtomicValue AtomicValue::UntypedAtomic(std::string s) {
+  AtomicValue v;
+  v.type_ = AtomicType::kUntypedAtomic;
+  v.str_ = std::move(s);
+  return v;
+}
+
+AtomicValue AtomicValue::String(std::string s) {
+  AtomicValue v;
+  v.type_ = AtomicType::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+AtomicValue AtomicValue::Double(double d) {
+  AtomicValue v;
+  v.type_ = AtomicType::kDouble;
+  v.dbl_ = d;
+  return v;
+}
+
+AtomicValue AtomicValue::Integer(long long i) {
+  AtomicValue v;
+  v.type_ = AtomicType::kInteger;
+  v.int_ = i;
+  return v;
+}
+
+AtomicValue AtomicValue::Boolean(bool b) {
+  AtomicValue v;
+  v.type_ = AtomicType::kBoolean;
+  v.bool_ = b;
+  return v;
+}
+
+AtomicValue AtomicValue::Date(long long days) {
+  AtomicValue v;
+  v.type_ = AtomicType::kDate;
+  v.int_ = days;
+  return v;
+}
+
+AtomicValue AtomicValue::DateTime(long long seconds) {
+  AtomicValue v;
+  v.type_ = AtomicType::kDateTime;
+  v.int_ = seconds;
+  return v;
+}
+
+std::string AtomicValue::Lexical() const {
+  switch (type_) {
+    case AtomicType::kUntypedAtomic:
+    case AtomicType::kString:
+      return str_;
+    case AtomicType::kDouble:
+      return FormatXsDouble(dbl_);
+    case AtomicType::kInteger:
+      return FormatInt(int_);
+    case AtomicType::kBoolean:
+      return bool_ ? "true" : "false";
+    case AtomicType::kDate:
+      return FormatXsDate(int_);
+    case AtomicType::kDateTime:
+      return FormatXsDateTime(int_);
+  }
+  return "";
+}
+
+}  // namespace xqdb

@@ -1,0 +1,75 @@
+#ifndef XQDB_XDM_ATOMIC_H_
+#define XQDB_XDM_ATOMIC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xqdb {
+
+/// Atomic types of the XQuery data model subset xqdb implements. The subset
+/// is exactly what the paper's queries and index types need:
+/// xs:untypedAtomic (unvalidated data), xs:string, xs:double, xs:integer
+/// (for the §3.6 long-vs-double rounding pitfall), xs:boolean, xs:date and
+/// xs:dateTime (the timestamp index type).
+enum class AtomicType : uint8_t {
+  kUntypedAtomic = 0,
+  kString,
+  kDouble,
+  kInteger,
+  kBoolean,
+  kDate,
+  kDateTime,
+};
+
+std::string_view AtomicTypeName(AtomicType t);
+
+/// An atomic value: a type tag plus typed storage. Dates are stored as days
+/// since 1970-01-01; dateTimes as seconds since the epoch (UTC).
+class AtomicValue {
+ public:
+  AtomicValue() : type_(AtomicType::kUntypedAtomic) {}
+
+  static AtomicValue UntypedAtomic(std::string s);
+  static AtomicValue String(std::string s);
+  static AtomicValue Double(double d);
+  static AtomicValue Integer(long long v);
+  static AtomicValue Boolean(bool b);
+  static AtomicValue Date(long long days_since_epoch);
+  static AtomicValue DateTime(long long seconds_since_epoch);
+
+  AtomicType type() const { return type_; }
+  bool is_numeric() const {
+    return type_ == AtomicType::kDouble || type_ == AtomicType::kInteger;
+  }
+
+  /// Valid for kString / kUntypedAtomic only.
+  const std::string& string_value() const { return str_; }
+  /// Valid for kDouble; integers must be promoted via AsDouble().
+  double double_value() const { return dbl_; }
+  long long integer_value() const { return int_; }
+  bool boolean_value() const { return bool_; }
+  /// Days (kDate) or seconds (kDateTime) since the epoch.
+  long long temporal_value() const { return int_; }
+
+  /// Numeric value as double (valid for kDouble / kInteger). Note the §3.6
+  /// pitfall: converting a large xs:integer to double loses precision; that
+  /// loss is intentional and observable.
+  double AsDouble() const {
+    return type_ == AtomicType::kInteger ? static_cast<double>(int_) : dbl_;
+  }
+
+  /// The XPath fn:string() lexical form (canonical for numerics and dates).
+  std::string Lexical() const;
+
+ private:
+  AtomicType type_;
+  std::string str_;
+  double dbl_ = 0;
+  long long int_ = 0;
+  bool bool_ = false;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_XDM_ATOMIC_H_

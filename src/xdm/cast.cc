@@ -1,0 +1,187 @@
+#include "xdm/cast.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+#include "xdm/datetime.h"
+
+namespace xqdb {
+
+namespace {
+
+Status CastFailure(const AtomicValue& v, AtomicType target) {
+  return Status::CastError("FORG0001: cannot cast '" + v.Lexical() + "' to " +
+                           std::string(AtomicTypeName(target)));
+}
+
+Status DisallowedCast(AtomicType source, AtomicType target) {
+  return Status::TypeError("XPTY0004: cast from " +
+                           std::string(AtomicTypeName(source)) + " to " +
+                           std::string(AtomicTypeName(target)) +
+                           " is not permitted");
+}
+
+Result<AtomicValue> CastFromString(const AtomicValue& v, AtomicType target) {
+  const std::string& s = v.string_value();
+  switch (target) {
+    case AtomicType::kUntypedAtomic:
+      return AtomicValue::UntypedAtomic(s);
+    case AtomicType::kString:
+      return AtomicValue::String(s);
+    case AtomicType::kDouble: {
+      auto d = ParseXsDouble(s);
+      if (!d) return CastFailure(v, target);
+      return AtomicValue::Double(*d);
+    }
+    case AtomicType::kInteger: {
+      auto i = ParseXsInteger(s);
+      if (!i) return CastFailure(v, target);
+      return AtomicValue::Integer(*i);
+    }
+    case AtomicType::kBoolean: {
+      std::string_view t = TrimWhitespace(s);
+      if (t == "true" || t == "1") return AtomicValue::Boolean(true);
+      if (t == "false" || t == "0") return AtomicValue::Boolean(false);
+      return CastFailure(v, target);
+    }
+    case AtomicType::kDate: {
+      auto d = ParseXsDate(s);
+      if (!d) return CastFailure(v, target);
+      return AtomicValue::Date(*d);
+    }
+    case AtomicType::kDateTime: {
+      auto d = ParseXsDateTime(s);
+      if (!d) return CastFailure(v, target);
+      return AtomicValue::DateTime(*d);
+    }
+  }
+  return Status::Internal("unhandled cast target");
+}
+
+}  // namespace
+
+bool CastAllowed(AtomicType source, AtomicType target) {
+  if (source == target) return true;
+  switch (source) {
+    case AtomicType::kUntypedAtomic:
+    case AtomicType::kString:
+      return true;  // Lexical casts to everything we support.
+    case AtomicType::kDouble:
+    case AtomicType::kInteger:
+      return target == AtomicType::kString ||
+             target == AtomicType::kUntypedAtomic ||
+             target == AtomicType::kDouble ||
+             target == AtomicType::kInteger ||
+             target == AtomicType::kBoolean;
+    case AtomicType::kBoolean:
+      return target == AtomicType::kString ||
+             target == AtomicType::kUntypedAtomic ||
+             target == AtomicType::kDouble || target == AtomicType::kInteger;
+    case AtomicType::kDate:
+      return target == AtomicType::kString ||
+             target == AtomicType::kUntypedAtomic ||
+             target == AtomicType::kDateTime;
+    case AtomicType::kDateTime:
+      return target == AtomicType::kString ||
+             target == AtomicType::kUntypedAtomic ||
+             target == AtomicType::kDate;
+  }
+  return false;
+}
+
+Result<AtomicValue> CastTo(const AtomicValue& v, AtomicType target) {
+  if (v.type() == target) return v;
+  if (!CastAllowed(v.type(), target)) return DisallowedCast(v.type(), target);
+
+  switch (v.type()) {
+    case AtomicType::kUntypedAtomic:
+    case AtomicType::kString:
+      return CastFromString(v, target);
+
+    case AtomicType::kDouble:
+      switch (target) {
+        case AtomicType::kString:
+          return AtomicValue::String(v.Lexical());
+        case AtomicType::kUntypedAtomic:
+          return AtomicValue::UntypedAtomic(v.Lexical());
+        case AtomicType::kInteger: {
+          double d = v.double_value();
+          if (std::isnan(d) || std::isinf(d)) {
+            return Status::CastError(
+                "FOCA0002: cannot cast NaN/INF to xs:integer");
+          }
+          return AtomicValue::Integer(static_cast<long long>(std::trunc(d)));
+        }
+        case AtomicType::kBoolean:
+          return AtomicValue::Boolean(v.double_value() != 0 &&
+                                      !std::isnan(v.double_value()));
+        default:
+          break;
+      }
+      break;
+
+    case AtomicType::kInteger:
+      switch (target) {
+        case AtomicType::kString:
+          return AtomicValue::String(v.Lexical());
+        case AtomicType::kUntypedAtomic:
+          return AtomicValue::UntypedAtomic(v.Lexical());
+        case AtomicType::kDouble:
+          // Large integers round here — the §3.6 pitfall's condition 2.
+          return AtomicValue::Double(static_cast<double>(v.integer_value()));
+        case AtomicType::kBoolean:
+          return AtomicValue::Boolean(v.integer_value() != 0);
+        default:
+          break;
+      }
+      break;
+
+    case AtomicType::kBoolean:
+      switch (target) {
+        case AtomicType::kString:
+          return AtomicValue::String(v.Lexical());
+        case AtomicType::kUntypedAtomic:
+          return AtomicValue::UntypedAtomic(v.Lexical());
+        case AtomicType::kDouble:
+          return AtomicValue::Double(v.boolean_value() ? 1.0 : 0.0);
+        case AtomicType::kInteger:
+          return AtomicValue::Integer(v.boolean_value() ? 1 : 0);
+        default:
+          break;
+      }
+      break;
+
+    case AtomicType::kDate:
+      switch (target) {
+        case AtomicType::kString:
+          return AtomicValue::String(v.Lexical());
+        case AtomicType::kUntypedAtomic:
+          return AtomicValue::UntypedAtomic(v.Lexical());
+        case AtomicType::kDateTime:
+          return AtomicValue::DateTime(v.temporal_value() * 86400);
+        default:
+          break;
+      }
+      break;
+
+    case AtomicType::kDateTime:
+      switch (target) {
+        case AtomicType::kString:
+          return AtomicValue::String(v.Lexical());
+        case AtomicType::kUntypedAtomic:
+          return AtomicValue::UntypedAtomic(v.Lexical());
+        case AtomicType::kDate: {
+          long long secs = v.temporal_value();
+          long long days = secs / 86400;
+          if (secs % 86400 < 0) days -= 1;
+          return AtomicValue::Date(days);
+        }
+        default:
+          break;
+      }
+      break;
+  }
+  return Status::Internal("unhandled cast combination");
+}
+
+}  // namespace xqdb

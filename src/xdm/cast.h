@@ -1,0 +1,22 @@
+#ifndef XQDB_XDM_CAST_H_
+#define XQDB_XDM_CAST_H_
+
+#include "common/result.h"
+#include "xdm/atomic.h"
+
+namespace xqdb {
+
+/// Casts `v` to `target` per XQuery 1.0 casting rules for the supported
+/// types. Errors:
+///  - FORG0001 (kCastError) for lexical failures ("20 USD" as xs:double),
+///  - XPTY0004 (kTypeError) for disallowed source/target pairs.
+Result<AtomicValue> CastTo(const AtomicValue& v, AtomicType target);
+
+/// True when a cast of a *statically known* `source` type to `target` can
+/// never raise XPTY0004 (it may still raise FORG0001 at runtime). Used by
+/// the eligibility analyzer's type reasoning.
+bool CastAllowed(AtomicType source, AtomicType target);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XDM_CAST_H_

@@ -1,0 +1,191 @@
+#include "xdm/compare.h"
+
+#include <cmath>
+
+#include "xdm/cast.h"
+
+namespace xqdb {
+
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNe:
+      return CompareOp::kNe;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+  }
+  return op;
+}
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsStringish(AtomicType t) {
+  return t == AtomicType::kString || t == AtomicType::kUntypedAtomic;
+}
+
+bool IsTemporal(AtomicType t) {
+  return t == AtomicType::kDate || t == AtomicType::kDateTime;
+}
+
+CmpResult FromThreeWay(int c) {
+  if (c < 0) return CmpResult::kLess;
+  if (c > 0) return CmpResult::kGreater;
+  return CmpResult::kEqual;
+}
+
+bool ApplyOp(CompareOp op, CmpResult r) {
+  if (r == CmpResult::kUnordered) return op == CompareOp::kNe;
+  switch (op) {
+    case CompareOp::kEq:
+      return r == CmpResult::kEqual;
+    case CompareOp::kNe:
+      return r != CmpResult::kEqual;
+    case CompareOp::kLt:
+      return r == CmpResult::kLess;
+    case CompareOp::kLe:
+      return r != CmpResult::kGreater;
+    case CompareOp::kGt:
+      return r == CmpResult::kGreater;
+    case CompareOp::kGe:
+      return r != CmpResult::kLess;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<CmpResult> CompareAtomic(const AtomicValue& a, const AtomicValue& b) {
+  // Numeric comparison.
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.type() == AtomicType::kInteger &&
+        b.type() == AtomicType::kInteger) {
+      long long x = a.integer_value(), y = b.integer_value();
+      return FromThreeWay(x < y ? -1 : (x > y ? 1 : 0));
+    }
+    double x = a.AsDouble(), y = b.AsDouble();
+    if (std::isnan(x) || std::isnan(y)) return CmpResult::kUnordered;
+    return FromThreeWay(x < y ? -1 : (x > y ? 1 : 0));
+  }
+  // String comparison (codepoint collation).
+  if (IsStringish(a.type()) && IsStringish(b.type())) {
+    int c = a.string_value().compare(b.string_value());
+    return FromThreeWay(c);
+  }
+  // Boolean.
+  if (a.type() == AtomicType::kBoolean && b.type() == AtomicType::kBoolean) {
+    int x = a.boolean_value() ? 1 : 0, y = b.boolean_value() ? 1 : 0;
+    return FromThreeWay(x - y);
+  }
+  // Temporal (promote date to dateTime when mixed).
+  if (IsTemporal(a.type()) && IsTemporal(b.type())) {
+    long long x = a.temporal_value(), y = b.temporal_value();
+    if (a.type() != b.type()) {
+      if (a.type() == AtomicType::kDate) x *= 86400;
+      if (b.type() == AtomicType::kDate) y *= 86400;
+    }
+    return FromThreeWay(x < y ? -1 : (x > y ? 1 : 0));
+  }
+  return Status::TypeError("XPTY0004: cannot compare " +
+                           std::string(AtomicTypeName(a.type())) + " with " +
+                           std::string(AtomicTypeName(b.type())));
+}
+
+Result<bool> ValueCompareAtomic(CompareOp op, const AtomicValue& a,
+                                const AtomicValue& b) {
+  // In value comparisons untypedAtomic is treated as xs:string.
+  const AtomicValue sa = a.type() == AtomicType::kUntypedAtomic
+                             ? AtomicValue::String(a.string_value())
+                             : a;
+  const AtomicValue sb = b.type() == AtomicType::kUntypedAtomic
+                             ? AtomicValue::String(b.string_value())
+                             : b;
+  XQDB_ASSIGN_OR_RETURN(CmpResult r, CompareAtomic(sa, sb));
+  return ApplyOp(op, r);
+}
+
+Result<bool> GeneralComparePair(CompareOp op, const AtomicValue& a,
+                                const AtomicValue& b) {
+  AtomicValue lhs = a, rhs = b;
+  bool a_untyped = a.type() == AtomicType::kUntypedAtomic;
+  bool b_untyped = b.type() == AtomicType::kUntypedAtomic;
+  if (a_untyped && b_untyped) {
+    lhs = AtomicValue::String(a.string_value());
+    rhs = AtomicValue::String(b.string_value());
+  } else if (a_untyped) {
+    if (b.is_numeric()) {
+      XQDB_ASSIGN_OR_RETURN(lhs, CastTo(a, AtomicType::kDouble));
+      // Mixed numeric pairs promote to double below.
+    } else if (b.type() == AtomicType::kString) {
+      lhs = AtomicValue::String(a.string_value());
+    } else {
+      XQDB_ASSIGN_OR_RETURN(lhs, CastTo(a, b.type()));
+    }
+  } else if (b_untyped) {
+    if (a.is_numeric()) {
+      XQDB_ASSIGN_OR_RETURN(rhs, CastTo(b, AtomicType::kDouble));
+    } else if (a.type() == AtomicType::kString) {
+      rhs = AtomicValue::String(b.string_value());
+    } else {
+      XQDB_ASSIGN_OR_RETURN(rhs, CastTo(b, a.type()));
+    }
+  }
+  XQDB_ASSIGN_OR_RETURN(CmpResult r, CompareAtomic(lhs, rhs));
+  return ApplyOp(op, r);
+}
+
+Result<bool> GeneralCompare(CompareOp op, const Sequence& lhs,
+                            const Sequence& rhs) {
+  XQDB_ASSIGN_OR_RETURN(Sequence la, Atomize(lhs));
+  XQDB_ASSIGN_OR_RETURN(Sequence ra, Atomize(rhs));
+  for (const Item& a : la) {
+    for (const Item& b : ra) {
+      XQDB_ASSIGN_OR_RETURN(bool hit,
+                            GeneralComparePair(op, a.atomic(), b.atomic()));
+      if (hit) return true;
+    }
+  }
+  return false;
+}
+
+Result<int> ValueCompare(CompareOp op, const Sequence& lhs,
+                         const Sequence& rhs) {
+  XQDB_ASSIGN_OR_RETURN(Sequence la, Atomize(lhs));
+  XQDB_ASSIGN_OR_RETURN(Sequence ra, Atomize(rhs));
+  if (la.empty() || ra.empty()) return -1;
+  if (la.size() > 1 || ra.size() > 1) {
+    return Status::TypeError(
+        "XPTY0004: value comparison requires singleton operands (got " +
+        std::to_string(la.size()) + " and " + std::to_string(ra.size()) +
+        " items)");
+  }
+  XQDB_ASSIGN_OR_RETURN(
+      bool r, ValueCompareAtomic(op, la[0].atomic(), ra[0].atomic()));
+  return r ? 1 : 0;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,59 @@
+#ifndef XQDB_XDM_COMPARE_H_
+#define XQDB_XDM_COMPARE_H_
+
+#include "common/result.h"
+#include "xdm/atomic.h"
+#include "xdm/item.h"
+
+namespace xqdb {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Flips the operator as if operands were swapped (a < b  ==  b > a).
+CompareOp FlipCompareOp(CompareOp op);
+
+std::string_view CompareOpName(CompareOp op);
+
+/// Ordering of two atomic values whose types are already compatible.
+enum class CmpResult { kLess, kEqual, kGreater, kUnordered };
+
+/// Compares values of aligned types: numeric/numeric (integer pairs compare
+/// exactly; mixed pairs promote to double — the §3.6 rounding pitfall),
+/// string-ish/string-ish (codepoint order; untypedAtomic compares as
+/// string), boolean/boolean, temporal/temporal (xs:date promotes to
+/// xs:dateTime). Anything else is XPTY0004. NaN yields kUnordered.
+Result<CmpResult> CompareAtomic(const AtomicValue& a, const AtomicValue& b);
+
+/// XQuery *value comparison* (eq, ne, lt, le, gt, ge) on two already-
+/// atomized singleton operands: untypedAtomic is treated as xs:string — the
+/// reason `id eq $pid` in the paper's Query 13 is a *string* join.
+Result<bool> ValueCompareAtomic(CompareOp op, const AtomicValue& a,
+                                const AtomicValue& b);
+
+/// One operand pair inside a *general comparison* (=, !=, <, ...): applies
+/// the XQuery 1.0 untyped-conversion rules (untyped vs numeric casts the
+/// untyped side to xs:double; untyped vs untyped/string compares as strings;
+/// untyped vs date/dateTime/boolean casts the untyped side to that type)
+/// and evaluates the operator.
+Result<bool> GeneralComparePair(CompareOp op, const AtomicValue& a,
+                                const AtomicValue& b);
+
+/// Full general comparison between two sequences: existential semantics —
+/// true iff some pair of atomized items satisfies the operator. This
+/// existential nature is what breaks naive "between" predicates (§3.10).
+Result<bool> GeneralCompare(CompareOp op, const Sequence& lhs,
+                            const Sequence& rhs);
+
+/// Full value comparison between two sequences: each operand must atomize to
+/// the empty sequence (result: empty → false at EBV sites) or a singleton;
+/// larger cardinalities raise XPTY0004 — why `price gt 100` guarantees the
+/// singleton property §3.10 relies on.
+/// Returns an empty optional-like: {has_value,false} modeled as Sequence of
+/// 0 or 1 booleans is overkill; we return Result<int> with -1 = empty
+/// operand (empty result), 0 = false, 1 = true.
+Result<int> ValueCompare(CompareOp op, const Sequence& lhs,
+                         const Sequence& rhs);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XDM_COMPARE_H_

@@ -1,0 +1,181 @@
+#include "xdm/datetime.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace xqdb {
+
+namespace {
+
+/// Days from civil date algorithm (Howard Hinnant's days_from_civil).
+long long DaysFromCivil(long long y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const long long era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<long long>(doe) - 719468;
+}
+
+void CivilFromDays(long long z, long long* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const long long era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const long long yy = static_cast<long long>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (*m <= 2);
+}
+
+bool ValidDate(long long y, unsigned m, unsigned d) {
+  if (m < 1 || m > 12 || d < 1) return false;
+  static const unsigned kDays[] = {31, 28, 31, 30, 31, 30,
+                                   31, 31, 30, 31, 30, 31};
+  unsigned max_d = kDays[m - 1];
+  bool leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+  if (m == 2 && leap) max_d = 29;
+  return d <= max_d;
+}
+
+/// Parses exactly `n` digits at s[*pos]; advances pos.
+std::optional<long long> TakeDigits(std::string_view s, size_t* pos,
+                                    size_t n) {
+  if (*pos + n > s.size()) return std::nullopt;
+  long long v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    char c = s[*pos + i];
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    v = v * 10 + (c - '0');
+  }
+  *pos += n;
+  return v;
+}
+
+/// Parses a timezone suffix starting at `pos`; returns offset seconds (to
+/// subtract, i.e. local - offset = UTC) and requires it consume the rest of
+/// the string. Empty suffix = no timezone (treated as UTC).
+std::optional<long long> ParseTimezone(std::string_view s, size_t pos) {
+  if (pos == s.size()) return 0;
+  if (s[pos] == 'Z') return (pos + 1 == s.size()) ? std::optional<long long>(0)
+                                                  : std::nullopt;
+  if (s[pos] != '+' && s[pos] != '-') return std::nullopt;
+  int sign = s[pos] == '+' ? 1 : -1;
+  ++pos;
+  auto hh = TakeDigits(s, &pos, 2);
+  if (!hh || pos >= s.size() || s[pos] != ':') return std::nullopt;
+  ++pos;
+  auto mm = TakeDigits(s, &pos, 2);
+  if (!mm || pos != s.size()) return std::nullopt;
+  if (*hh > 14 || *mm > 59) return std::nullopt;
+  return sign * (*hh * 3600 + *mm * 60);
+}
+
+}  // namespace
+
+std::optional<long long> ParseXsDate(std::string_view raw) {
+  std::string_view s = TrimWhitespace(raw);
+  size_t pos = 0;
+  bool neg = false;
+  if (!s.empty() && s[0] == '-') {
+    neg = true;
+    pos = 1;
+  }
+  auto y = TakeDigits(s, &pos, 4);
+  if (!y || pos >= s.size() || s[pos] != '-') return std::nullopt;
+  ++pos;
+  auto m = TakeDigits(s, &pos, 2);
+  if (!m || pos >= s.size() || s[pos] != '-') return std::nullopt;
+  ++pos;
+  auto d = TakeDigits(s, &pos, 2);
+  if (!d) return std::nullopt;
+  long long year = neg ? -*y : *y;
+  if (!ValidDate(year, static_cast<unsigned>(*m), static_cast<unsigned>(*d))) {
+    return std::nullopt;
+  }
+  auto tz = ParseTimezone(s, pos);
+  if (!tz) return std::nullopt;
+  // Timezones on dates are accepted but ignored (values normalized to the
+  // date's UTC midnight), which matches how the varchar/date index stores
+  // them.
+  return DaysFromCivil(year, static_cast<unsigned>(*m),
+                       static_cast<unsigned>(*d));
+}
+
+std::optional<long long> ParseXsDateTime(std::string_view raw) {
+  std::string_view s = TrimWhitespace(raw);
+  size_t pos = 0;
+  bool neg = false;
+  if (!s.empty() && s[0] == '-') {
+    neg = true;
+    pos = 1;
+  }
+  auto y = TakeDigits(s, &pos, 4);
+  if (!y || pos >= s.size() || s[pos] != '-') return std::nullopt;
+  ++pos;
+  auto mo = TakeDigits(s, &pos, 2);
+  if (!mo || pos >= s.size() || s[pos] != '-') return std::nullopt;
+  ++pos;
+  auto d = TakeDigits(s, &pos, 2);
+  if (!d || pos >= s.size() || s[pos] != 'T') return std::nullopt;
+  ++pos;
+  auto hh = TakeDigits(s, &pos, 2);
+  if (!hh || pos >= s.size() || s[pos] != ':') return std::nullopt;
+  ++pos;
+  auto mi = TakeDigits(s, &pos, 2);
+  if (!mi || pos >= s.size() || s[pos] != ':') return std::nullopt;
+  ++pos;
+  auto ss = TakeDigits(s, &pos, 2);
+  if (!ss) return std::nullopt;
+  if (pos < s.size() && s[pos] == '.') {
+    ++pos;
+    size_t digits = 0;
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0) return std::nullopt;
+  }
+  long long year = neg ? -*y : *y;
+  if (!ValidDate(year, static_cast<unsigned>(*mo),
+                 static_cast<unsigned>(*d))) {
+    return std::nullopt;
+  }
+  if (*hh > 23 || *mi > 59 || *ss > 59) return std::nullopt;
+  auto tz = ParseTimezone(s, pos);
+  if (!tz) return std::nullopt;
+  long long days = DaysFromCivil(year, static_cast<unsigned>(*mo),
+                                 static_cast<unsigned>(*d));
+  return days * 86400 + *hh * 3600 + *mi * 60 + *ss - *tz;
+}
+
+std::string FormatXsDate(long long days_since_epoch) {
+  long long y;
+  unsigned m, d;
+  CivilFromDays(days_since_epoch, &y, &m, &d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02u", y, m, d);
+  return buf;
+}
+
+std::string FormatXsDateTime(long long seconds_since_epoch) {
+  long long days = seconds_since_epoch / 86400;
+  long long rem = seconds_since_epoch % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  long long y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02uT%02lld:%02lld:%02lldZ", y,
+                m, d, rem / 3600, (rem / 60) % 60, rem % 60);
+  return buf;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,26 @@
+#ifndef XQDB_XDM_DATETIME_H_
+#define XQDB_XDM_DATETIME_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xqdb {
+
+/// Parses an xs:date lexical form "YYYY-MM-DD" (optional trailing 'Z' or
+/// numeric timezone, which is accepted and ignored — xqdb normalizes to
+/// UTC). Returns days since 1970-01-01 or nullopt on syntax error.
+std::optional<long long> ParseXsDate(std::string_view s);
+
+/// Parses an xs:dateTime "YYYY-MM-DDThh:mm:ss(.fff)?(Z|±hh:mm)?"; fractional
+/// seconds are truncated, timezone offsets are applied. Returns seconds
+/// since the epoch (UTC) or nullopt.
+std::optional<long long> ParseXsDateTime(std::string_view s);
+
+/// Canonical lexical forms.
+std::string FormatXsDate(long long days_since_epoch);
+std::string FormatXsDateTime(long long seconds_since_epoch);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XDM_DATETIME_H_

@@ -1,0 +1,126 @@
+#include "xdm/item.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+#include "xdm/datetime.h"
+
+namespace xqdb {
+
+Result<AtomicValue> TypedValueOf(const NodeHandle& h) {
+  const Node& n = h.node();
+  std::string sv = h.doc->StringValue(h.idx);
+  switch (n.annotation) {
+    case TypeAnnotation::kUntyped:
+    case TypeAnnotation::kUntypedAtomic:
+      return AtomicValue::UntypedAtomic(std::move(sv));
+    case TypeAnnotation::kString:
+      return AtomicValue::String(std::move(sv));
+    case TypeAnnotation::kDouble: {
+      auto d = ParseXsDouble(sv);
+      if (!d) {
+        return Status::CastError("FORG0001: invalid xs:double content '" +
+                                 sv + "'");
+      }
+      return AtomicValue::Double(*d);
+    }
+    case TypeAnnotation::kInteger: {
+      auto i = ParseXsInteger(sv);
+      if (!i) {
+        return Status::CastError("FORG0001: invalid xs:integer content '" +
+                                 sv + "'");
+      }
+      return AtomicValue::Integer(*i);
+    }
+    case TypeAnnotation::kBoolean: {
+      std::string_view t = TrimWhitespace(sv);
+      if (t == "true" || t == "1") return AtomicValue::Boolean(true);
+      if (t == "false" || t == "0") return AtomicValue::Boolean(false);
+      return Status::CastError("FORG0001: invalid xs:boolean content '" + sv +
+                               "'");
+    }
+    case TypeAnnotation::kDate: {
+      auto d = ParseXsDate(sv);
+      if (!d) {
+        return Status::CastError("FORG0001: invalid xs:date content '" + sv +
+                                 "'");
+      }
+      return AtomicValue::Date(*d);
+    }
+    case TypeAnnotation::kDateTime: {
+      auto d = ParseXsDateTime(sv);
+      if (!d) {
+        return Status::CastError("FORG0001: invalid xs:dateTime content '" +
+                                 sv + "'");
+      }
+      return AtomicValue::DateTime(*d);
+    }
+  }
+  return Status::Internal("unhandled annotation");
+}
+
+Result<Sequence> Atomize(const Sequence& seq) {
+  Sequence out;
+  out.reserve(seq.size());
+  for (const Item& item : seq) {
+    if (item.is_atomic()) {
+      out.push_back(item);
+    } else {
+      XQDB_ASSIGN_OR_RETURN(AtomicValue v, TypedValueOf(item.node()));
+      out.push_back(Item(std::move(v)));
+    }
+  }
+  return out;
+}
+
+std::string StringOf(const Item& item) {
+  if (item.is_atomic()) return item.atomic().Lexical();
+  return item.node().doc->StringValue(item.node().idx);
+}
+
+Result<bool> EffectiveBooleanValue(const Sequence& seq) {
+  if (seq.empty()) return false;
+  if (seq[0].is_node()) return true;  // Sequence starting with a node.
+  if (seq.size() > 1) {
+    return Status::DynamicError(
+        "FORG0006: effective boolean value of a multi-item atomic sequence");
+  }
+  const AtomicValue& v = seq[0].atomic();
+  switch (v.type()) {
+    case AtomicType::kBoolean:
+      return v.boolean_value();
+    case AtomicType::kString:
+    case AtomicType::kUntypedAtomic:
+      return !v.string_value().empty();
+    case AtomicType::kDouble:
+      return v.double_value() != 0 && !std::isnan(v.double_value());
+    case AtomicType::kInteger:
+      return v.integer_value() != 0;
+    case AtomicType::kDate:
+    case AtomicType::kDateTime:
+      return Status::DynamicError(
+          "FORG0006: effective boolean value of a temporal value");
+  }
+  return Status::Internal("unhandled atomic type");
+}
+
+Result<Sequence> SortDocOrderDedup(Sequence seq) {
+  for (const Item& item : seq) {
+    if (!item.is_node()) {
+      return Status::TypeError(
+          "XPTY0018: path step result mixes nodes and atomic values");
+    }
+  }
+  std::stable_sort(seq.begin(), seq.end(), [](const Item& a, const Item& b) {
+    return DocOrderLess(a.node(), b.node());
+  });
+  seq.erase(std::unique(seq.begin(), seq.end(),
+                        [](const Item& a, const Item& b) {
+                          return a.node() == b.node();
+                        }),
+            seq.end());
+  return seq;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,56 @@
+#ifndef XQDB_XDM_ITEM_H_
+#define XQDB_XDM_ITEM_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "xdm/atomic.h"
+#include "xml/document.h"
+
+namespace xqdb {
+
+/// An XDM item: a node reference or an atomic value.
+class Item {
+ public:
+  Item() : payload_(AtomicValue()) {}
+  explicit Item(NodeHandle n) : payload_(n) {}
+  explicit Item(AtomicValue v) : payload_(std::move(v)) {}
+
+  bool is_node() const { return std::holds_alternative<NodeHandle>(payload_); }
+  bool is_atomic() const { return !is_node(); }
+
+  const NodeHandle& node() const { return std::get<NodeHandle>(payload_); }
+  const AtomicValue& atomic() const { return std::get<AtomicValue>(payload_); }
+
+ private:
+  std::variant<NodeHandle, AtomicValue> payload_;
+};
+
+/// XDM sequences are flat (no nesting); the empty vector is the empty
+/// sequence — the protagonist of the paper's §3.4 let-clause pitfalls.
+using Sequence = std::vector<Item>;
+
+/// The typed value of a node (fn:data applied to one node): untyped nodes
+/// yield xs:untypedAtomic of the string value; schema-annotated nodes yield
+/// their annotated type (parse failure is FORG0001).
+Result<AtomicValue> TypedValueOf(const NodeHandle& h);
+
+/// fn:data over a sequence: atomizes every item.
+Result<Sequence> Atomize(const Sequence& seq);
+
+/// fn:string applied to one item.
+std::string StringOf(const Item& item);
+
+/// Effective boolean value (FORG0006 for invalid operands).
+Result<bool> EffectiveBooleanValue(const Sequence& seq);
+
+/// Sorts node sequence into document order and removes duplicate identities
+/// (path-expression semantics). Errors if the sequence mixes nodes and
+/// atomics.
+Result<Sequence> SortDocOrderDedup(Sequence seq);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XDM_ITEM_H_

@@ -1,0 +1,151 @@
+#include "xml/document.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace xqdb {
+
+int64_t Document::next_instance_id_ = 1;
+
+Document::Document() : instance_id_(next_instance_id_++) {}
+
+NodeIdx Document::AppendNode(Node n, NodeIdx parent, bool as_attribute) {
+  NodeIdx idx = static_cast<NodeIdx>(nodes_.size());
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  if (parent != kNullNode) {
+    Node& p = nodes_[static_cast<size_t>(parent)];
+    if (as_attribute) {
+      // Attributes chain off first_attr, appended at the head-or-tail; we
+      // keep insertion order by walking to the tail (attribute lists are
+      // tiny).
+      if (p.first_attr == kNullNode) {
+        p.first_attr = idx;
+      } else {
+        NodeIdx a = p.first_attr;
+        while (nodes_[static_cast<size_t>(a)].next_sibling != kNullNode) {
+          a = nodes_[static_cast<size_t>(a)].next_sibling;
+        }
+        nodes_[static_cast<size_t>(a)].next_sibling = idx;
+      }
+    } else {
+      if (p.first_child == kNullNode) {
+        p.first_child = idx;
+      } else {
+        nodes_[static_cast<size_t>(p.last_child)].next_sibling = idx;
+      }
+      p.last_child = idx;
+    }
+  }
+  return idx;
+}
+
+NodeIdx Document::AddDocumentNode() {
+  assert(nodes_.empty() && "document node must be first");
+  Node n;
+  n.kind = NodeKind::kDocument;
+  return AppendNode(std::move(n), kNullNode, /*as_attribute=*/false);
+}
+
+NodeIdx Document::AddElement(NodeIdx parent, NameId name) {
+  Node n;
+  n.kind = NodeKind::kElement;
+  n.name = name;
+  n.annotation = TypeAnnotation::kUntyped;
+  return AppendNode(std::move(n), parent, /*as_attribute=*/false);
+}
+
+NodeIdx Document::AddAttribute(NodeIdx element, NameId name,
+                               std::string value) {
+  assert(element != kNullNode &&
+         nodes_[static_cast<size_t>(element)].kind == NodeKind::kElement);
+  Node n;
+  n.kind = NodeKind::kAttribute;
+  n.name = name;
+  n.annotation = TypeAnnotation::kUntypedAtomic;
+  n.content = std::move(value);
+  return AppendNode(std::move(n), element, /*as_attribute=*/true);
+}
+
+NodeIdx Document::AddText(NodeIdx parent, std::string content) {
+  Node n;
+  n.kind = NodeKind::kText;
+  n.annotation = TypeAnnotation::kUntypedAtomic;
+  n.content = std::move(content);
+  return AppendNode(std::move(n), parent, /*as_attribute=*/false);
+}
+
+NodeIdx Document::AddComment(NodeIdx parent, std::string content) {
+  Node n;
+  n.kind = NodeKind::kComment;
+  n.content = std::move(content);
+  return AppendNode(std::move(n), parent, /*as_attribute=*/false);
+}
+
+NodeIdx Document::AddProcessingInstruction(NodeIdx parent, NameId target,
+                                           std::string content) {
+  Node n;
+  n.kind = NodeKind::kProcessingInstruction;
+  n.name = target;
+  n.content = std::move(content);
+  return AppendNode(std::move(n), parent, /*as_attribute=*/false);
+}
+
+std::string Document::StringValue(NodeIdx i) const {
+  const Node& n = node(i);
+  switch (n.kind) {
+    case NodeKind::kAttribute:
+    case NodeKind::kText:
+    case NodeKind::kComment:
+    case NodeKind::kProcessingInstruction:
+      return n.content;
+    case NodeKind::kDocument:
+    case NodeKind::kElement:
+      break;
+  }
+  // Concatenate descendant text nodes in document order (attributes are not
+  // descendants and are skipped by following child links only).
+  std::string out;
+  std::vector<NodeIdx> dfs;
+  auto push_children_reversed = [&](const Node& parent) {
+    size_t mark = dfs.size();
+    for (NodeIdx c = parent.first_child; c != kNullNode;
+         c = node(c).next_sibling) {
+      dfs.push_back(c);
+    }
+    std::reverse(dfs.begin() + static_cast<ptrdiff_t>(mark), dfs.end());
+  };
+  push_children_reversed(n);
+  while (!dfs.empty()) {
+    NodeIdx cur = dfs.back();
+    dfs.pop_back();
+    const Node& cn = node(cur);
+    if (cn.kind == NodeKind::kText) {
+      out += cn.content;
+    } else if (cn.kind == NodeKind::kElement) {
+      push_children_reversed(cn);
+    }
+  }
+  return out;
+}
+
+size_t Document::ApproxBytes() const {
+  size_t total = nodes_.size() * sizeof(Node);
+  for (const Node& n : nodes_) total += n.content.size();
+  return total;
+}
+
+bool DocOrderLess(const NodeHandle& a, const NodeHandle& b) {
+  if (a.doc == b.doc) return a.idx < b.idx;
+  return a.doc->instance_id() < b.doc->instance_id();
+}
+
+NodeHandle ParentOf(const NodeHandle& h) {
+  if (!h.valid()) return NodeHandle{};
+  NodeIdx p = h.node().parent;
+  if (p == kNullNode) return NodeHandle{};
+  return NodeHandle{h.doc, p};
+}
+
+}  // namespace xqdb

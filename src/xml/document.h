@@ -1,0 +1,142 @@
+#ifndef XQDB_XML_DOCUMENT_H_
+#define XQDB_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/qname.h"
+
+namespace xqdb {
+
+/// XDM node kinds (XQuery 1.0/XPath 2.0 Data Model §6).
+enum class NodeKind : uint8_t {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kProcessingInstruction,
+};
+
+/// Lightweight schema type hint attached by (optional) validation. Documents
+/// parsed without a schema carry kUntyped / kUntypedAtomic annotations, the
+/// scenario the paper centers on (§3.1). The hints exist so the §3.6
+/// construction pitfalls involving typed data (numeric product/id, long
+/// integers) can be exercised.
+enum class TypeAnnotation : uint8_t {
+  kUntyped = 0,       // element content, no schema
+  kUntypedAtomic,     // attribute value, no schema
+  kString,
+  kDouble,
+  kInteger,
+  kBoolean,
+  kDate,
+  kDateTime,
+};
+
+using NodeIdx = int32_t;
+inline constexpr NodeIdx kNullNode = -1;
+
+/// One node in a document's node array. Children and attributes are chained
+/// through sibling links; nodes are stored in document order (attributes of
+/// an element precede its children).
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  TypeAnnotation annotation = TypeAnnotation::kUntyped;
+  NameId name = kInvalidName;     // element/attribute name; PI target
+  NodeIdx parent = kNullNode;
+  NodeIdx first_child = kNullNode;
+  NodeIdx last_child = kNullNode;    // builder bookkeeping
+  NodeIdx next_sibling = kNullNode;
+  NodeIdx first_attr = kNullNode;    // elements only; attrs linked by
+                                     // next_sibling
+  std::string content;               // text/comment/PI content, attr value
+};
+
+/// An XML document (or constructed tree fragment) as a compact node array.
+/// Every Document has a process-unique instance id; node identity is
+/// (instance id, node index), which is what makes constructed copies
+/// distinct from their originals (paper §3.6, condition 5).
+///
+/// Trees rooted at an element (constructed elements) have no document node:
+/// root() is then the element itself and fn:root(...) treat as
+/// document-node() fails with XPDY0050 — the §3.5 pitfall.
+class Document {
+ public:
+  Document();
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  int64_t instance_id() const { return instance_id_; }
+
+  /// Index of the root node (document node for parsed documents; the root
+  /// element for constructed fragments). kNullNode while empty.
+  NodeIdx root() const { return nodes_.empty() ? kNullNode : 0; }
+
+  const Node& node(NodeIdx i) const { return nodes_[static_cast<size_t>(i)]; }
+  size_t node_count() const { return nodes_.size(); }
+
+  // --- Builder API (append in document order) ---------------------------
+
+  /// Creates the document node; must be the first node if used.
+  NodeIdx AddDocumentNode();
+  /// Creates an element under `parent` (kNullNode for a fragment root).
+  NodeIdx AddElement(NodeIdx parent, NameId name);
+  /// Creates an attribute on `element`. Caller must add all attributes of an
+  /// element before its children to preserve document order.
+  NodeIdx AddAttribute(NodeIdx element, NameId name, std::string value);
+  NodeIdx AddText(NodeIdx parent, std::string content);
+  NodeIdx AddComment(NodeIdx parent, std::string content);
+  NodeIdx AddProcessingInstruction(NodeIdx parent, NameId target,
+                                   std::string content);
+
+  void SetAnnotation(NodeIdx i, TypeAnnotation a) {
+    nodes_[static_cast<size_t>(i)].annotation = a;
+  }
+
+  /// XDM string value: for element/document nodes the concatenation of all
+  /// descendant text nodes; for others, the node content.
+  std::string StringValue(NodeIdx i) const;
+
+  /// Byte size estimate (for workload reporting).
+  size_t ApproxBytes() const;
+
+ private:
+  NodeIdx AppendNode(Node n, NodeIdx parent, bool as_attribute);
+
+  int64_t instance_id_;
+  std::vector<Node> nodes_;
+
+  static int64_t next_instance_id_;
+};
+
+/// A reference to one node in one document. The document must outlive the
+/// handle (documents live in table storage or in a query's construction
+/// arena).
+struct NodeHandle {
+  const Document* doc = nullptr;
+  NodeIdx idx = kNullNode;
+
+  bool valid() const { return doc != nullptr && idx != kNullNode; }
+  const Node& node() const { return doc->node(idx); }
+  NodeKind kind() const { return node().kind; }
+  NameId name() const { return node().name; }
+
+  /// Node identity (XQuery `is` operator).
+  friend bool operator==(const NodeHandle& a, const NodeHandle& b) {
+    return a.doc == b.doc && a.idx == b.idx;
+  }
+};
+
+/// Document order: within one document, node-array order; across documents,
+/// instance-id order (a stable, implementation-defined global order, as the
+/// standard permits).
+bool DocOrderLess(const NodeHandle& a, const NodeHandle& b);
+
+/// Parent of a node, or an invalid handle for roots.
+NodeHandle ParentOf(const NodeHandle& h);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XML_DOCUMENT_H_

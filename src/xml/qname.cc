@@ -1,0 +1,51 @@
+#include "xml/qname.h"
+
+namespace xqdb {
+
+namespace {
+std::string MakeKey(std::string_view ns_uri, std::string_view local) {
+  std::string key;
+  key.reserve(ns_uri.size() + local.size() + 1);
+  key.append(ns_uri);
+  key.push_back('\x01');
+  key.append(local);
+  return key;
+}
+}  // namespace
+
+NamePool* NamePool::Global() {
+  static NamePool* pool = new NamePool;
+  return pool;
+}
+
+NameId NamePool::Intern(std::string_view ns_uri, std::string_view local) {
+  std::string key = MakeKey(ns_uri, local);
+  auto it = lookup_.find(key);
+  if (it != lookup_.end()) return it->second;
+  NameId id = static_cast<NameId>(entries_.size());
+  entries_.push_back(Entry{std::string(ns_uri), std::string(local)});
+  lookup_.emplace(std::move(key), id);
+  return id;
+}
+
+NameId NamePool::Find(std::string_view ns_uri, std::string_view local) const {
+  auto it = lookup_.find(MakeKey(ns_uri, local));
+  return it == lookup_.end() ? kInvalidName : it->second;
+}
+
+std::string_view NamePool::NamespaceOf(NameId id) const {
+  return entries_[static_cast<size_t>(id)].ns_uri;
+}
+
+std::string_view NamePool::LocalOf(NameId id) const {
+  return entries_[static_cast<size_t>(id)].local;
+}
+
+std::string NamePool::ToString(NameId id) const {
+  if (id == kInvalidName) return "<invalid>";
+  const Entry& e = entries_[static_cast<size_t>(id)];
+  if (e.ns_uri.empty()) return e.local;
+  return "{" + e.ns_uri + "}" + e.local;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,58 @@
+#ifndef XQDB_XML_QNAME_H_
+#define XQDB_XML_QNAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xqdb {
+
+/// Interned identifier for a (namespace URI, local name) pair. All name
+/// comparisons in the engine are integer comparisons against these ids.
+using NameId = int32_t;
+inline constexpr NameId kInvalidName = -1;
+
+/// Process-wide interning pool for namespace URIs and QNames. Documents,
+/// queries, and index patterns all resolve names through the same pool so
+/// that name equality is id equality.
+///
+/// Thread-compatibility: interning is not synchronized; xqdb is a
+/// single-threaded engine (like the paper's per-query agent model).
+class NamePool {
+ public:
+  NamePool() = default;
+  NamePool(const NamePool&) = delete;
+  NamePool& operator=(const NamePool&) = delete;
+
+  /// The process-wide pool. Never destroyed (intentional leak, per the
+  /// style guide's rule on static storage duration objects).
+  static NamePool* Global();
+
+  /// Interns a QName. The empty URI denotes "no namespace".
+  NameId Intern(std::string_view ns_uri, std::string_view local);
+
+  /// Looks up a QName without interning; returns kInvalidName if absent.
+  NameId Find(std::string_view ns_uri, std::string_view local) const;
+
+  std::string_view NamespaceOf(NameId id) const;
+  std::string_view LocalOf(NameId id) const;
+
+  /// "{uri}local" for diagnostics, or plain "local" when URI is empty.
+  std::string ToString(NameId id) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string ns_uri;
+    std::string local;
+  };
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, NameId> lookup_;  // key: uri + '\x01' + local
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_XML_QNAME_H_

@@ -1,0 +1,209 @@
+#include "xml/serializer.h"
+
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "xml/qname.h"
+
+namespace xqdb {
+
+namespace {
+
+class Serializer {
+ public:
+  explicit Serializer(const XmlSerializeOptions& options)
+      : options_(options) {}
+
+  std::string Run(const NodeHandle& h) {
+    Emit(h, 0);
+    return std::move(out_);
+  }
+
+ private:
+  void Indent(int depth) {
+    if (!options_.indent) return;
+    if (!out_.empty()) out_ += '\n';
+    out_.append(static_cast<size_t>(depth) * 2, ' ');
+  }
+
+  /// Returns the prefix to use for `uri` (possibly ""), declaring it in
+  /// `decls` if not already in scope.
+  std::string PrefixFor(std::string_view uri, bool for_attribute,
+                        std::vector<std::pair<std::string, std::string>>*
+                            decls) {
+    if (uri.empty()) return "";
+    // Attributes cannot use the default (empty) prefix for a namespaced
+    // name.
+    for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+      if (it->second == uri && !(for_attribute && it->first.empty())) {
+        return it->first;
+      }
+    }
+    std::string prefix;
+    if (!for_attribute && !HasDefaultNs()) {
+      prefix = "";
+    } else {
+      prefix = "ns" + std::to_string(++prefix_counter_);
+    }
+    scope_.emplace_back(prefix, std::string(uri));
+    decls->emplace_back(prefix, std::string(uri));
+    return prefix;
+  }
+
+  bool HasDefaultNs() const {
+    for (const auto& [prefix, uri] : scope_) {
+      if (prefix.empty()) return true;
+    }
+    return false;
+  }
+
+  void Emit(const NodeHandle& h, int depth) {
+    const Node& n = h.node();
+    switch (n.kind) {
+      case NodeKind::kDocument: {
+        for (NodeIdx c = n.first_child; c != kNullNode;
+             c = h.doc->node(c).next_sibling) {
+          Emit(NodeHandle{h.doc, c}, depth);
+        }
+        return;
+      }
+      case NodeKind::kText:
+        out_ += EscapeText(n.content);
+        return;
+      case NodeKind::kComment:
+        Indent(depth);
+        out_ += "<!--" + n.content + "-->";
+        return;
+      case NodeKind::kProcessingInstruction: {
+        Indent(depth);
+        out_ += "<?";
+        out_ += NamePool::Global()->LocalOf(n.name);
+        if (!n.content.empty()) {
+          out_ += ' ';
+          out_ += n.content;
+        }
+        out_ += "?>";
+        return;
+      }
+      case NodeKind::kAttribute: {
+        out_ += NamePool::Global()->LocalOf(n.name);
+        out_ += "=\"" + EscapeAttribute(n.content) + "\"";
+        return;
+      }
+      case NodeKind::kElement:
+        break;
+    }
+
+    size_t scope_mark = scope_.size();
+    std::vector<std::pair<std::string, std::string>> decls;
+    NamePool* pool = NamePool::Global();
+    std::string prefix =
+        PrefixFor(pool->NamespaceOf(n.name), /*for_attribute=*/false, &decls);
+    std::string tag =
+        prefix.empty()
+            ? std::string(pool->LocalOf(n.name))
+            : prefix + ":" + std::string(pool->LocalOf(n.name));
+
+    Indent(depth);
+    out_ += "<" + tag;
+
+    // Attributes (namespace prefixes may add declarations).
+    std::string attr_text;
+    for (NodeIdx a = n.first_attr; a != kNullNode;
+         a = h.doc->node(a).next_sibling) {
+      const Node& an = h.doc->node(a);
+      std::string ap = PrefixFor(pool->NamespaceOf(an.name),
+                                 /*for_attribute=*/true, &decls);
+      attr_text += ' ';
+      if (!ap.empty()) attr_text += ap + ":";
+      attr_text += pool->LocalOf(an.name);
+      attr_text += "=\"" + EscapeAttribute(an.content) + "\"";
+    }
+    for (const auto& [p, uri] : decls) {
+      out_ += p.empty() ? " xmlns=\"" + EscapeAttribute(uri) + "\""
+                        : " xmlns:" + p + "=\"" + EscapeAttribute(uri) + "\"";
+    }
+    out_ += attr_text;
+
+    if (n.first_child == kNullNode) {
+      out_ += "/>";
+      scope_.resize(scope_mark);
+      return;
+    }
+    out_ += ">";
+    bool has_element_child = false;
+    for (NodeIdx c = n.first_child; c != kNullNode;
+         c = h.doc->node(c).next_sibling) {
+      if (h.doc->node(c).kind != NodeKind::kText) has_element_child = true;
+    }
+    bool indent_children = options_.indent && has_element_child;
+    for (NodeIdx c = n.first_child; c != kNullNode;
+         c = h.doc->node(c).next_sibling) {
+      Emit(NodeHandle{h.doc, c}, depth + 1);
+    }
+    if (indent_children) Indent(depth);
+    out_ += "</" + tag + ">";
+    scope_.resize(scope_mark);
+  }
+
+  XmlSerializeOptions options_;
+  std::string out_;
+  std::vector<std::pair<std::string, std::string>> scope_;
+  int prefix_counter_ = 0;
+};
+
+}  // namespace
+
+std::string EscapeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string SerializeXml(const NodeHandle& h,
+                         const XmlSerializeOptions& options) {
+  Serializer s(options);
+  return s.Run(h);
+}
+
+}  // namespace xqdb

@@ -1,0 +1,34 @@
+#ifndef XQDB_XML_SERIALIZER_H_
+#define XQDB_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace xqdb {
+
+struct XmlSerializeOptions {
+  /// Pretty-print with 2-space indentation (element-only content).
+  bool indent = false;
+};
+
+/// Serializes the subtree rooted at `h` back to XML text. Namespace
+/// declarations are synthesized: the serializer assigns prefixes (default
+/// namespace for elements where possible, ns1/ns2/... otherwise) as new URIs
+/// are encountered.
+///
+/// Attribute nodes serialize as `name="value"`; text/comment/PI nodes as
+/// their lexical forms; document nodes as the concatenation of their
+/// children.
+std::string SerializeXml(const NodeHandle& h,
+                         const XmlSerializeOptions& options = {});
+
+/// Escapes XML character data (&, <, >).
+std::string EscapeText(std::string_view s);
+
+/// Escapes attribute values (&, <, >, ").
+std::string EscapeAttribute(std::string_view s);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XML_SERIALIZER_H_

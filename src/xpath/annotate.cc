@@ -1,0 +1,20 @@
+#include "xpath/annotate.h"
+
+#include "xpath/pattern.h"
+#include "xpath/pattern_nfa.h"
+
+namespace xqdb {
+
+Result<size_t> AnnotateMatching(Document* doc, std::string_view pattern,
+                                TypeAnnotation annotation) {
+  XQDB_ASSIGN_OR_RETURN(Pattern parsed, ParsePattern(pattern));
+  XQDB_ASSIGN_OR_RETURN(PatternNfa nfa, PatternNfa::Compile(parsed));
+  size_t count = 0;
+  ForEachMatch(nfa, *doc, [&](NodeIdx idx) {
+    doc->SetAnnotation(idx, annotation);
+    ++count;
+  });
+  return count;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,23 @@
+#ifndef XQDB_XPATH_ANNOTATE_H_
+#define XQDB_XPATH_ANNOTATE_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace xqdb {
+
+/// Lightweight "validation": annotates every node of `doc` matching the
+/// XMLPATTERN-style path with a type. This is the poor man's schema
+/// validation the paper's typed-data pitfalls (§3.1 footnote 2, §3.6
+/// conditions 1–2) need — type information lives on individual nodes, per
+/// document, exactly as DB2's per-document validation model prescribes.
+///
+/// Returns the number of nodes annotated.
+Result<size_t> AnnotateMatching(Document* doc, std::string_view pattern,
+                                TypeAnnotation annotation);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XPATH_ANNOTATE_H_

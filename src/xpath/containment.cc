@@ -1,0 +1,104 @@
+#include "xpath/containment.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xpath/pattern_nfa.h"
+
+namespace xqdb {
+
+namespace {
+
+/// Sentinels guaranteed distinct from any real name (real names cannot
+/// contain \x02).
+const char kFreshNs[] = "\x02ns";
+const char kFreshLocal[] = "\x02local";
+
+void CollectNames(const Pattern& p, std::set<std::string>* ns_set,
+                  std::set<std::string>* local_set) {
+  for (const auto& alt : p.alternatives) {
+    for (const NormStep& step : alt) {
+      if (!step.test.ns_any) ns_set->insert(step.test.ns_uri);
+      if (!step.test.local_any) local_set->insert(step.test.local);
+    }
+  }
+}
+
+struct AbstractSymbol {
+  NodeRank rank;
+  const std::string* ns_uri;
+  const std::string* local;
+};
+
+}  // namespace
+
+Result<bool> PatternContains(const Pattern& index, const Pattern& query) {
+  if (query.matches_document_node && !index.matches_document_node) {
+    return false;
+  }
+
+  XQDB_ASSIGN_OR_RETURN(PatternNfa qn, PatternNfa::Compile(query));
+  XQDB_ASSIGN_OR_RETURN(PatternNfa in, PatternNfa::Compile(index));
+
+  // Abstract alphabet.
+  std::set<std::string> ns_set, local_set;
+  CollectNames(index, &ns_set, &local_set);
+  CollectNames(query, &ns_set, &local_set);
+  ns_set.insert(kFreshNs);
+  local_set.insert(kFreshLocal);
+
+  std::vector<AbstractSymbol> alphabet;
+  for (const std::string& ns : ns_set) {
+    for (const std::string& local : local_set) {
+      alphabet.push_back({NodeRank::kElem, &ns, &local});
+      alphabet.push_back({NodeRank::kAttr, &ns, &local});
+    }
+  }
+  // PI targets are (empty-ns, local); text/comment are unnamed.
+  static const std::string kEmpty;
+  for (const std::string& local : local_set) {
+    alphabet.push_back({NodeRank::kPi, &kEmpty, &local});
+  }
+  alphabet.push_back({NodeRank::kText, &kEmpty, &kEmpty});
+  alphabet.push_back({NodeRank::kComment, &kEmpty, &kEmpty});
+
+  // Product BFS: pairs (query state set, index state set). The query side
+  // stays a nondeterministic *set* too: a word is accepted by the query iff
+  // its reachable set hits an accept state, so tracking the set and testing
+  // "query accepts here but index does not" is sound and avoids
+  // per-state bookkeeping.
+  //
+  // A word w is a counterexample iff qset(w) contains an accept state and
+  // iset(w) does not. Since both sets are functions of w, BFS over pairs.
+  using PairKey = std::pair<uint64_t, uint64_t>;
+  std::set<PairKey> visited;
+  std::vector<PairKey> frontier;
+
+  auto check = [&](uint64_t qset, uint64_t iset) {
+    return qn.AnyAccept(qset) && !in.AnyAccept(iset);
+  };
+
+  PairKey start{qn.start_set(), in.start_set()};
+  if (check(start.first, start.second)) return false;
+  visited.insert(start);
+  frontier.push_back(start);
+
+  while (!frontier.empty()) {
+    PairKey cur = frontier.back();
+    frontier.pop_back();
+    for (const AbstractSymbol& sym : alphabet) {
+      uint64_t nq = qn.Advance(cur.first, sym.rank, *sym.ns_uri, *sym.local);
+      if (nq == 0) continue;  // Dead for the query: cannot extend to a match.
+      uint64_t ni = in.Advance(cur.second, sym.rank, *sym.ns_uri, *sym.local);
+      if (check(nq, ni)) return false;
+      PairKey next{nq, ni};
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return true;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,33 @@
+#ifndef XQDB_XPATH_CONTAINMENT_H_
+#define XQDB_XPATH_CONTAINMENT_H_
+
+#include "common/result.h"
+#include "xpath/pattern.h"
+
+namespace xqdb {
+
+/// Decides structural index eligibility (paper §2.2, Definition 1's
+/// necessary condition): every node that can match `query` — in *any*
+/// document — also matches `index`. In language terms,
+/// L(query) ⊆ L(index) over path words.
+///
+/// Because both operands are linear paths over {/, //, *, ns:*, *:name,
+/// kind tests, attribute steps} (no predicates), inclusion is decidable by a
+/// product construction: the query automaton runs nondeterministically while
+/// the index automaton is determinized on the fly, over an *abstracted*
+/// alphabet — the exact names mentioned by either pattern plus one fresh
+/// namespace and one fresh local name. A mismatch state (query accepting,
+/// index not) reachable over the abstract alphabet is exactly a
+/// counterexample document.
+///
+/// Examples from the paper:
+///   Contains(//lineitem/@price, //order/lineitem/@price)  == true  (Q1)
+///   Contains(//lineitem/@price, //lineitem/@*)            == false (Q2)
+///   Contains(//nation [no ns],  //c:nation [customer ns]) == false (§3.7)
+///   Contains(//@*, //lineitem/@price)                     == true  (Tip 12)
+///   Contains(//*,  //@price)                              == false (§3.9)
+Result<bool> PatternContains(const Pattern& index, const Pattern& query);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XPATH_CONTAINMENT_H_

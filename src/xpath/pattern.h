@@ -1,0 +1,110 @@
+#ifndef XQDB_XPATH_PATTERN_H_
+#define XQDB_XPATH_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xqdb {
+
+/// Node-kind ranks used to classify one step of a root-to-node path. A
+/// node's *path word* is the sequence of (rank, namespace, local) symbols on
+/// the path from the document root to the node; all non-final symbols are
+/// kElem (only elements have children). Attributes get their own rank, which
+/// is how "//node() never reaches attributes" (paper §3.9 / Tip 12) falls
+/// out of the model instead of being a special case.
+enum class NodeRank : uint8_t {
+  kElem = 0,
+  kAttr = 1,
+  kText = 2,
+  kComment = 3,
+  kPi = 4,
+};
+inline constexpr int kNumRanks = 5;
+
+inline constexpr uint8_t RankBit(NodeRank r) {
+  return static_cast<uint8_t>(1u << static_cast<uint8_t>(r));
+}
+
+/// A predicate on one path-word symbol: a set of admissible ranks plus a
+/// name constraint (namespace and local part independently exact or
+/// wildcard). The name constraint applies to kElem / kAttr / kPi symbols;
+/// text and comment symbols have no name.
+struct StepTest {
+  uint8_t rank_mask = 0;
+  bool ns_any = false;
+  std::string ns_uri;
+  bool local_any = false;
+  std::string local;
+
+  bool MatchesName(std::string_view sym_ns, std::string_view sym_local) const {
+    if (!ns_any && sym_ns != ns_uri) return false;
+    if (!local_any && sym_local != local) return false;
+    return true;
+  }
+
+  bool IsEmpty() const { return rank_mask == 0; }
+};
+
+/// Intersection of two symbol predicates (empty rank_mask = matches
+/// nothing). Used to fold self-axis steps into their predecessor.
+StepTest IntersectTests(const StepTest& a, const StepTest& b);
+
+/// One normalized linear step: optionally skip zero or more element symbols
+/// (descendant-style), then consume exactly one symbol matching `test`.
+struct NormStep {
+  bool skip = false;
+  StepTest test;
+};
+
+/// A parsed, normalized XML index pattern (paper §2.1 DDL grammar):
+///
+///   pattern  ::= namespace-decls? (( / | // ) axis? (name-test|kind-test))+
+///   axis     ::= @ | child:: | attribute:: | self:: | descendant:: |
+///                descendant-or-self::
+///   name-test::= qname | * | ncname:* | *:ncname
+///   kind-test::= node() | text() | comment() |
+///                processing-instruction(ncname?)
+///
+/// Self and descendant-or-self axes are normalized away, which can produce a
+/// small set of alternative linear step sequences; a pattern matches a node
+/// iff any alternative matches its path word. `matches_document_node` covers
+/// the degenerate self-axis-at-root case.
+struct Pattern {
+  std::vector<std::vector<NormStep>> alternatives;
+  bool matches_document_node = false;
+  std::string source_text;  // Original pattern, for EXPLAIN output.
+};
+
+/// Parses an index pattern. Namespace prefixes are resolved against the
+/// pattern's own `declare namespace` / `declare default element namespace`
+/// prolog; default element namespaces do NOT apply to attribute steps
+/// (paper §3.7, li_price_ns example). Predicates are rejected (the paper's
+/// grammar forbids them in index patterns).
+Result<Pattern> ParsePattern(std::string_view text);
+
+/// Builds a Pattern programmatically from normalized steps (used by the
+/// eligibility analyzer to convert query paths into the same algebra).
+Pattern MakePattern(std::vector<std::vector<NormStep>> alternatives);
+
+/// Helpers for constructing step tests.
+StepTest ElementTest(bool ns_any, std::string ns_uri, bool local_any,
+                     std::string local);
+StepTest AttributeTest(bool ns_any, std::string ns_uri, bool local_any,
+                       std::string local);
+StepTest KindTextTest();
+StepTest KindCommentTest();
+StepTest KindPiTest(bool target_any, std::string target);
+/// child::node(): elements, text, comments and PIs — but never attributes.
+StepTest ChildNodeTest();
+/// attribute::node() / @*: any attribute.
+StepTest AnyAttributeTest();
+
+/// Human-readable dump for diagnostics/tests.
+std::string PatternToString(const Pattern& p);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XPATH_PATTERN_H_

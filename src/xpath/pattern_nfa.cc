@@ -1,0 +1,160 @@
+#include "xpath/pattern_nfa.h"
+
+#include <algorithm>
+
+#include "xml/qname.h"
+
+namespace xqdb {
+
+namespace {
+
+bool TestMatchesSymbol(const StepTest& t, NodeRank rank,
+                       std::string_view ns_uri, std::string_view local) {
+  if ((t.rank_mask & RankBit(rank)) == 0) return false;
+  // Name constraints only apply to named ranks.
+  if (rank == NodeRank::kText || rank == NodeRank::kComment) return true;
+  return t.MatchesName(ns_uri, local);
+}
+
+}  // namespace
+
+Result<PatternNfa> PatternNfa::Compile(const Pattern& pattern) {
+  PatternNfa nfa;
+  nfa.matches_document_node_ = pattern.matches_document_node;
+  size_t total_states = 0;
+  for (const auto& alt : pattern.alternatives) {
+    total_states += alt.size() + 1;
+  }
+  if (total_states > 64) {
+    return Status::InvalidArgument(
+        "index pattern too complex (needs more than 64 automaton states)");
+  }
+  for (const auto& alt : pattern.alternatives) {
+    int base = static_cast<int>(nfa.states_.size());
+    nfa.states_.resize(nfa.states_.size() + alt.size() + 1);
+    nfa.start_set_ |= 1ull << base;
+    for (size_t i = 0; i < alt.size(); ++i) {
+      State& s = nfa.states_[static_cast<size_t>(base) + i];
+      s.skip_loop = alt[i].skip;
+      s.out.push_back(Transition{alt[i].test, base + static_cast<int>(i) + 1});
+    }
+    nfa.accept_set_ |= 1ull << (base + static_cast<int>(alt.size()));
+  }
+  if (pattern.alternatives.empty()) {
+    // Degenerate pattern that can only match the document node.
+    nfa.states_.resize(1);
+    nfa.start_set_ = 1;
+  }
+  return nfa;
+}
+
+PatternNfa::StateSet PatternNfa::Advance(StateSet set, NodeRank rank,
+                                         std::string_view ns_uri,
+                                         std::string_view local) const {
+  StateSet out = 0;
+  StateSet remaining = set;
+  while (remaining != 0) {
+    int s = __builtin_ctzll(remaining);
+    remaining &= remaining - 1;
+    const State& st = states_[static_cast<size_t>(s)];
+    if (st.skip_loop && rank == NodeRank::kElem) {
+      out |= 1ull << s;
+    }
+    for (const Transition& tr : st.out) {
+      if (TestMatchesSymbol(tr.test, rank, ns_uri, local)) {
+        out |= 1ull << tr.target;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct SymbolOf {
+  NodeRank rank;
+  std::string_view ns_uri;
+  std::string_view local;
+};
+
+SymbolOf NodeSymbol(const Document& doc, NodeIdx idx) {
+  const Node& n = doc.node(idx);
+  NamePool* pool = NamePool::Global();
+  switch (n.kind) {
+    case NodeKind::kElement:
+      return {NodeRank::kElem, pool->NamespaceOf(n.name),
+              pool->LocalOf(n.name)};
+    case NodeKind::kAttribute:
+      return {NodeRank::kAttr, pool->NamespaceOf(n.name),
+              pool->LocalOf(n.name)};
+    case NodeKind::kText:
+      return {NodeRank::kText, "", ""};
+    case NodeKind::kComment:
+      return {NodeRank::kComment, "", ""};
+    case NodeKind::kProcessingInstruction:
+      return {NodeRank::kPi, "", pool->LocalOf(n.name)};
+    case NodeKind::kDocument:
+      break;
+  }
+  return {NodeRank::kElem, "", ""};
+}
+
+void MatchRecursive(const PatternNfa& nfa, const Document& doc, NodeIdx idx,
+                    PatternNfa::StateSet active,
+                    const std::function<void(NodeIdx)>& fn) {
+  const Node& n = doc.node(idx);
+  PatternNfa::StateSet here = active;
+  if (n.kind != NodeKind::kDocument) {
+    SymbolOf sym = NodeSymbol(doc, idx);
+    here = nfa.Advance(active, sym.rank, sym.ns_uri, sym.local);
+    if (here == 0) return;
+    if (nfa.AnyAccept(here)) fn(idx);
+  } else if (nfa.matches_document_node()) {
+    fn(idx);
+  }
+  if (n.kind == NodeKind::kElement) {
+    for (NodeIdx a = n.first_attr; a != kNullNode;
+         a = doc.node(a).next_sibling) {
+      SymbolOf sym = NodeSymbol(doc, a);
+      PatternNfa::StateSet aset =
+          nfa.Advance(here, sym.rank, sym.ns_uri, sym.local);
+      if (nfa.AnyAccept(aset)) fn(a);
+    }
+  }
+  if (n.kind == NodeKind::kElement || n.kind == NodeKind::kDocument) {
+    for (NodeIdx c = n.first_child; c != kNullNode;
+         c = doc.node(c).next_sibling) {
+      MatchRecursive(nfa, doc, c, here, fn);
+    }
+  }
+}
+
+}  // namespace
+
+void ForEachMatch(const PatternNfa& nfa, const Document& doc,
+                  const std::function<void(NodeIdx)>& fn) {
+  if (doc.root() == kNullNode) return;
+  MatchRecursive(nfa, doc, doc.root(), nfa.start_set(), fn);
+}
+
+bool MatchesNode(const PatternNfa& nfa, const Document& doc, NodeIdx idx) {
+  // Build the root-to-node symbol path, then run the automaton along it.
+  std::vector<NodeIdx> path;
+  for (NodeIdx cur = idx; cur != kNullNode; cur = doc.node(cur).parent) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  PatternNfa::StateSet set = nfa.start_set();
+  for (NodeIdx step : path) {
+    if (doc.node(step).kind == NodeKind::kDocument) {
+      if (step == idx) return nfa.matches_document_node();
+      continue;
+    }
+    SymbolOf sym = NodeSymbol(doc, step);
+    set = nfa.Advance(set, sym.rank, sym.ns_uri, sym.local);
+    if (set == 0) return false;
+  }
+  return nfa.AnyAccept(set);
+}
+
+}  // namespace xqdb

@@ -1,0 +1,176 @@
+#ifndef XQDB_XQUERY_AST_H_
+#define XQDB_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xdm/atomic.h"
+#include "xdm/compare.h"
+#include "xml/qname.h"
+
+namespace xqdb {
+
+struct Expr;
+
+/// A resolved node test in a query path step. Namespaces are resolved at
+/// parse time against the query prolog (default element namespace applies
+/// to element name tests, never to attribute tests).
+struct NodeTestSpec {
+  enum class Kind {
+    kName,      // qname / * / ns:* / *:local
+    kAnyNode,   // node()
+    kText,      // text()
+    kComment,   // comment()
+    kPi,        // processing-instruction(target?)
+    kDocument,  // document-node()
+  };
+  Kind kind = Kind::kName;
+  bool ns_any = false;
+  std::string ns_uri;
+  bool local_any = false;
+  std::string local;  // PI target for kPi
+};
+
+enum class PathAxis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kSelf,
+  kAttribute,
+  kParent,
+};
+
+/// One step of a path expression: either an axis step (axis + node test) or
+/// an arbitrary expression evaluated with the step's focus (e.g. the
+/// `custid/xs:double(.)` idiom from the paper's Tip 1).
+struct PathStep {
+  bool is_axis_step = true;
+  PathAxis axis = PathAxis::kChild;
+  NodeTestSpec test;
+  std::unique_ptr<Expr> expr;  // when !is_axis_step
+  std::vector<std::unique_ptr<Expr>> predicates;
+};
+
+/// FLWOR clauses. `for` clauses iterate; `let` clauses bind whole sequences
+/// — including empty ones, which is the §3.4 pitfall.
+struct FlworClause {
+  enum class Kind { kFor, kLet } kind = Kind::kFor;
+  std::string var;  // without '$'
+  std::unique_ptr<Expr> expr;
+};
+
+struct OrderSpec {
+  std::unique_ptr<Expr> key;
+  bool descending = false;
+};
+
+/// Content item of a direct element constructor.
+struct ConstructorContent {
+  bool is_text = false;
+  std::string text;            // literal character content
+  std::unique_ptr<Expr> expr;  // enclosed {expr}
+};
+
+/// Attribute of a direct element constructor. The value is a concatenation
+/// of literal runs and enclosed expressions.
+struct ConstructorAttr {
+  NameId name = kInvalidName;
+  std::vector<ConstructorContent> value_parts;
+};
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kIDiv, kMod };
+
+enum class ExprKind {
+  kLiteral,         // atomic constant
+  kEmptySequence,   // ()
+  kSequence,        // comma operator
+  kVarRef,
+  kContextItem,     // .
+  kPath,
+  kFlwor,
+  kQuantified,      // some/every $v in e satisfies e
+  kIf,
+  kOr,
+  kAnd,
+  kGeneralCompare,
+  kValueCompare,
+  kNodeIs,          // is
+  kUnion,
+  kIntersect,
+  kExcept,
+  kRange,           // to
+  kArith,
+  kUnaryMinus,
+  kFunctionCall,
+  kCastAs,          // cast as xs:type (with optional '?')
+  kDirectElement,
+  kXmlColumn,       // db2-fn:xmlcolumn('TABLE.COLUMN')
+};
+
+/// A single AST node. One struct with a kind tag keeps the tree compact and
+/// the recursive evaluator a single switch.
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind;
+
+  // kLiteral
+  AtomicValue literal;
+
+  // kVarRef / kQuantified (bound var)
+  std::string var;
+
+  // Generic children. Meaning by kind:
+  //   kSequence: items; kOr/kAnd/compare/kUnion/...: [lhs, rhs];
+  //   kIf: [cond, then, else]; kQuantified: [in-expr, satisfies-expr];
+  //   kFunctionCall: arguments; kUnaryMinus/kCastAs: [operand];
+  //   kFlwor: [return-expr] (+ optional where at index 1 — see flags).
+  std::vector<std::unique_ptr<Expr>> children;
+
+  // kPath
+  bool absolute = false;        // leading '/'
+  bool absolute_slashslash = false;  // leading '//'
+  std::unique_ptr<Expr> path_source;  // relative paths: the initial expr
+  std::vector<PathStep> steps;
+
+  // kFlwor
+  std::vector<FlworClause> clauses;
+  std::unique_ptr<Expr> where;
+  std::vector<OrderSpec> order_by;
+
+  // kQuantified
+  bool quantifier_every = false;
+
+  // kGeneralCompare / kValueCompare
+  CompareOp cmp_op = CompareOp::kEq;
+
+  // kArith
+  ArithOp arith_op = ArithOp::kAdd;
+
+  // kFunctionCall: resolved function name ("fn:data", "xs:double", ...).
+  std::string fn_name;
+
+  // kCastAs
+  AtomicType cast_target = AtomicType::kString;
+  bool cast_optional = false;   // "?" — empty sequence allowed
+  bool castable_test = false;   // "castable as": returns a boolean
+
+  // kDirectElement
+  NameId elem_name = kInvalidName;
+  std::vector<ConstructorAttr> ctor_attrs;
+  std::vector<ConstructorContent> ctor_content;
+
+  // kXmlColumn
+  std::string table_name;
+  std::string column_name;
+};
+
+/// Debug dump (single line, s-expression style).
+std::string ExprToString(const Expr& e);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XQUERY_AST_H_

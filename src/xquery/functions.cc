@@ -1,0 +1,739 @@
+#include "xquery/functions.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/str_util.h"
+#include "xdm/cast.h"
+#include "xdm/compare.h"
+#include "xml/qname.h"
+#include "xquery/evaluator.h"
+
+namespace xqdb {
+
+namespace {
+
+Result<Sequence> RequireSingletonNodeArg(const Sequence& arg,
+                                         const char* fn_name) {
+  if (arg.size() != 1 || !arg[0].is_node()) {
+    return Status::TypeError(std::string("XPTY0004: ") + fn_name +
+                             " requires a single node");
+  }
+  return arg;
+}
+
+/// Converts one atomized item to xs:double per fn:number semantics
+/// (failure yields NaN, not an error).
+double NumberOf(const AtomicValue& v) {
+  auto r = CastTo(v, AtomicType::kDouble);
+  if (!r.ok()) return std::numeric_limits<double>::quiet_NaN();
+  return r.value().double_value();
+}
+
+Result<Sequence> FnData(std::vector<Sequence>& args, FnContext& ctx) {
+  // Zero-arity form (fn:data() on the context item) is an XQuery 3.0-ism
+  // the paper's §3.10 examples use ("lineitem/price/data()").
+  if (args.empty()) {
+    if (ctx.focus == nullptr || !ctx.focus->has_item) {
+      return Status::DynamicError("XPDY0002: fn:data() with no context item");
+    }
+    return Atomize(Sequence{ctx.focus->item});
+  }
+  return Atomize(args[0]);
+}
+
+Result<Sequence> FnString(std::vector<Sequence>& args, FnContext& ctx) {
+  Sequence in;
+  if (args.empty()) {
+    if (ctx.focus == nullptr || !ctx.focus->has_item) {
+      return Status::DynamicError("XPDY0002: fn:string() with no context item");
+    }
+    in.push_back(ctx.focus->item);
+  } else {
+    in = args[0];
+  }
+  if (in.empty()) {
+    return Sequence{Item(AtomicValue::String(""))};
+  }
+  if (in.size() > 1) {
+    return Status::TypeError("XPTY0004: fn:string on a multi-item sequence");
+  }
+  return Sequence{Item(AtomicValue::String(StringOf(in[0])))};
+}
+
+Result<Sequence> FnStringJoin(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(Sequence atoms, Atomize(args[0]));
+  std::string sep;
+  if (args[1].size() == 1) {
+    sep = StringOf(args[1][0]);
+  } else if (!args[1].empty()) {
+    return Status::TypeError("XPTY0004: string-join separator");
+  }
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += sep;
+    out += atoms[i].atomic().Lexical();
+  }
+  return Sequence{Item(AtomicValue::String(std::move(out)))};
+}
+
+Result<Sequence> FnConcat(std::vector<Sequence>& args, FnContext&) {
+  std::string out;
+  for (const Sequence& arg : args) {
+    if (arg.empty()) continue;
+    if (arg.size() > 1) {
+      return Status::TypeError("XPTY0004: fn:concat argument cardinality");
+    }
+    out += StringOf(arg[0]);
+  }
+  return Sequence{Item(AtomicValue::String(std::move(out)))};
+}
+
+Result<Sequence> FnCount(std::vector<Sequence>& args, FnContext&) {
+  return Sequence{
+      Item(AtomicValue::Integer(static_cast<long long>(args[0].size())))};
+}
+
+Result<Sequence> FnExists(std::vector<Sequence>& args, FnContext&) {
+  return Sequence{Item(AtomicValue::Boolean(!args[0].empty()))};
+}
+
+Result<Sequence> FnEmpty(std::vector<Sequence>& args, FnContext&) {
+  return Sequence{Item(AtomicValue::Boolean(args[0].empty()))};
+}
+
+Result<Sequence> FnNot(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(args[0]));
+  return Sequence{Item(AtomicValue::Boolean(!b))};
+}
+
+Result<Sequence> FnBoolean(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(args[0]));
+  return Sequence{Item(AtomicValue::Boolean(b))};
+}
+
+Result<Sequence> FnTrue(std::vector<Sequence>&, FnContext&) {
+  return Sequence{Item(AtomicValue::Boolean(true))};
+}
+
+Result<Sequence> FnFalse(std::vector<Sequence>&, FnContext&) {
+  return Sequence{Item(AtomicValue::Boolean(false))};
+}
+
+Result<Sequence> FnNumber(std::vector<Sequence>& args, FnContext& ctx) {
+  Sequence in;
+  if (args.empty()) {
+    if (ctx.focus == nullptr || !ctx.focus->has_item) {
+      return Status::DynamicError("XPDY0002: fn:number() with no context item");
+    }
+    in.push_back(ctx.focus->item);
+  } else {
+    in = args[0];
+  }
+  XQDB_ASSIGN_OR_RETURN(Sequence atoms, Atomize(in));
+  if (atoms.size() != 1) {
+    return Sequence{
+        Item(AtomicValue::Double(std::numeric_limits<double>::quiet_NaN()))};
+  }
+  return Sequence{Item(AtomicValue::Double(NumberOf(atoms[0].atomic())))};
+}
+
+Result<Sequence> FnRoot(std::vector<Sequence>& args, FnContext& ctx) {
+  Sequence in;
+  if (args.empty()) {
+    if (ctx.focus == nullptr || !ctx.focus->has_item) {
+      return Status::DynamicError("XPDY0002: fn:root() with no context item");
+    }
+    in.push_back(ctx.focus->item);
+  } else {
+    in = args[0];
+  }
+  if (in.empty()) return Sequence{};
+  XQDB_ASSIGN_OR_RETURN(Sequence node, RequireSingletonNodeArg(in, "fn:root"));
+  NodeHandle h = node[0].node();
+  while (true) {
+    NodeHandle p = ParentOf(h);
+    if (!p.valid()) break;
+    h = p;
+  }
+  return Sequence{Item(h)};
+}
+
+Result<Sequence> NameLike(std::vector<Sequence>& args, FnContext& ctx,
+                          int which) {  // 0=name 1=local-name 2=namespace-uri
+  Sequence in;
+  if (args.empty()) {
+    if (ctx.focus == nullptr || !ctx.focus->has_item) {
+      return Status::DynamicError("XPDY0002: no context item");
+    }
+    in.push_back(ctx.focus->item);
+  } else {
+    in = args[0];
+  }
+  if (in.empty()) return Sequence{Item(AtomicValue::String(""))};
+  XQDB_ASSIGN_OR_RETURN(Sequence node, RequireSingletonNodeArg(in, "fn:name"));
+  const Node& n = node[0].node().node();
+  std::string out;
+  if (n.name != kInvalidName) {
+    NamePool* pool = NamePool::Global();
+    if (which == 2) {
+      out = std::string(pool->NamespaceOf(n.name));
+    } else {
+      out = std::string(pool->LocalOf(n.name));
+    }
+  }
+  return Sequence{Item(AtomicValue::String(std::move(out)))};
+}
+
+Result<Sequence> FnContains(std::vector<Sequence>& args, FnContext&) {
+  auto str_of = [](const Sequence& s) -> std::string {
+    return s.empty() ? std::string() : StringOf(s[0]);
+  };
+  for (const auto& a : args) {
+    if (a.size() > 1) {
+      return Status::TypeError("XPTY0004: fn:contains cardinality");
+    }
+  }
+  std::string haystack = str_of(args[0]), needle = str_of(args[1]);
+  return Sequence{
+      Item(AtomicValue::Boolean(haystack.find(needle) != std::string::npos))};
+}
+
+Result<Sequence> FnStartsWith(std::vector<Sequence>& args, FnContext&) {
+  for (const auto& a : args) {
+    if (a.size() > 1) {
+      return Status::TypeError("XPTY0004: fn:starts-with cardinality");
+    }
+  }
+  std::string s = args[0].empty() ? "" : StringOf(args[0][0]);
+  std::string p = args[1].empty() ? "" : StringOf(args[1][0]);
+  return Sequence{Item(AtomicValue::Boolean(s.rfind(p, 0) == 0))};
+}
+
+Result<Sequence> FnSubstring(std::vector<Sequence>& args, FnContext&) {
+  if (args[0].size() > 1) {
+    return Status::TypeError("XPTY0004: fn:substring cardinality");
+  }
+  std::string s = args[0].empty() ? "" : StringOf(args[0][0]);
+  XQDB_ASSIGN_OR_RETURN(Sequence a1, Atomize(args[1]));
+  if (a1.size() != 1) {
+    return Status::TypeError("XPTY0004: fn:substring start");
+  }
+  double start = NumberOf(a1[0].atomic());
+  double len = std::numeric_limits<double>::infinity();
+  if (args.size() == 3) {
+    XQDB_ASSIGN_OR_RETURN(Sequence a2, Atomize(args[2]));
+    if (a2.size() != 1) {
+      return Status::TypeError("XPTY0004: fn:substring length");
+    }
+    len = NumberOf(a2[0].atomic());
+  }
+  long long from = static_cast<long long>(std::llround(start));
+  std::string out;
+  for (long long i = 0; i < static_cast<long long>(s.size()); ++i) {
+    double pos = static_cast<double>(i + 1);
+    if (pos >= static_cast<double>(from) &&
+        pos < static_cast<double>(from) + len) {
+      out.push_back(s[static_cast<size_t>(i)]);
+    }
+  }
+  return Sequence{Item(AtomicValue::String(std::move(out)))};
+}
+
+Result<Sequence> FnNormalizeSpace(std::vector<Sequence>& args,
+                                  FnContext& ctx) {
+  Sequence in;
+  if (args.empty()) {
+    if (ctx.focus == nullptr || !ctx.focus->has_item) {
+      return Status::DynamicError("XPDY0002: no context item");
+    }
+    in.push_back(ctx.focus->item);
+  } else {
+    in = args[0];
+  }
+  std::string s = in.empty() ? "" : StringOf(in[0]);
+  std::string out;
+  bool in_space = true;
+  for (char c : s) {
+    bool space = c == ' ' || c == '\t' || c == '\r' || c == '\n';
+    if (space) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return Sequence{Item(AtomicValue::String(std::move(out)))};
+}
+
+/// Shared aggregate machinery: operands are atomized; untypedAtomic casts
+/// to xs:double per the F&O aggregate rules.
+Result<std::vector<AtomicValue>> AggregateInput(const Sequence& seq) {
+  XQDB_ASSIGN_OR_RETURN(Sequence atoms, Atomize(seq));
+  std::vector<AtomicValue> out;
+  out.reserve(atoms.size());
+  for (const Item& item : atoms) {
+    AtomicValue v = item.atomic();
+    if (v.type() == AtomicType::kUntypedAtomic) {
+      XQDB_ASSIGN_OR_RETURN(v, CastTo(v, AtomicType::kDouble));
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Result<Sequence> FnSum(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(std::vector<AtomicValue> vals,
+                        AggregateInput(args[0]));
+  if (vals.empty()) return Sequence{Item(AtomicValue::Integer(0))};
+  bool all_int = true;
+  double dsum = 0;
+  long long isum = 0;
+  for (const AtomicValue& v : vals) {
+    if (!v.is_numeric()) {
+      return Status::TypeError("FORG0006: fn:sum over non-numeric values");
+    }
+    if (v.type() == AtomicType::kInteger) {
+      isum += v.integer_value();
+    } else {
+      all_int = false;
+    }
+    dsum += v.AsDouble();
+  }
+  if (all_int) return Sequence{Item(AtomicValue::Integer(isum))};
+  return Sequence{Item(AtomicValue::Double(dsum))};
+}
+
+Result<Sequence> FnAvg(std::vector<Sequence>& args, FnContext& ctx) {
+  if (args[0].empty()) return Sequence{};
+  XQDB_ASSIGN_OR_RETURN(Sequence sum, FnSum(args, ctx));
+  double total = sum[0].atomic().AsDouble();
+  return Sequence{Item(
+      AtomicValue::Double(total / static_cast<double>(args[0].size())))};
+}
+
+Result<Sequence> MinMax(std::vector<Sequence>& args, bool want_max) {
+  XQDB_ASSIGN_OR_RETURN(std::vector<AtomicValue> vals,
+                        AggregateInput(args[0]));
+  if (vals.empty()) return Sequence{};
+  AtomicValue best = vals[0];
+  for (size_t i = 1; i < vals.size(); ++i) {
+    XQDB_ASSIGN_OR_RETURN(CmpResult r, CompareAtomic(vals[i], best));
+    if (r == CmpResult::kUnordered) {
+      return Sequence{Item(
+          AtomicValue::Double(std::numeric_limits<double>::quiet_NaN()))};
+    }
+    if ((want_max && r == CmpResult::kGreater) ||
+        (!want_max && r == CmpResult::kLess)) {
+      best = vals[i];
+    }
+  }
+  return Sequence{Item(std::move(best))};
+}
+
+Result<Sequence> FnMin(std::vector<Sequence>& args, FnContext&) {
+  return MinMax(args, /*want_max=*/false);
+}
+Result<Sequence> FnMax(std::vector<Sequence>& args, FnContext&) {
+  return MinMax(args, /*want_max=*/true);
+}
+
+Result<Sequence> FnDistinctValues(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(Sequence atoms, Atomize(args[0]));
+  Sequence out;
+  for (const Item& item : atoms) {
+    bool dup = false;
+    for (const Item& seen : out) {
+      auto r = GeneralComparePair(CompareOp::kEq, item.atomic(),
+                                  seen.atomic());
+      if (r.ok() && r.value()) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(item);
+  }
+  return out;
+}
+
+Result<Sequence> FnPosition(std::vector<Sequence>&, FnContext& ctx) {
+  if (ctx.focus == nullptr || !ctx.focus->has_item) {
+    return Status::DynamicError("XPDY0002: fn:position() with no context");
+  }
+  return Sequence{Item(AtomicValue::Integer(ctx.focus->position))};
+}
+
+Result<Sequence> FnLast(std::vector<Sequence>&, FnContext& ctx) {
+  if (ctx.focus == nullptr || !ctx.focus->has_item) {
+    return Status::DynamicError("XPDY0002: fn:last() with no context");
+  }
+  return Sequence{Item(AtomicValue::Integer(ctx.focus->size))};
+}
+
+Result<Sequence> FnError(std::vector<Sequence>& args, FnContext&) {
+  std::string msg = "FOER0000";
+  if (!args.empty() && !args[0].empty()) msg = StringOf(args[0][0]);
+  return Status::DynamicError("fn:error: " + msg);
+}
+
+Result<std::string> SingletonString(const Sequence& s, const char* fn) {
+  if (s.empty()) return std::string();
+  if (s.size() > 1) {
+    return Status::TypeError(std::string("XPTY0004: ") + fn +
+                             " argument cardinality");
+  }
+  return StringOf(s[0]);
+}
+
+Result<Sequence> FnUpperCase(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(std::string s,
+                        SingletonString(args[0], "fn:upper-case"));
+  for (char& c : s) c = std::toupper(static_cast<unsigned char>(c));
+  return Sequence{Item(AtomicValue::String(std::move(s)))};
+}
+
+Result<Sequence> FnLowerCase(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(std::string s,
+                        SingletonString(args[0], "fn:lower-case"));
+  for (char& c : s) c = std::tolower(static_cast<unsigned char>(c));
+  return Sequence{Item(AtomicValue::String(std::move(s)))};
+}
+
+Result<Sequence> FnStringLength(std::vector<Sequence>& args, FnContext& ctx) {
+  std::string s;
+  if (args.empty()) {
+    if (ctx.focus == nullptr || !ctx.focus->has_item) {
+      return Status::DynamicError("XPDY0002: no context item");
+    }
+    s = StringOf(ctx.focus->item);
+  } else {
+    XQDB_ASSIGN_OR_RETURN(s, SingletonString(args[0], "fn:string-length"));
+  }
+  return Sequence{
+      Item(AtomicValue::Integer(static_cast<long long>(s.size())))};
+}
+
+Result<Sequence> FnSubstringBefore(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(std::string s,
+                        SingletonString(args[0], "fn:substring-before"));
+  XQDB_ASSIGN_OR_RETURN(std::string p,
+                        SingletonString(args[1], "fn:substring-before"));
+  size_t pos = p.empty() ? std::string::npos : s.find(p);
+  return Sequence{Item(AtomicValue::String(
+      pos == std::string::npos ? "" : s.substr(0, pos)))};
+}
+
+Result<Sequence> FnSubstringAfter(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(std::string s,
+                        SingletonString(args[0], "fn:substring-after"));
+  XQDB_ASSIGN_OR_RETURN(std::string p,
+                        SingletonString(args[1], "fn:substring-after"));
+  size_t pos = p.empty() ? std::string::npos : s.find(p);
+  return Sequence{Item(AtomicValue::String(
+      pos == std::string::npos ? "" : s.substr(pos + p.size())))};
+}
+
+Result<Sequence> FnEndsWith(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(std::string s,
+                        SingletonString(args[0], "fn:ends-with"));
+  XQDB_ASSIGN_OR_RETURN(std::string p,
+                        SingletonString(args[1], "fn:ends-with"));
+  bool ends = s.size() >= p.size() &&
+              s.compare(s.size() - p.size(), p.size(), p) == 0;
+  return Sequence{Item(AtomicValue::Boolean(ends))};
+}
+
+Result<Sequence> FnTranslate(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(std::string s,
+                        SingletonString(args[0], "fn:translate"));
+  XQDB_ASSIGN_OR_RETURN(std::string from,
+                        SingletonString(args[1], "fn:translate"));
+  XQDB_ASSIGN_OR_RETURN(std::string to,
+                        SingletonString(args[2], "fn:translate"));
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    size_t i = from.find(c);
+    if (i == std::string::npos) {
+      out.push_back(c);
+    } else if (i < to.size()) {
+      out.push_back(to[i]);
+    }  // else: mapped to nothing (deleted)
+  }
+  return Sequence{Item(AtomicValue::String(std::move(out)))};
+}
+
+/// Shared numeric-unary machinery for abs/floor/ceiling/round.
+Result<Sequence> NumericUnary(const Sequence& arg, const char* name,
+                              double (*dfn)(double),
+                              long long (*ifn)(long long)) {
+  if (arg.empty()) return Sequence{};
+  XQDB_ASSIGN_OR_RETURN(Sequence atoms, Atomize(arg));
+  if (atoms.size() > 1) {
+    return Status::TypeError(std::string("XPTY0004: ") + name +
+                             " cardinality");
+  }
+  AtomicValue v = atoms[0].atomic();
+  if (v.type() == AtomicType::kUntypedAtomic) {
+    XQDB_ASSIGN_OR_RETURN(v, CastTo(v, AtomicType::kDouble));
+  }
+  if (v.type() == AtomicType::kInteger) {
+    return Sequence{Item(AtomicValue::Integer(ifn(v.integer_value())))};
+  }
+  if (v.type() == AtomicType::kDouble) {
+    return Sequence{Item(AtomicValue::Double(dfn(v.double_value())))};
+  }
+  return Status::TypeError(std::string("XPTY0004: ") + name +
+                           " on non-numeric value");
+}
+
+Result<Sequence> FnAbs(std::vector<Sequence>& args, FnContext&) {
+  return NumericUnary(args[0], "fn:abs", [](double d) { return std::fabs(d); },
+                      [](long long i) { return i < 0 ? -i : i; });
+}
+Result<Sequence> FnFloor(std::vector<Sequence>& args, FnContext&) {
+  return NumericUnary(args[0], "fn:floor",
+                      [](double d) { return std::floor(d); },
+                      [](long long i) { return i; });
+}
+Result<Sequence> FnCeiling(std::vector<Sequence>& args, FnContext&) {
+  return NumericUnary(args[0], "fn:ceiling",
+                      [](double d) { return std::ceil(d); },
+                      [](long long i) { return i; });
+}
+Result<Sequence> FnRound(std::vector<Sequence>& args, FnContext&) {
+  // xs: round half up (toward positive infinity), per F&O.
+  return NumericUnary(args[0], "fn:round",
+                      [](double d) { return std::floor(d + 0.5); },
+                      [](long long i) { return i; });
+}
+
+Result<Sequence> FnReverse(std::vector<Sequence>& args, FnContext&) {
+  Sequence out(args[0].rbegin(), args[0].rend());
+  return out;
+}
+
+Result<Sequence> FnSubsequence(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(Sequence a1, Atomize(args[1]));
+  if (a1.size() != 1) {
+    return Status::TypeError("XPTY0004: fn:subsequence start");
+  }
+  double start = NumberOf(a1[0].atomic());
+  double len = std::numeric_limits<double>::infinity();
+  if (args.size() == 3) {
+    XQDB_ASSIGN_OR_RETURN(Sequence a2, Atomize(args[2]));
+    if (a2.size() != 1) {
+      return Status::TypeError("XPTY0004: fn:subsequence length");
+    }
+    len = NumberOf(a2[0].atomic());
+  }
+  Sequence out;
+  for (size_t i = 0; i < args[0].size(); ++i) {
+    double pos = static_cast<double>(i + 1);
+    if (pos >= std::round(start) && pos < std::round(start) + len) {
+      out.push_back(args[0][i]);
+    }
+  }
+  return out;
+}
+
+Result<Sequence> FnRemove(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(Sequence a1, Atomize(args[1]));
+  if (a1.size() != 1) {
+    return Status::TypeError("XPTY0004: fn:remove position");
+  }
+  long long pos = static_cast<long long>(NumberOf(a1[0].atomic()));
+  Sequence out;
+  for (size_t i = 0; i < args[0].size(); ++i) {
+    if (static_cast<long long>(i + 1) != pos) out.push_back(args[0][i]);
+  }
+  return out;
+}
+
+Result<Sequence> FnIndexOf(std::vector<Sequence>& args, FnContext&) {
+  XQDB_ASSIGN_OR_RETURN(Sequence haystack, Atomize(args[0]));
+  XQDB_ASSIGN_OR_RETURN(Sequence needle, Atomize(args[1]));
+  if (needle.size() != 1) {
+    return Status::TypeError("XPTY0004: fn:index-of search value");
+  }
+  Sequence out;
+  for (size_t i = 0; i < haystack.size(); ++i) {
+    auto eq = GeneralComparePair(CompareOp::kEq, haystack[i].atomic(),
+                                 needle[0].atomic());
+    if (eq.ok() && eq.value()) {
+      out.push_back(Item(AtomicValue::Integer(static_cast<long long>(i + 1))));
+    }
+  }
+  return out;
+}
+
+Result<Sequence> FnZeroOrOne(std::vector<Sequence>& args, FnContext&) {
+  if (args[0].size() > 1) {
+    return Status::DynamicError(
+        "FORG0003: fn:zero-or-one called with a sequence of more than one "
+        "item");
+  }
+  return args[0];
+}
+
+Result<Sequence> FnOneOrMore(std::vector<Sequence>& args, FnContext&) {
+  if (args[0].empty()) {
+    return Status::DynamicError(
+        "FORG0004: fn:one-or-more called with an empty sequence");
+  }
+  return args[0];
+}
+
+Result<Sequence> FnExactlyOne(std::vector<Sequence>& args, FnContext&) {
+  if (args[0].size() != 1) {
+    return Status::DynamicError(
+        "FORG0005: fn:exactly-one called with a sequence of " +
+        std::to_string(args[0].size()) + " items");
+  }
+  return args[0];
+}
+
+/// Structural deep equality (fn:deep-equal, codepoint collation).
+bool DeepEqualNodes(const NodeHandle& a, const NodeHandle& b);
+
+bool DeepEqualItems(const Item& a, const Item& b) {
+  if (a.is_node() != b.is_node()) return false;
+  if (!a.is_node()) {
+    auto r = GeneralComparePair(CompareOp::kEq, a.atomic(), b.atomic());
+    return r.ok() && r.value();
+  }
+  return DeepEqualNodes(a.node(), b.node());
+}
+
+bool DeepEqualNodes(const NodeHandle& a, const NodeHandle& b) {
+  const Node& na = a.node();
+  const Node& nb = b.node();
+  if (na.kind != nb.kind) return false;
+  switch (na.kind) {
+    case NodeKind::kText:
+    case NodeKind::kComment:
+      return na.content == nb.content;
+    case NodeKind::kProcessingInstruction:
+    case NodeKind::kAttribute:
+      return na.name == nb.name && na.content == nb.content;
+    case NodeKind::kDocument:
+    case NodeKind::kElement:
+      break;
+  }
+  if (na.kind == NodeKind::kElement && na.name != nb.name) return false;
+  // Attributes: same set (order-insensitive).
+  std::vector<std::pair<NameId, std::string>> attrs_a, attrs_b;
+  for (NodeIdx x = na.first_attr; x != kNullNode;
+       x = a.doc->node(x).next_sibling) {
+    attrs_a.emplace_back(a.doc->node(x).name, a.doc->node(x).content);
+  }
+  for (NodeIdx x = nb.first_attr; x != kNullNode;
+       x = b.doc->node(x).next_sibling) {
+    attrs_b.emplace_back(b.doc->node(x).name, b.doc->node(x).content);
+  }
+  std::sort(attrs_a.begin(), attrs_a.end());
+  std::sort(attrs_b.begin(), attrs_b.end());
+  if (attrs_a != attrs_b) return false;
+  // Children: pairwise, ignoring comments/PIs per F&O.
+  auto next_significant = [](const Document* doc, NodeIdx c) {
+    while (c != kNullNode &&
+           (doc->node(c).kind == NodeKind::kComment ||
+            doc->node(c).kind == NodeKind::kProcessingInstruction)) {
+      c = doc->node(c).next_sibling;
+    }
+    return c;
+  };
+  NodeIdx ca = next_significant(a.doc, na.first_child);
+  NodeIdx cb = next_significant(b.doc, nb.first_child);
+  while (ca != kNullNode && cb != kNullNode) {
+    if (!DeepEqualNodes(NodeHandle{a.doc, ca}, NodeHandle{b.doc, cb})) {
+      return false;
+    }
+    ca = next_significant(a.doc, a.doc->node(ca).next_sibling);
+    cb = next_significant(b.doc, b.doc->node(cb).next_sibling);
+  }
+  return ca == kNullNode && cb == kNullNode;
+}
+
+Result<Sequence> FnDeepEqual(std::vector<Sequence>& args, FnContext&) {
+  if (args[0].size() != args[1].size()) {
+    return Sequence{Item(AtomicValue::Boolean(false))};
+  }
+  for (size_t i = 0; i < args[0].size(); ++i) {
+    if (!DeepEqualItems(args[0][i], args[1][i])) {
+      return Sequence{Item(AtomicValue::Boolean(false))};
+    }
+  }
+  return Sequence{Item(AtomicValue::Boolean(true))};
+}
+
+}  // namespace
+
+const std::map<std::string, BuiltinEntry>& BuiltinRegistry() {
+  static const auto* registry = new std::map<std::string, BuiltinEntry>{
+      {"fn:data", {0, 1, FnData}},
+      {"fn:string", {0, 1, FnString}},
+      {"fn:string-join", {2, 2, FnStringJoin}},
+      {"fn:concat", {2, -1, FnConcat}},
+      {"fn:count", {1, 1, FnCount}},
+      {"fn:exists", {1, 1, FnExists}},
+      {"fn:empty", {1, 1, FnEmpty}},
+      {"fn:not", {1, 1, FnNot}},
+      {"fn:boolean", {1, 1, FnBoolean}},
+      {"fn:true", {0, 0, FnTrue}},
+      {"fn:false", {0, 0, FnFalse}},
+      {"fn:number", {0, 1, FnNumber}},
+      {"fn:root", {0, 1, FnRoot}},
+      {"fn:name",
+       {0, 1, [](std::vector<Sequence>& a, FnContext& c) {
+          return NameLike(a, c, 0);
+        }}},
+      {"fn:local-name",
+       {0, 1, [](std::vector<Sequence>& a, FnContext& c) {
+          return NameLike(a, c, 1);
+        }}},
+      {"fn:namespace-uri",
+       {0, 1, [](std::vector<Sequence>& a, FnContext& c) {
+          return NameLike(a, c, 2);
+        }}},
+      {"fn:contains", {2, 2, FnContains}},
+      {"fn:starts-with", {2, 2, FnStartsWith}},
+      {"fn:substring", {2, 3, FnSubstring}},
+      {"fn:normalize-space", {0, 1, FnNormalizeSpace}},
+      {"fn:sum", {1, 1, FnSum}},
+      {"fn:avg", {1, 1, FnAvg}},
+      {"fn:min", {1, 1, FnMin}},
+      {"fn:max", {1, 1, FnMax}},
+      {"fn:distinct-values", {1, 1, FnDistinctValues}},
+      {"fn:position", {0, 0, FnPosition}},
+      {"fn:last", {0, 0, FnLast}},
+      {"fn:error", {0, 2, FnError}},
+      {"fn:upper-case", {1, 1, FnUpperCase}},
+      {"fn:lower-case", {1, 1, FnLowerCase}},
+      {"fn:string-length", {0, 1, FnStringLength}},
+      {"fn:substring-before", {2, 2, FnSubstringBefore}},
+      {"fn:substring-after", {2, 2, FnSubstringAfter}},
+      {"fn:ends-with", {2, 2, FnEndsWith}},
+      {"fn:translate", {3, 3, FnTranslate}},
+      {"fn:abs", {1, 1, FnAbs}},
+      {"fn:floor", {1, 1, FnFloor}},
+      {"fn:ceiling", {1, 1, FnCeiling}},
+      {"fn:round", {1, 1, FnRound}},
+      {"fn:reverse", {1, 1, FnReverse}},
+      {"fn:subsequence", {2, 3, FnSubsequence}},
+      {"fn:remove", {2, 2, FnRemove}},
+      {"fn:index-of", {2, 2, FnIndexOf}},
+      {"fn:zero-or-one", {1, 1, FnZeroOrOne}},
+      {"fn:one-or-more", {1, 1, FnOneOrMore}},
+      {"fn:exactly-one", {1, 1, FnExactlyOne}},
+      {"fn:deep-equal", {2, 2, FnDeepEqual}},
+  };
+  return *registry;
+}
+
+}  // namespace xqdb

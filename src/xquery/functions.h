@@ -1,0 +1,39 @@
+#ifndef XQDB_XQUERY_FUNCTIONS_H_
+#define XQDB_XQUERY_FUNCTIONS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xdm/item.h"
+
+namespace xqdb {
+
+struct Focus;
+class QueryRuntime;
+
+/// Services a builtin function may need beyond its arguments.
+struct FnContext {
+  const Focus* focus = nullptr;
+  QueryRuntime* runtime = nullptr;
+};
+
+using BuiltinFn =
+    std::function<Result<Sequence>(std::vector<Sequence>&, FnContext&)>;
+
+struct BuiltinEntry {
+  int min_arity;
+  int max_arity;  // -1 = variadic
+  BuiltinFn fn;
+};
+
+/// The builtin function library, keyed by canonical name ("fn:data",
+/// "fn:string-join", ...). Type-constructor functions (xs:double etc.) are
+/// desugared to casts at parse time and do not appear here.
+const std::map<std::string, BuiltinEntry>& BuiltinRegistry();
+
+}  // namespace xqdb
+
+#endif  // XQDB_XQUERY_FUNCTIONS_H_

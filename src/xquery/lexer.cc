@@ -1,0 +1,142 @@
+#include "xquery/lexer.h"
+
+#include <cctype>
+
+namespace xqdb {
+
+bool IsNCNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNCNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+void CharCursor::SkipWs() {
+  for (;;) {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Bump();
+    }
+    if (LookingAt("(:")) {
+      int depth = 0;
+      while (!AtEnd()) {
+        if (LookingAt("(:")) {
+          depth++;
+          pos_ += 2;
+        } else if (LookingAt(":)")) {
+          depth--;
+          pos_ += 2;
+          if (depth == 0) break;
+        } else {
+          Bump();
+        }
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+bool CharCursor::ConsumeToken(std::string_view s) {
+  SkipWs();
+  if (LookingAt(s)) {
+    pos_ += s.size();
+    return true;
+  }
+  return false;
+}
+
+bool CharCursor::ConsumeKeyword(std::string_view kw) {
+  SkipWs();
+  if (!LookingAt(kw)) return false;
+  char after = PeekAt(kw.size());
+  if (IsNCNameChar(after)) return false;
+  pos_ += kw.size();
+  return true;
+}
+
+bool CharCursor::PeekKeyword(std::string_view kw) {
+  size_t mark = pos_;
+  bool ok = ConsumeKeyword(kw);
+  pos_ = mark;
+  return ok;
+}
+
+Result<std::string> CharCursor::ParseNCName() {
+  if (AtEnd() || !IsNCNameStart(Peek())) {
+    return Status::ParseError("expected name at " + Location());
+  }
+  size_t start = pos_;
+  while (!AtEnd() && IsNCNameChar(Peek())) Bump();
+  return std::string(in_.substr(start, pos_ - start));
+}
+
+Result<std::string> CharCursor::ParseStringLiteral() {
+  SkipWs();
+  if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+    return Status::ParseError("expected string literal at " + Location());
+  }
+  char quote = Peek();
+  Bump();
+  std::string out;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == quote) {
+      if (PeekAt(1) == quote) {  // Doubled quote escape.
+        out.push_back(quote);
+        pos_ += 2;
+        continue;
+      }
+      Bump();
+      return out;
+    }
+    if (c == '&') {
+      // Minimal entity support in literals.
+      if (LookingAt("&lt;")) {
+        out.push_back('<');
+        pos_ += 4;
+        continue;
+      }
+      if (LookingAt("&gt;")) {
+        out.push_back('>');
+        pos_ += 4;
+        continue;
+      }
+      if (LookingAt("&amp;")) {
+        out.push_back('&');
+        pos_ += 5;
+        continue;
+      }
+      if (LookingAt("&quot;")) {
+        out.push_back('"');
+        pos_ += 6;
+        continue;
+      }
+      if (LookingAt("&apos;")) {
+        out.push_back('\'');
+        pos_ += 6;
+        continue;
+      }
+    }
+    out.push_back(c);
+    Bump();
+  }
+  return Status::ParseError("unterminated string literal");
+}
+
+std::string CharCursor::Location() const {
+  // Report 1-based line:column.
+  size_t line = 1, col = 1;
+  for (size_t i = 0; i < pos_ && i < in_.size(); ++i) {
+    if (in_[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return "line " + std::to_string(line) + ":" + std::to_string(col);
+}
+
+}  // namespace xqdb

@@ -1,0 +1,67 @@
+#ifndef XQDB_XQUERY_LEXER_H_
+#define XQDB_XQUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xqdb {
+
+/// Character-level cursor shared by the scannerless XQuery parser. XQuery's
+/// grammar is context-dependent ('*' is a wildcard in a step but an operator
+/// between expressions; '<' opens a constructor in expression position), so
+/// the parser lexes on demand instead of pre-tokenizing.
+class CharCursor {
+ public:
+  explicit CharCursor(std::string_view input) : in_(input) {}
+
+  size_t pos() const { return pos_; }
+  void set_pos(size_t p) { pos_ = p; }
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : in_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < in_.size() ? in_[pos_ + offset] : '\0';
+  }
+  void Bump() { ++pos_; }
+  std::string_view input() const { return in_; }
+
+  /// Skips whitespace and nestable XQuery comments `(: ... :)`.
+  void SkipWs();
+
+  /// True if the next chars equal `s` (no whitespace skip).
+  bool LookingAt(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+
+  /// Skips whitespace, then consumes `s` if it is next. Punctuation only.
+  bool ConsumeToken(std::string_view s);
+
+  /// Skips whitespace, then consumes keyword `kw` only when followed by a
+  /// non-name character (so "forward" is not the keyword "for").
+  bool ConsumeKeyword(std::string_view kw);
+
+  /// Like ConsumeKeyword but only peeks.
+  bool PeekKeyword(std::string_view kw);
+
+  /// Parses an NCName at the cursor (no whitespace skip; error if absent).
+  Result<std::string> ParseNCName();
+
+  /// Skips whitespace, then parses a quoted string literal with XQuery
+  /// doubled-quote escapes ("" or '') and XML entity references.
+  Result<std::string> ParseStringLiteral();
+
+  /// Location string for error messages.
+  std::string Location() const;
+
+ private:
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+bool IsNCNameStart(char c);
+bool IsNCNameChar(char c);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XQUERY_LEXER_H_

@@ -1,0 +1,34 @@
+#ifndef XQDB_XQUERY_PARSER_H_
+#define XQDB_XQUERY_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "xquery/ast.h"
+#include "xquery/static_context.h"
+
+namespace xqdb {
+
+/// A parsed XQuery: the prolog's static context plus the body expression.
+struct ParsedQuery {
+  StaticContext static_context;
+  std::unique_ptr<Expr> body;
+};
+
+/// Parses an XQuery query (prolog + expression) in the subset xqdb
+/// implements: FLWOR, quantified and conditional expressions, full path
+/// expressions with predicates, general/value/node comparisons, arithmetic,
+/// set operations (union/intersect/except), `cast as`, direct element
+/// constructors with enclosed expressions, and the built-in function
+/// library. See README for the precise grammar.
+Result<ParsedQuery> ParseXQuery(std::string_view text);
+
+/// Parses just an expression with a caller-supplied static context (used by
+/// SQL/XML functions, whose XQuery arguments inherit SQL-session defaults).
+Result<std::unique_ptr<Expr>> ParseXQueryExpr(std::string_view text,
+                                              StaticContext* sctx);
+
+}  // namespace xqdb
+
+#endif  // XQDB_XQUERY_PARSER_H_

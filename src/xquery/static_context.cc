@@ -1,0 +1,29 @@
+#include "xquery/static_context.h"
+
+namespace xqdb {
+
+StaticContext::StaticContext() {
+  prefixes_["xs"] = "http://www.w3.org/2001/XMLSchema";
+  prefixes_["xdt"] = "http://www.w3.org/2005/xpath-datatypes";
+  prefixes_["fn"] = "http://www.w3.org/2005/xpath-functions";
+  prefixes_["db2-fn"] = "http://www.ibm.com/xmlns/prod/db2/functions";
+  prefixes_["xml"] = "http://www.w3.org/XML/1998/namespace";
+}
+
+void StaticContext::DeclareNamespace(std::string prefix, std::string uri) {
+  prefixes_[std::move(prefix)] = std::move(uri);
+}
+
+void StaticContext::SetDefaultElementNamespace(std::string uri) {
+  default_element_ns_ = std::move(uri);
+}
+
+std::optional<std::string> StaticContext::ResolvePrefix(
+    std::string_view prefix) const {
+  if (prefix.empty()) return default_element_ns_;
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace xqdb

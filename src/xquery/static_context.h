@@ -1,0 +1,46 @@
+#ifndef XQDB_XQUERY_STATIC_CONTEXT_H_
+#define XQDB_XQUERY_STATIC_CONTEXT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xqdb {
+
+/// Per-query static context built from the prolog: namespace bindings, the
+/// default element namespace (which silently changes which nodes a path
+/// matches — the §3.7 pitfall), and the construction mode that controls
+/// whether copied nodes keep their type annotations (§3.6).
+class StaticContext {
+ public:
+  StaticContext();
+
+  /// declare namespace prefix="uri";
+  void DeclareNamespace(std::string prefix, std::string uri);
+  /// declare default element namespace "uri";
+  void SetDefaultElementNamespace(std::string uri);
+
+  /// Resolves a prefix ("" = default element namespace for elements).
+  /// Built-in prefixes xs, fn, xdt, db2-fn are pre-declared.
+  std::optional<std::string> ResolvePrefix(std::string_view prefix) const;
+
+  const std::string& default_element_namespace() const {
+    return default_element_ns_;
+  }
+
+  /// XQuery "construction mode": strip (copied nodes become untyped) or
+  /// preserve annotations. DB2-like default: strip.
+  enum class ConstructionMode { kStrip, kPreserve };
+  ConstructionMode construction_mode() const { return construction_mode_; }
+  void set_construction_mode(ConstructionMode m) { construction_mode_ = m; }
+
+ private:
+  std::map<std::string, std::string, std::less<>> prefixes_;
+  std::string default_element_ns_;
+  ConstructionMode construction_mode_ = ConstructionMode::kStrip;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_XQUERY_STATIC_CONTEXT_H_

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "index/btree.h"
+
+namespace xqdb {
+namespace {
+
+struct Ref {
+  uint32_t row = 0;
+  int32_t node = 0;
+  friend bool operator==(const Ref&, const Ref&) = default;
+};
+
+TEST(BtreeTest, EmptyTree) {
+  BPlusTree<double, Ref> tree;
+  EXPECT_EQ(tree.size(), 0u);
+  size_t visited = tree.Scan(ScanBound<double>::Unbounded(),
+                             ScanBound<double>::Unbounded(),
+                             [](const double&, const Ref&) { FAIL(); });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(BtreeTest, InsertAndPointLookup) {
+  BPlusTree<double, Ref> tree;
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert(static_cast<double>(i), Ref{static_cast<uint32_t>(i), 0});
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  int hits = 0;
+  tree.ScanEqual(500.0, [&](const Ref& r) {
+    EXPECT_EQ(r.row, 500u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+  hits = 0;
+  tree.ScanEqual(1000.0, [&](const Ref&) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(BtreeTest, DuplicateKeys) {
+  BPlusTree<double, Ref> tree;
+  for (uint32_t i = 0; i < 300; ++i) {
+    tree.Insert(7.0, Ref{i, 0});
+  }
+  tree.Insert(6.0, Ref{999, 0});
+  tree.Insert(8.0, Ref{998, 0});
+  std::vector<uint32_t> rows;
+  tree.ScanEqual(7.0, [&](const Ref& r) { rows.push_back(r.row); });
+  EXPECT_EQ(rows.size(), 300u);
+  std::sort(rows.begin(), rows.end());
+  for (uint32_t i = 0; i < 300; ++i) EXPECT_EQ(rows[i], i);
+}
+
+TEST(BtreeTest, RangeScanBoundsSemantics) {
+  BPlusTree<double, Ref> tree;
+  for (int i = 0; i <= 10; ++i) {
+    tree.Insert(static_cast<double>(i), Ref{static_cast<uint32_t>(i), 0});
+  }
+  auto collect = [&](ScanBound<double> lo, ScanBound<double> hi) {
+    std::vector<double> keys;
+    tree.Scan(lo, hi, [&](const double& k, const Ref&) { keys.push_back(k); });
+    return keys;
+  };
+  EXPECT_EQ(collect(ScanBound<double>::Inclusive(3),
+                    ScanBound<double>::Inclusive(5)),
+            (std::vector<double>{3, 4, 5}));
+  EXPECT_EQ(collect(ScanBound<double>::Exclusive(3),
+                    ScanBound<double>::Exclusive(5)),
+            (std::vector<double>{4}));
+  EXPECT_EQ(collect(ScanBound<double>::Unbounded(),
+                    ScanBound<double>::Exclusive(2)),
+            (std::vector<double>{0, 1}));
+  EXPECT_EQ(collect(ScanBound<double>::Inclusive(9),
+                    ScanBound<double>::Unbounded()),
+            (std::vector<double>{9, 10}));
+  EXPECT_TRUE(collect(ScanBound<double>::Inclusive(6),
+                      ScanBound<double>::Exclusive(6))
+                  .empty());
+}
+
+TEST(BtreeTest, StringKeys) {
+  BPlusTree<std::string, Ref> tree;
+  tree.Insert("banana", Ref{1, 0});
+  tree.Insert("apple", Ref{0, 0});
+  tree.Insert("cherry", Ref{2, 0});
+  std::vector<std::string> keys;
+  tree.Scan(ScanBound<std::string>::Unbounded(),
+            ScanBound<std::string>::Unbounded(),
+            [&](const std::string& k, const Ref&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple", "banana", "cherry"}));
+}
+
+TEST(BtreeTest, EraseSpecificValue) {
+  BPlusTree<double, Ref> tree;
+  tree.Insert(1.0, Ref{10, 1});
+  tree.Insert(1.0, Ref{10, 2});
+  tree.Insert(1.0, Ref{11, 1});
+  EXPECT_TRUE(tree.Erase(1.0, Ref{10, 2}));
+  EXPECT_FALSE(tree.Erase(1.0, Ref{10, 2}));  // already gone
+  EXPECT_FALSE(tree.Erase(2.0, Ref{10, 1}));  // no such key
+  EXPECT_EQ(tree.size(), 2u);
+  std::vector<Ref> left;
+  tree.ScanEqual(1.0, [&](const Ref& r) { left.push_back(r); });
+  ASSERT_EQ(left.size(), 2u);
+}
+
+TEST(BtreeTest, HeightStaysLogarithmic) {
+  BPlusTree<double, Ref> tree;
+  for (int i = 0; i < 100000; ++i) {
+    tree.Insert(static_cast<double>(i), Ref{static_cast<uint32_t>(i), 0});
+  }
+  // Order-64 tree: 100k entries fit comfortably within height 4.
+  EXPECT_LE(tree.height(), 4);
+  EXPECT_GE(tree.height(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random interleaved inserts/erases/scans against
+// std::multimap as the reference implementation.
+// ---------------------------------------------------------------------------
+
+class BtreePropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BtreePropertyTest, MatchesMultimapReference) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> key_dist(0, 200);  // dense → duplicates
+  std::uniform_int_distribution<int> op_dist(0, 9);
+
+  BPlusTree<double, Ref> tree;
+  std::multimap<double, Ref> reference;
+  uint32_t next_row = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    int op = op_dist(rng);
+    double key = static_cast<double>(key_dist(rng));
+    if (op < 6) {  // insert
+      Ref ref{next_row++, 0};
+      tree.Insert(key, ref);
+      reference.emplace(key, ref);
+    } else if (op < 8) {  // erase one entry with this key, if any
+      auto it = reference.find(key);
+      bool expect = it != reference.end();
+      Ref victim = expect ? it->second : Ref{0, -1};
+      EXPECT_EQ(tree.Erase(key, victim), expect) << "key " << key;
+      if (expect) reference.erase(it);
+    } else {  // range scan comparison
+      double lo = static_cast<double>(key_dist(rng));
+      double hi = lo + static_cast<double>(key_dist(rng)) / 4;
+      std::multiset<uint32_t> got, want;
+      tree.Scan(ScanBound<double>::Inclusive(lo),
+                ScanBound<double>::Exclusive(hi),
+                [&](const double& k, const Ref& r) {
+                  EXPECT_GE(k, lo);
+                  EXPECT_LT(k, hi);
+                  got.insert(r.row);
+                });
+      for (auto it = reference.lower_bound(lo);
+           it != reference.end() && it->first < hi; ++it) {
+        want.insert(it->second.row);
+      }
+      EXPECT_EQ(got, want) << "range [" << lo << ", " << hi << ")";
+    }
+    if (step % 500 == 0) {
+      EXPECT_EQ(tree.size(), reference.size());
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BtreePropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+
+TEST(BtreeTest, EstimateRankApproximatesTruth) {
+  BPlusTree<double, Ref> tree;
+  const int n = 20000;
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dist(0, 1000);
+  for (int i = 0; i < n; ++i) {
+    tree.Insert(dist(rng), Ref{static_cast<uint32_t>(i), 0});
+  }
+  // Uniform keys: rank(x) should be close to x/1000.
+  for (double key : {100.0, 250.0, 500.0, 900.0}) {
+    double est = tree.EstimateRank(key, /*upper=*/false);
+    EXPECT_NEAR(est, key / 1000.0, 0.08) << key;
+  }
+  double band = tree.EstimateRangeCount(ScanBound<double>::Inclusive(400),
+                                        ScanBound<double>::Exclusive(600));
+  EXPECT_NEAR(band / n, 0.2, 0.08);
+  // Degenerate cases.
+  BPlusTree<double, Ref> empty;
+  EXPECT_EQ(empty.EstimateRank(5, false), 0.0);
+  EXPECT_EQ(empty.EstimateRangeCount(ScanBound<double>::Unbounded(),
+                                     ScanBound<double>::Unbounded()),
+            0.0);
+}
+
+}  // namespace
+}  // namespace xqdb

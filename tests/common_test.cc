@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace xqdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::TypeError("XPTY0004: bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_EQ(s.ToString(), "TypeError: XPTY0004: bad");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  XQDB_ASSIGN_OR_RETURN(int h, Half(x));
+  XQDB_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  a b \n"), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t\r\n"), "");
+}
+
+TEST(StrUtilTest, IsAllWhitespace) {
+  EXPECT_TRUE(IsAllWhitespace(" \t\n"));
+  EXPECT_TRUE(IsAllWhitespace(""));
+  EXPECT_FALSE(IsAllWhitespace(" x "));
+}
+
+TEST(StrUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StrUtilTest, ParseXsDoubleBasics) {
+  EXPECT_DOUBLE_EQ(*ParseXsDouble("99.50"), 99.50);
+  EXPECT_DOUBLE_EQ(*ParseXsDouble(" 100 "), 100.0);
+  EXPECT_DOUBLE_EQ(*ParseXsDouble("10E3"), 10000.0);
+  EXPECT_DOUBLE_EQ(*ParseXsDouble("-2.5e-1"), -0.25);
+}
+
+TEST(StrUtilTest, ParseXsDoubleSpecials) {
+  EXPECT_TRUE(std::isinf(*ParseXsDouble("INF")));
+  EXPECT_TRUE(std::isinf(*ParseXsDouble("-INF")));
+  EXPECT_TRUE(std::isnan(*ParseXsDouble("NaN")));
+}
+
+TEST(StrUtilTest, ParseXsDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseXsDouble("20 USD").has_value());
+  EXPECT_FALSE(ParseXsDouble("99.50USD").has_value());
+  EXPECT_FALSE(ParseXsDouble("").has_value());
+  EXPECT_FALSE(ParseXsDouble("0x1A").has_value());
+  EXPECT_FALSE(ParseXsDouble("inf").has_value());  // xs:double is INF
+}
+
+TEST(StrUtilTest, ParseXsInteger) {
+  EXPECT_EQ(*ParseXsInteger("123"), 123);
+  EXPECT_EQ(*ParseXsInteger("-7"), -7);
+  EXPECT_FALSE(ParseXsInteger("1.5").has_value());
+  EXPECT_FALSE(ParseXsInteger("99999999999999999999").has_value());
+}
+
+TEST(StrUtilTest, FormatXsDouble) {
+  EXPECT_EQ(FormatXsDouble(100.0), "100");
+  EXPECT_EQ(FormatXsDouble(99.5), "99.5");
+  EXPECT_EQ(FormatXsDouble(-0.0), "0");
+  EXPECT_EQ(FormatXsDouble(std::numeric_limits<double>::infinity()), "INF");
+}
+
+TEST(StrUtilTest, Split) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+}  // namespace
+}  // namespace xqdb

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "xml/parser.h"
+#include "xpath/containment.h"
+#include "xpath/pattern.h"
+#include "xpath/pattern_nfa.h"
+
+namespace xqdb {
+namespace {
+
+bool Contains(const std::string& index, const std::string& query) {
+  auto ip = ParsePattern(index);
+  auto qp = ParsePattern(query);
+  EXPECT_TRUE(ip.ok()) << index << ": " << ip.status().ToString();
+  EXPECT_TRUE(qp.ok()) << query << ": " << qp.status().ToString();
+  auto r = PatternContains(*ip, *qp);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+TEST(ContainmentTest, PaperQuery1And2) {
+  // Q1: index //lineitem/@price covers //order/lineitem/@price.
+  EXPECT_TRUE(Contains("//lineitem/@price", "//order/lineitem/@price"));
+  // Q2: but not the wildcard //order/lineitem/@*.
+  EXPECT_FALSE(Contains("//lineitem/@price", "//order/lineitem/@*"));
+}
+
+TEST(ContainmentTest, Reflexive) {
+  for (const char* p :
+       {"//a", "/a/b", "//a/@b", "//@*", "//a//b/text()", "/*/b"}) {
+    EXPECT_TRUE(Contains(p, p)) << p;
+  }
+}
+
+TEST(ContainmentTest, DescendantCoversChild) {
+  EXPECT_TRUE(Contains("//b", "/a/b"));
+  EXPECT_FALSE(Contains("/a/b", "//b"));
+  EXPECT_TRUE(Contains("//b", "/a//b"));
+  EXPECT_TRUE(Contains("//b", "//a/b"));
+}
+
+TEST(ContainmentTest, WildcardsCover) {
+  EXPECT_TRUE(Contains("//*", "//a"));
+  EXPECT_FALSE(Contains("//a", "//*"));
+  EXPECT_TRUE(Contains("/a/*/c", "/a/b/c"));
+  EXPECT_FALSE(Contains("/a/b/c", "/a/*/c"));
+}
+
+TEST(ContainmentTest, AttributeRankSeparation) {
+  // §3.9 / Tip 12: element wildcards never cover attributes.
+  EXPECT_FALSE(Contains("//*", "//@price"));
+  EXPECT_FALSE(Contains("//node()", "//@price"));
+  EXPECT_TRUE(Contains("//@*", "//lineitem/@price"));
+  EXPECT_TRUE(Contains("/descendant-or-self::node()/attribute::*",
+                       "//lineitem/@price"));
+  EXPECT_FALSE(Contains("//@*", "//price"));  // attr index, element query
+}
+
+TEST(ContainmentTest, TextAlignment) {
+  // §3.8 / Tip 11: /text() must align.
+  EXPECT_FALSE(Contains("//price", "//price/text()"));
+  EXPECT_FALSE(Contains("//price/text()", "//price"));
+  EXPECT_TRUE(Contains("//price/text()", "//lineitem/price/text()"));
+  EXPECT_TRUE(Contains("//text()", "//price/text()"));
+}
+
+TEST(ContainmentTest, Namespaces) {
+  // §3.7: a namespace-less index misses namespaced elements.
+  const std::string c_nation =
+      "declare namespace c=\"http://ournamespaces.com/customer\"; "
+      "//c:nation";
+  EXPECT_FALSE(Contains("//nation", c_nation));
+  EXPECT_TRUE(Contains("//*:nation", c_nation));
+  EXPECT_TRUE(Contains("declare default element namespace "
+                       "\"http://ournamespaces.com/customer\"; //nation",
+                       c_nation));
+  EXPECT_FALSE(Contains("declare default element namespace "
+                        "\"http://ournamespaces.com/order\"; //nation",
+                        c_nation));
+  // ns:* covers exact names in that namespace.
+  EXPECT_TRUE(Contains("declare namespace c=\"urn:c\"; //c:*",
+                       "declare namespace d=\"urn:c\"; //d:nation"));
+  EXPECT_FALSE(Contains("declare namespace c=\"urn:c\"; //c:*",
+                        "//nation"));
+  // *:local covers the local name in any namespace.
+  EXPECT_TRUE(Contains("//*:nation",
+                       "declare namespace c=\"urn:x\"; /c:root/c:nation"));
+}
+
+TEST(ContainmentTest, DeepPaths) {
+  EXPECT_TRUE(Contains("//c", "/a/b//x/c"));
+  EXPECT_TRUE(Contains("//b//c", "/x/b/y/c"));
+  EXPECT_FALSE(Contains("//b//c", "/x/c"));
+  EXPECT_FALSE(Contains("/a//c", "//c"));
+  EXPECT_TRUE(Contains("/a//c", "/a/b/c"));
+  EXPECT_TRUE(Contains("/a//c", "/a//b/c"));
+}
+
+TEST(ContainmentTest, KindTests) {
+  EXPECT_TRUE(Contains("//comment()", "/a/comment()"));
+  EXPECT_FALSE(Contains("//comment()", "//text()"));
+  EXPECT_TRUE(Contains("//processing-instruction()",
+                       "//processing-instruction(xmlstylesheet)"));
+  EXPECT_FALSE(Contains("//processing-instruction(a)",
+                        "//processing-instruction()"));
+  EXPECT_TRUE(Contains("//node()", "//text()"));
+  EXPECT_TRUE(Contains("//node()", "//b/c"));
+}
+
+// ---------------------------------------------------------------------------
+// Property test: the containment decision must agree with brute-force
+// matching on randomly generated documents. If Contains(I, Q) is true, no
+// document may have a node matched by Q but not by I.
+// ---------------------------------------------------------------------------
+
+class ContainmentPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+std::string RandomPattern(std::mt19937* rng) {
+  static const char* kNames[] = {"a", "b", "c"};
+  std::uniform_int_distribution<int> len(1, 4);
+  std::uniform_int_distribution<int> name(0, 2);
+  std::uniform_int_distribution<int> kind(0, 9);
+  std::uniform_int_distribution<int> coin(0, 1);
+  int n = len(*rng);
+  std::string p;
+  for (int i = 0; i < n; ++i) {
+    p += coin(*rng) ? "//" : "/";
+    bool last = i == n - 1;
+    int k = kind(*rng);
+    if (last && k < 2) {
+      p += "@";
+      p += coin(*rng) ? "*" : kNames[name(*rng)];
+    } else if (last && k == 2) {
+      p += "text()";
+    } else if (k == 3) {
+      p += "*";
+    } else {
+      p += kNames[name(*rng)];
+    }
+  }
+  return p;
+}
+
+std::string RandomDocument(std::mt19937* rng) {
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  std::uniform_int_distribution<int> name(0, 3);
+  std::uniform_int_distribution<int> children(0, 2);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::function<std::string(int)> gen = [&](int depth) -> std::string {
+    std::string tag = kNames[name(*rng)];
+    std::string xml = "<" + tag;
+    if (coin(*rng)) {
+      xml += std::string(" ") + kNames[name(*rng)] + "=\"v\"";
+    }
+    xml += ">";
+    if (depth < 3) {
+      int n = children(*rng);
+      for (int i = 0; i < n; ++i) xml += gen(depth + 1);
+    }
+    if (coin(*rng)) xml += "t";
+    xml += "</" + tag + ">";
+    return xml;
+  };
+  return gen(0);
+}
+
+TEST_P(ContainmentPropertyTest, AgreesWithBruteForce) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string ip_text = RandomPattern(&rng);
+    std::string qp_text = RandomPattern(&rng);
+    auto ip = ParsePattern(ip_text);
+    auto qp = ParsePattern(qp_text);
+    ASSERT_TRUE(ip.ok() && qp.ok()) << ip_text << " / " << qp_text;
+    auto contains = PatternContains(*ip, *qp);
+    ASSERT_TRUE(contains.ok());
+
+    auto infa = PatternNfa::Compile(*ip);
+    auto qnfa = PatternNfa::Compile(*qp);
+    ASSERT_TRUE(infa.ok() && qnfa.ok());
+
+    bool counterexample = false;
+    for (int d = 0; d < 30 && !counterexample; ++d) {
+      auto doc = ParseXml(RandomDocument(&rng));
+      ASSERT_TRUE(doc.ok());
+      std::set<NodeIdx> q_nodes, i_nodes;
+      ForEachMatch(*qnfa, **doc, [&](NodeIdx n) { q_nodes.insert(n); });
+      ForEachMatch(*infa, **doc, [&](NodeIdx n) { i_nodes.insert(n); });
+      for (NodeIdx n : q_nodes) {
+        if (i_nodes.count(n) == 0) {
+          counterexample = true;
+          break;
+        }
+      }
+    }
+    // Soundness: if containment says yes, sampling must not refute it.
+    if (contains.value()) {
+      EXPECT_FALSE(counterexample)
+          << "claimed " << ip_text << " contains " << qp_text;
+    }
+    // (Completeness can't be checked by sampling; dedicated cases above.)
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace xqdb

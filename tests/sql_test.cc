@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/database.h"
+
+namespace xqdb {
+namespace {
+
+class SqlFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Exec("CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+    Exec("CREATE TABLE products (id VARCHAR(13), name VARCHAR(32))");
+    Exec("INSERT INTO orders VALUES (1, "
+         "'<order><custid>7</custid>"
+         "<lineitem quantity=\"2\" price=\"150\">"
+         "<product><id>p1</id></product></lineitem>"
+         "<lineitem quantity=\"1\" price=\"50\">"
+         "<product><id>p2</id></product></lineitem>"
+         "</order>')");
+    Exec("INSERT INTO orders VALUES (2, "
+         "'<order><custid>8</custid>"
+         "<lineitem quantity=\"9\" price=\"60\">"
+         "<product><id>p2</id></product></lineitem>"
+         "</order>')");
+    Exec("INSERT INTO products VALUES ('p1', 'widget'), ('p2', 'gadget')");
+  }
+
+  void Exec(const std::string& sql) {
+    auto rs = db_.ExecuteSql(sql);
+    ASSERT_TRUE(rs.ok()) << sql << " => " << rs.status().ToString();
+  }
+
+  ResultSet Query(const std::string& sql) {
+    auto rs = db_.ExecuteSql(sql);
+    EXPECT_TRUE(rs.ok()) << sql << " => " << rs.status().ToString();
+    return rs.ok() ? std::move(*rs) : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlFixture, DdlErrors) {
+  auto dup = db_.ExecuteSql("CREATE TABLE orders (x INTEGER)");
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  auto missing = db_.ExecuteSql("INSERT INTO nope VALUES (1)");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  auto badxml = db_.ExecuteSql("INSERT INTO orders VALUES (3, '<broken')");
+  EXPECT_EQ(badxml.status().code(), StatusCode::kParseError);
+  auto badsyntax = db_.ExecuteSql("SELEKT * FROM orders");
+  EXPECT_EQ(badsyntax.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(SqlFixture, SimpleSelect) {
+  auto rs = Query("SELECT ordid FROM orders");
+  EXPECT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"ORDID"}));
+}
+
+TEST_F(SqlFixture, WhereOnRelationalColumn) {
+  auto rs = Query("SELECT ordid FROM orders WHERE ordid = 2");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].integer_value(), 2);
+  rs = Query("SELECT ordid FROM orders WHERE ordid > 1 AND ordid <= 2");
+  EXPECT_EQ(rs.rows.size(), 1u);
+  rs = Query("SELECT ordid FROM orders WHERE ordid = 1 OR ordid = 2");
+  EXPECT_EQ(rs.rows.size(), 2u);
+  rs = Query("SELECT ordid FROM orders WHERE NOT ordid = 1");
+  EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+TEST_F(SqlFixture, XmlExistsFiltersRows) {
+  // Paper Query 8.
+  auto rs = Query(
+      "SELECT ordid, orddoc FROM orders "
+      "WHERE XMLEXISTS('$order//lineitem[@price > 100]' "
+      "passing orddoc as \"order\")");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].integer_value(), 1);
+}
+
+TEST_F(SqlFixture, BooleanXmlExistsReturnsAllRows) {
+  // Paper Query 9: the embedded XQuery returns true/false — one item — so
+  // XMLEXISTS never filters.
+  auto rs = Query(
+      "SELECT ordid FROM orders "
+      "WHERE XMLEXISTS('$order//lineitem/@price > 100' "
+      "passing orddoc as \"order\")");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(SqlFixture, XmlQueryInSelectListReturnsRowPerInput) {
+  // Paper Query 5: one output row per orders row, empty sequence included.
+  auto rs = Query(
+      "SELECT XMLQUERY('$order//lineitem[@price > 100]' "
+      "passing orddoc as \"order\") FROM orders");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_NE(rs.rows[0][0].ToDisplayString().find("lineitem"),
+            std::string::npos);
+  EXPECT_EQ(rs.rows[1][0].ToDisplayString(), "()");
+}
+
+TEST_F(SqlFixture, ValuesWithXmlQueryAggregatesIntoOneRow) {
+  // Paper Query 6.
+  auto rs = Query(
+      "VALUES (XMLQUERY('db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")"
+      "//lineitem[@price > 100]'))");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_NE(rs.rows[0][0].ToDisplayString().find("lineitem"),
+            std::string::npos);
+}
+
+TEST_F(SqlFixture, XmlTableShredsLineitems) {
+  // Paper Query 11.
+  auto rs = Query(
+      "SELECT o.ordid, t.lineitem FROM orders o, "
+      "XMLTABLE('$order//lineitem[@price > 100]' "
+      "passing o.orddoc as \"order\" "
+      "COLUMNS \"lineitem\" XML BY REF PATH '.') as t(lineitem)");
+  ASSERT_EQ(rs.rows.size(), 1u);  // only the qualifying lineitem
+  EXPECT_EQ(rs.rows[0][0].integer_value(), 1);
+}
+
+TEST_F(SqlFixture, XmlTableColumnPredicateYieldsNulls) {
+  // Paper Query 12: a row per lineitem; the price column is NULL when the
+  // buried predicate fails.
+  auto rs = Query(
+      "SELECT o.ordid, t.price FROM orders o, "
+      "XMLTABLE('$order//lineitem' passing o.orddoc as \"order\" "
+      "COLUMNS \"lineitem\" XML BY REF PATH '.', "
+      "\"price\" DECIMAL(6,3) PATH '@price[. > 100]') as t(lineitem, price)");
+  ASSERT_EQ(rs.rows.size(), 3u);  // all three lineitems
+  int nulls = 0;
+  for (const auto& row : rs.rows) {
+    if (row[1].is_null()) ++nulls;
+  }
+  EXPECT_EQ(nulls, 2);
+}
+
+TEST_F(SqlFixture, XmlTableForOrdinality) {
+  auto rs = Query(
+      "SELECT t.n, t.price FROM orders o, "
+      "XMLTABLE('$order//lineitem' passing o.orddoc as \"order\" "
+      "COLUMNS \"n\" FOR ORDINALITY, "
+      "\"price\" DOUBLE PATH '@price') as t(n, price)");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].integer_value(), 1);
+  EXPECT_EQ(rs.rows[1][0].integer_value(), 2);
+  EXPECT_EQ(rs.rows[2][0].integer_value(), 1);  // restarts per order
+}
+
+TEST_F(SqlFixture, XQuerySideJoin) {
+  // Paper Query 13 shape: value comparison against the SQL-typed $pid.
+  auto rs = Query(
+      "SELECT p.name FROM products p, orders o "
+      "WHERE XMLEXISTS('$order//lineitem/product[id eq $pid]' "
+      "passing o.orddoc as \"order\", p.id as \"pid\")");
+  // p1 ordered once (order 1), p2 in both orders.
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SqlFixture, XmlCastSingletonRule) {
+  // Paper Query 14: XMLCAST raises a type error when the order has more
+  // than one product id.
+  auto multi = db_.ExecuteSql(
+      "SELECT p.name FROM products p, orders o "
+      "WHERE p.id = XMLCAST(XMLQUERY('$order//lineitem/product/id' "
+      "passing o.orddoc as \"order\") AS VARCHAR(13))");
+  EXPECT_FALSE(multi.ok());
+  EXPECT_EQ(multi.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(SqlFixture, XmlCastLengthRule) {
+  Exec("CREATE TABLE t1 (doc XML)");
+  Exec("INSERT INTO t1 VALUES ('<id>0123456789012345</id>')");
+  auto rs = db_.ExecuteSql(
+      "SELECT XMLCAST(XMLQUERY('$d/id' passing doc as \"d\") AS VARCHAR(13)) "
+      "FROM t1");
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kCastError);
+}
+
+TEST_F(SqlFixture, XmlCastToDouble) {
+  auto rs = Query(
+      "SELECT XMLCAST(XMLQUERY('$order/order/custid' "
+      "passing orddoc as \"order\") AS DOUBLE) FROM orders");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].double_value(), 7.0);
+}
+
+TEST_F(SqlFixture, XmlCastEmptyIsNull) {
+  auto rs = Query(
+      "SELECT XMLCAST(XMLQUERY('$order/order/nosuch' "
+      "passing orddoc as \"order\") AS DOUBLE) FROM orders");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST_F(SqlFixture, SqlStringComparisonIgnoresTrailingBlanks) {
+  Exec("CREATE TABLE s (a VARCHAR(10), b VARCHAR(10))");
+  Exec("INSERT INTO s VALUES ('abc  ', 'abc')");
+  auto rs = Query("SELECT a FROM s WHERE a = b");
+  EXPECT_EQ(rs.rows.size(), 1u);  // SQL semantics: trailing blanks ignored.
+}
+
+TEST_F(SqlFixture, XQueryStringComparisonKeepsTrailingBlanks) {
+  Exec("CREATE TABLE s2 (doc XML)");
+  Exec("INSERT INTO s2 VALUES ('<v>abc  </v>')");
+  // XQuery comparison: trailing blanks significant → no match.
+  auto rs = Query(
+      "SELECT doc FROM s2 WHERE XMLEXISTS('$d/v[. = \"abc\"]' "
+      "passing doc as \"d\")");
+  EXPECT_EQ(rs.rows.size(), 0u);
+  rs = Query(
+      "SELECT doc FROM s2 WHERE XMLEXISTS('$d/v[. = \"abc  \"]' "
+      "passing doc as \"d\")");
+  EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+TEST_F(SqlFixture, SqlComparisonOnXmlValueIsError) {
+  auto rs = db_.ExecuteSql("SELECT ordid FROM orders WHERE orddoc = orddoc");
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(SqlFixture, IsNullPredicate) {
+  Exec("CREATE TABLE n (a INTEGER, doc XML)");
+  Exec("INSERT INTO n VALUES (1, NULL), (2, '<x/>')");
+  auto rs = Query("SELECT a FROM n WHERE doc IS NULL");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].integer_value(), 1);
+  rs = Query("SELECT a FROM n WHERE doc IS NOT NULL");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].integer_value(), 2);
+}
+
+TEST_F(SqlFixture, AmbiguousColumnIsError) {
+  Exec("CREATE TABLE o2 (ordid INTEGER)");
+  Exec("INSERT INTO o2 VALUES (9)");
+  auto rs = db_.ExecuteSql("SELECT ordid FROM orders, o2");
+  EXPECT_FALSE(rs.ok());
+}
+
+TEST_F(SqlFixture, SelectStar) {
+  auto rs = Query("SELECT * FROM products");
+  EXPECT_EQ(rs.columns,
+            (std::vector<std::string>{"ID", "NAME"}));
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(SqlFixture, InsertMultipleRows) {
+  Exec("INSERT INTO products VALUES ('p3', 'a'), ('p4', 'b')");
+  auto rs = Query("SELECT id FROM products");
+  EXPECT_EQ(rs.rows.size(), 4u);
+}
+
+TEST_F(SqlFixture, EmbeddedXQueryWithNamespacePrologParses) {
+  Exec("CREATE TABLE nsdocs (doc XML)");
+  Exec("INSERT INTO nsdocs VALUES "
+       "('<c:x xmlns:c=\"urn:c\"><c:y>1</c:y></c:x>')");
+  auto rs = Query(
+      "SELECT doc FROM nsdocs WHERE XMLEXISTS("
+      "'declare namespace c=\"urn:c\"; $d/c:x[c:y = 1]' "
+      "passing doc as \"d\")");
+  EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace xqdb

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/database.h"
+#include "workload/generator.h"
+#include "xml/parser.h"
+
+namespace xqdb {
+namespace {
+
+TEST(GeneratorTest, Deterministic) {
+  OrdersWorkloadConfig config;
+  EXPECT_EQ(GenerateOrderXml(config, 5), GenerateOrderXml(config, 5));
+  EXPECT_NE(GenerateOrderXml(config, 5), GenerateOrderXml(config, 6));
+  config.seed = 43;
+  EXPECT_NE(GenerateOrderXml(config, 5),
+            GenerateOrderXml(OrdersWorkloadConfig{}, 5));
+}
+
+TEST(GeneratorTest, DocumentsAreWellFormed) {
+  OrdersWorkloadConfig config;
+  config.multi_price_fraction = 0.3;
+  config.string_price_fraction = 0.3;
+  config.canadian_postal_fraction = 0.3;
+  for (int i = 0; i < 50; ++i) {
+    auto doc = ParseXml(GenerateOrderXml(config, i));
+    EXPECT_TRUE(doc.ok()) << i << ": " << doc.status().ToString();
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(ParseXml(GenerateCustomerXml(config, i)).ok());
+    EXPECT_TRUE(ParseXml(GenerateRssItemXml(i, 1)).ok());
+  }
+}
+
+TEST(GeneratorTest, NamespaceModeWrapsElements) {
+  OrdersWorkloadConfig config;
+  config.use_namespaces = true;
+  std::string xml = GenerateOrderXml(config, 0);
+  EXPECT_NE(xml.find("xmlns=\"http://ournamespaces.com/order\""),
+            std::string::npos);
+}
+
+TEST(GeneratorTest, LoadPaperWorkloadEndToEnd) {
+  Database db;
+  OrdersWorkloadConfig config;
+  config.num_orders = 50;
+  config.num_customers = 10;
+  config.num_products = 5;
+  ASSERT_TRUE(LoadPaperWorkload(&db, config).ok());
+
+  auto orders = db.ExecuteSql("SELECT ordid FROM orders");
+  ASSERT_TRUE(orders.ok());
+  EXPECT_EQ(orders->rows.size(), 50u);
+  auto custs = db.ExecuteSql("SELECT cid FROM customer");
+  ASSERT_TRUE(custs.ok());
+  EXPECT_EQ(custs->rows.size(), 10u);
+
+  // Every order's custid joins to an existing customer.
+  auto r = db.ExecuteXQuery(
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "for $c in db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer "
+      "where $o/custid/xs:double(.) = $c/id/xs:double(.) return $o");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 50u);
+}
+
+TEST(GeneratorTest, SelectivityControl) {
+  // The price threshold controls how many orders qualify; with uniform
+  // prices in [1, 1000], a 900 threshold admits a small fraction.
+  Database db;
+  OrdersWorkloadConfig config;
+  config.num_orders = 400;
+  ASSERT_TRUE(LoadPaperWorkload(&db, config).ok());
+  auto high = db.ExecuteXQuery(
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 900]");
+  auto low = db.ExecuteXQuery(
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 100]");
+  ASSERT_TRUE(high.ok() && low.ok());
+  EXPECT_LT(high->rows.size(), low->rows.size());
+  EXPECT_GT(high->rows.size(), 0u);
+  EXPECT_LT(high->rows.size(), 200u);
+}
+
+TEST(GeneratorTest, IndexConsistencyOnGeneratedData) {
+  // The index answer must equal the scan answer on generated data.
+  OrdersWorkloadConfig config;
+  config.num_orders = 300;
+  config.string_price_fraction = 0.2;  // stress tolerant casts
+  config.multi_price_fraction = 0.2;
+
+  Database indexed, plain;
+  ASSERT_TRUE(LoadPaperWorkload(&indexed, config).ok());
+  ASSERT_TRUE(LoadPaperWorkload(&plain, config).ok());
+  ASSERT_TRUE(indexed
+                  .ExecuteSql("CREATE INDEX li_price ON orders(orddoc) USING "
+                              "XMLPATTERN '//lineitem/@price' AS SQL DOUBLE")
+                  .ok());
+  const std::string q =
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 700]";
+  auto a = indexed.ExecuteXQuery(q);
+  auto b = plain.ExecuteXQuery(q);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows, b->rows);
+  EXPECT_GT(a->stats.rows_prefiltered, 0);
+}
+
+TEST(GeneratorTest, RssItemsHaveExtensionNamespaces) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    std::string xml = GenerateRssItemXml(i, 3);
+    if (xml.find("dc:creator") != std::string::npos) seen.insert("dc");
+    if (xml.find("geo:lat") != std::string::npos) seen.insert("geo");
+  }
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+}  // namespace
+}  // namespace xqdb

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/xml_index.h"
+#include "xml/parser.h"
+
+namespace xqdb {
+namespace {
+
+std::unique_ptr<Document> Doc(const std::string& xml) {
+  auto doc = ParseXml(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(*doc);
+}
+
+TEST(XmlIndexTest, DoubleIndexInsertAndProbe) {
+  auto index = XmlIndex::Create("li_price", "//lineitem/@price",
+                                IndexValueType::kDouble);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  auto d0 = Doc("<order><lineitem price=\"99.50\"/></order>");
+  auto d1 = Doc("<order><lineitem price=\"150\"/>"
+                "<lineitem price=\"175\"/></order>");
+  auto d2 = Doc("<order><note>no lineitems</note></order>");
+  index->InsertDocument(0, *d0);
+  index->InsertDocument(1, *d1);
+  index->InsertDocument(2, *d2);
+  EXPECT_EQ(index->entry_count(), 3u);
+
+  ProbeStats stats;
+  auto rows = index->ProbeRange(ProbeBound{AtomicValue::Integer(100), false},
+                                ProbeBound{}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{1}));
+  EXPECT_EQ(stats.entries_scanned, 2u);  // 150 and 175, same row
+
+  rows = index->ProbeEqual(AtomicValue::Double(99.5), &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{0}));
+}
+
+TEST(XmlIndexTest, TolerantCastSkipsNonNumeric) {
+  // §2.1: nodes that do not cast to the index type are skipped, not errors.
+  auto index =
+      XmlIndex::Create("price_d", "//price", IndexValueType::kDouble);
+  ASSERT_TRUE(index.ok());
+  auto doc = Doc("<o><price>99.50</price><price>99.50USD</price></o>");
+  index->InsertDocument(0, *doc);
+  EXPECT_EQ(index->entry_count(), 1u);  // only the numeric one
+}
+
+TEST(XmlIndexTest, VarcharIndexKeepsAllValues) {
+  auto index =
+      XmlIndex::Create("price_s", "//price", IndexValueType::kVarchar);
+  ASSERT_TRUE(index.ok());
+  auto doc = Doc("<o><price>99.50</price><price>99.50USD</price></o>");
+  index->InsertDocument(0, *doc);
+  EXPECT_EQ(index->entry_count(), 2u);
+}
+
+TEST(XmlIndexTest, PostalCodeSchemaEvolution) {
+  // The paper's §2.1 story: numeric US zips and Canadian strings coexist;
+  // the numeric index simply skips the Canadian ones.
+  auto numeric = XmlIndex::Create("zip_d", "//postalcode",
+                                  IndexValueType::kDouble);
+  auto str = XmlIndex::Create("zip_s", "//postalcode",
+                              IndexValueType::kVarchar);
+  ASSERT_TRUE(numeric.ok() && str.ok());
+  auto us = Doc("<addr><postalcode>95120</postalcode></addr>");
+  auto ca = Doc("<addr><postalcode>K1A 0B1</postalcode></addr>");
+  numeric->InsertDocument(0, *us);
+  numeric->InsertDocument(1, *ca);
+  str->InsertDocument(0, *us);
+  str->InsertDocument(1, *ca);
+  EXPECT_EQ(numeric->entry_count(), 1u);
+  EXPECT_EQ(str->entry_count(), 2u);
+  ProbeStats stats;
+  auto rows = str->ProbeEqual(AtomicValue::String("K1A 0B1"), &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{1}));
+}
+
+TEST(XmlIndexTest, BroadAttributeIndex) {
+  // //@* as double: indexes every numeric attribute anywhere (§2.1).
+  auto index = XmlIndex::Create("all_attrs", "//@*", IndexValueType::kDouble);
+  ASSERT_TRUE(index.ok());
+  auto doc = Doc("<a x=\"1\"><b y=\"2.5\" name=\"not-a-number\"/></a>");
+  index->InsertDocument(7, *doc);
+  EXPECT_EQ(index->entry_count(), 2u);
+  ProbeStats stats;
+  auto rows = index->ProbeRange(ProbeBound{AtomicValue::Double(0), true},
+                                ProbeBound{AtomicValue::Double(10), true},
+                                &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{7}));
+}
+
+TEST(XmlIndexTest, ElementStringValueIsConcatenatedDescendants) {
+  // An interior node indexes as the concatenation of its text (§2.1 —
+  // "interior nodes (as the concatenation of all text nodes below it)").
+  auto index =
+      XmlIndex::Create("price_s", "//price", IndexValueType::kVarchar);
+  ASSERT_TRUE(index.ok());
+  auto doc = Doc("<o><price>99.50<currency>USD</currency></price></o>");
+  index->InsertDocument(0, *doc);
+  ProbeStats stats;
+  auto rows = index->ProbeEqual(AtomicValue::String("99.50USD"), &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  rows = index->ProbeEqual(AtomicValue::String("99.50"), &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(XmlIndexTest, TextNodeIndexDiffersFromElementIndex) {
+  // §3.8: //price/text() indexes the text node content, not the element
+  // string value.
+  auto text_index = XmlIndex::Create("price_text", "//price/text()",
+                                     IndexValueType::kVarchar);
+  ASSERT_TRUE(text_index.ok());
+  auto doc = Doc("<o><price>99.50<currency>USD</currency></price></o>");
+  text_index->InsertDocument(0, *doc);
+  ProbeStats stats;
+  auto rows = text_index->ProbeEqual(AtomicValue::String("99.50"), &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(XmlIndexTest, DateIndex) {
+  auto index = XmlIndex::Create("o_date", "/order/date",
+                                IndexValueType::kDate);
+  ASSERT_TRUE(index.ok());
+  auto d0 = Doc("<order><date>2006-01-15</date></order>");
+  auto d1 = Doc("<order><date>2006-06-15</date></order>");
+  auto d2 = Doc("<order><date>January 1, 2001</date></order>");  // skipped
+  index->InsertDocument(0, *d0);
+  index->InsertDocument(1, *d1);
+  index->InsertDocument(2, *d2);
+  EXPECT_EQ(index->entry_count(), 2u);
+  ProbeStats stats;
+  auto rows = index->ProbeRange(
+      ProbeBound{AtomicValue::String("2006-03-01"), true}, ProbeBound{},
+      &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{1}));
+}
+
+TEST(XmlIndexTest, EraseDocument) {
+  auto index = XmlIndex::Create("li_price", "//lineitem/@price",
+                                IndexValueType::kDouble);
+  ASSERT_TRUE(index.ok());
+  auto doc = Doc("<order><lineitem price=\"5\"/><lineitem price=\"6\"/>"
+                 "</order>");
+  index->InsertDocument(3, *doc);
+  EXPECT_EQ(index->entry_count(), 2u);
+  index->EraseDocument(3, *doc);
+  EXPECT_EQ(index->entry_count(), 0u);
+  EXPECT_TRUE(index->AllRows().empty());
+}
+
+TEST(XmlIndexTest, NamespaceIndexOnlyMatchesDeclaredNamespace) {
+  auto plain =
+      XmlIndex::Create("nation", "//nation", IndexValueType::kDouble);
+  auto ns = XmlIndex::Create(
+      "c_nation",
+      "declare default element namespace "
+      "\"http://ournamespaces.com/customer\"; //nation",
+      IndexValueType::kDouble);
+  auto wild =
+      XmlIndex::Create("w_nation", "//*:nation", IndexValueType::kDouble);
+  ASSERT_TRUE(plain.ok() && ns.ok() && wild.ok());
+  auto doc = Doc(
+      "<customer xmlns=\"http://ournamespaces.com/customer\">"
+      "<nation>1</nation></customer>");
+  plain->InsertDocument(0, *doc);
+  ns->InsertDocument(0, *doc);
+  wild->InsertDocument(0, *doc);
+  EXPECT_EQ(plain->entry_count(), 0u);  // §3.7 pitfall
+  EXPECT_EQ(ns->entry_count(), 1u);
+  EXPECT_EQ(wild->entry_count(), 1u);
+}
+
+TEST(XmlIndexTest, ProbeWithUncastableKeyFails) {
+  auto index = XmlIndex::Create("li_price", "//lineitem/@price",
+                                IndexValueType::kDouble);
+  ASSERT_TRUE(index.ok());
+  ProbeStats stats;
+  auto rows =
+      index->ProbeEqual(AtomicValue::String("not a number"), &stats);
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST(XmlIndexTest, TimestampIndex) {
+  auto index = XmlIndex::Create("ts", "//updated",
+                                IndexValueType::kTimestamp);
+  ASSERT_TRUE(index.ok());
+  auto doc = Doc("<e><updated>2006-09-12T08:30:00Z</updated></e>");
+  index->InsertDocument(0, *doc);
+  EXPECT_EQ(index->entry_count(), 1u);
+  ProbeStats stats;
+  auto rows = index->ProbeRange(
+      ProbeBound{AtomicValue::String("2006-09-12T00:00:00Z"), true},
+      ProbeBound{AtomicValue::String("2006-09-13T00:00:00Z"), false},
+      &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+}  // namespace
+}  // namespace xqdb

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "xml/parser.h"
+#include "xml/qname.h"
+#include "xpath/annotate.h"
+#include "xpath/pattern.h"
+#include "xpath/pattern_nfa.h"
+
+namespace xqdb {
+namespace {
+
+/// Parses pattern + document, returns the set of matched node indexes.
+std::set<NodeIdx> Match(const std::string& pattern_text,
+                        const std::string& xml) {
+  auto pattern = ParsePattern(pattern_text);
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  auto nfa = PatternNfa::Compile(*pattern);
+  EXPECT_TRUE(nfa.ok());
+  auto doc = ParseXml(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  std::set<NodeIdx> matched;
+  ForEachMatch(*nfa, **doc, [&](NodeIdx idx) { matched.insert(idx); });
+  return matched;
+}
+
+size_t MatchCount(const std::string& pattern_text, const std::string& xml) {
+  return Match(pattern_text, xml).size();
+}
+
+TEST(PatternParseTest, RejectsBadPatterns) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("lineitem").ok());     // must start with /
+  EXPECT_FALSE(ParsePattern("//a[b]").ok());       // predicates forbidden
+  EXPECT_FALSE(ParsePattern("//p:x").ok());        // undeclared prefix
+  EXPECT_FALSE(ParsePattern("//parent::a").ok());  // unsupported axis
+}
+
+TEST(PatternParseTest, AcceptsPaperPatterns) {
+  // Every pattern that appears in the paper.
+  for (const char* p : {
+           "//lineitem/@price",
+           "//custid",
+           "/customer/id",
+           "//@*",
+           "//*:nation",
+           "//nation",
+           "//price",
+           "/descendant-or-self::node()/attribute::*",
+           "declare default element namespace "
+           "\"http://ournamespaces.com/order\"; //nation",
+       }) {
+    EXPECT_TRUE(ParsePattern(p).ok()) << p;
+  }
+}
+
+TEST(PatternMatchTest, SimpleChildPath) {
+  EXPECT_EQ(MatchCount("/order/custid", "<order><custid>1</custid></order>"),
+            1u);
+  EXPECT_EQ(MatchCount("/order/custid",
+                       "<x><order><custid>1</custid></order></x>"),
+            0u);
+}
+
+TEST(PatternMatchTest, DescendantPath) {
+  const char* xml =
+      "<order><lineitem price=\"1\"/>"
+      "<sub><lineitem price=\"2\"/></sub></order>";
+  EXPECT_EQ(MatchCount("//lineitem", xml), 2u);
+  EXPECT_EQ(MatchCount("/order/lineitem", xml), 1u);
+  EXPECT_EQ(MatchCount("//lineitem/@price", xml), 2u);
+}
+
+TEST(PatternMatchTest, Wildcards) {
+  const char* xml = "<a><b x=\"1\"/><c y=\"2\" z=\"3\"/></a>";
+  EXPECT_EQ(MatchCount("/a/*", xml), 2u);
+  EXPECT_EQ(MatchCount("//@*", xml), 3u);
+  EXPECT_EQ(MatchCount("/a/*/@*", xml), 3u);
+}
+
+TEST(PatternMatchTest, AttributesNotReachedByElementSteps) {
+  // Tip 12: //* and //node() never match attribute nodes.
+  const char* xml = "<a x=\"1\"><b y=\"2\"/></a>";
+  auto star = Match("//*", xml);
+  auto node = Match("//node()", xml);
+  auto attrs = Match("//@*", xml);
+  EXPECT_EQ(star.size(), 2u);   // a, b
+  EXPECT_EQ(node.size(), 2u);   // a, b (no text here)
+  EXPECT_EQ(attrs.size(), 2u);  // x, y
+  for (NodeIdx idx : attrs) {
+    EXPECT_EQ(star.count(idx), 0u);
+    EXPECT_EQ(node.count(idx), 0u);
+  }
+}
+
+TEST(PatternMatchTest, TextNodes) {
+  const char* xml = "<a><p>99.50</p><p>99.50<x/>USD</p></a>";
+  EXPECT_EQ(MatchCount("//p", xml), 2u);
+  EXPECT_EQ(MatchCount("//p/text()", xml), 3u);
+  EXPECT_EQ(MatchCount("//text()", xml), 3u);
+}
+
+TEST(PatternMatchTest, CommentsAndPis) {
+  const char* xml = "<a><!--c--><?pi data?><?other x?></a>";
+  EXPECT_EQ(MatchCount("//comment()", xml), 1u);
+  EXPECT_EQ(MatchCount("//processing-instruction()", xml), 2u);
+  EXPECT_EQ(MatchCount("//processing-instruction(pi)", xml), 1u);
+}
+
+TEST(PatternMatchTest, NodeKindTestMatchesNonAttributes) {
+  const char* xml = "<a x=\"1\">t<b/><!--c--></a>";
+  // //node() = text, element b, comment — but not the attribute, and not
+  // the root element's... the root element IS matched (descendant of doc).
+  EXPECT_EQ(MatchCount("//node()", xml), 4u);  // a, text, b, comment
+}
+
+TEST(PatternMatchTest, NamespacePatterns) {
+  const char* xml =
+      "<order xmlns=\"urn:o\"><c:nation xmlns:c=\"urn:c\">1</c:nation>"
+      "</order>";
+  // Pattern without namespace declarations only matches empty-ns elements.
+  EXPECT_EQ(MatchCount("//nation", xml), 0u);
+  EXPECT_EQ(MatchCount("//*:nation", xml), 1u);
+  EXPECT_EQ(MatchCount("declare namespace c=\"urn:c\"; //c:nation", xml),
+            1u);
+  EXPECT_EQ(
+      MatchCount("declare default element namespace \"urn:c\"; //nation",
+                 xml),
+      1u);
+  EXPECT_EQ(
+      MatchCount("declare default element namespace \"urn:o\"; //nation",
+                 xml),
+      0u);
+}
+
+TEST(PatternMatchTest, DefaultNamespaceDoesNotApplyToAttributes) {
+  // The paper's li_price_ns example: //@price with a default namespace
+  // still matches no-namespace attributes.
+  const char* xml =
+      "<order xmlns=\"urn:o\"><lineitem price=\"5\"/></order>";
+  EXPECT_EQ(
+      MatchCount("declare default element namespace \"urn:o\"; "
+                 "//lineitem/@price",
+                 xml),
+      1u);
+}
+
+TEST(PatternMatchTest, ExplicitAxes) {
+  const char* xml = "<a><b x=\"1\"><c/></b></a>";
+  EXPECT_EQ(MatchCount("/child::a/child::b", xml), 1u);
+  EXPECT_EQ(MatchCount("/a/b/attribute::x", xml), 1u);
+  EXPECT_EQ(MatchCount("/descendant::c", xml), 1u);
+  EXPECT_EQ(MatchCount("/descendant-or-self::node()/attribute::*", xml), 1u);
+}
+
+TEST(PatternMatchTest, SelfAxisIntersects) {
+  const char* xml = "<a><b/></a>";
+  EXPECT_EQ(MatchCount("/a/b/self::node()", xml), 1u);
+  EXPECT_EQ(MatchCount("/a/b/self::b", xml), 1u);
+  EXPECT_EQ(MatchCount("/a/b/self::c", xml), 0u);
+}
+
+TEST(PatternMatchTest, DescendantOrSelfWithNameTest) {
+  const char* xml = "<a><a><b/></a></a>";
+  // /a/descendant-or-self::a: the outer a (self) and the inner a.
+  EXPECT_EQ(MatchCount("/a/descendant-or-self::a", xml), 2u);
+}
+
+TEST(PatternMatchTest, MatchesNodeAgreesWithForEachMatch) {
+  const char* xml =
+      "<order><lineitem price=\"1\"><product id=\"p1\"/></lineitem>"
+      "<note>x</note></order>";
+  auto pattern = ParsePattern("//lineitem//@*");
+  ASSERT_TRUE(pattern.ok());
+  auto nfa = PatternNfa::Compile(*pattern);
+  ASSERT_TRUE(nfa.ok());
+  auto doc = ParseXml(xml);
+  ASSERT_TRUE(doc.ok());
+  std::set<NodeIdx> via_foreach;
+  ForEachMatch(*nfa, **doc, [&](NodeIdx idx) { via_foreach.insert(idx); });
+  for (NodeIdx i = 0; i < static_cast<NodeIdx>((*doc)->node_count()); ++i) {
+    EXPECT_EQ(MatchesNode(*nfa, **doc, i), via_foreach.count(i) > 0)
+        << "node " << i;
+  }
+}
+
+TEST(PatternNfaTest, StateLimit) {
+  std::string pattern;
+  for (int i = 0; i < 70; ++i) pattern += "/a";
+  auto parsed = ParsePattern(pattern);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(PatternNfa::Compile(*parsed).ok());
+}
+
+TEST(PatternToStringTest, Readable) {
+  auto p = ParsePattern("//lineitem/@price");
+  ASSERT_TRUE(p.ok());
+  std::string s = PatternToString(*p);
+  EXPECT_NE(s.find("lineitem"), std::string::npos);
+  EXPECT_NE(s.find("price"), std::string::npos);
+}
+
+
+TEST(AnnotateTest, AnnotatesMatchingNodes) {
+  auto doc = ParseXml(
+      "<order><custid>7</custid><lineitem price=\"5\">"
+      "<custid>ignore-me-not</custid></lineitem></order>");
+  ASSERT_TRUE(doc.ok());
+  auto n = AnnotateMatching(doc->get(), "/order/custid",
+                            TypeAnnotation::kInteger);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1u);  // only the top-level custid
+  auto all = AnnotateMatching(doc->get(), "//@*",
+                              TypeAnnotation::kDouble);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, 1u);  // the price attribute
+  auto none = AnnotateMatching(doc->get(), "/nothing/here",
+                               TypeAnnotation::kString);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0u);
+  auto bad = AnnotateMatching(doc->get(), "not-a-pattern",
+                              TypeAnnotation::kString);
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace xqdb

@@ -1,0 +1,152 @@
+// Error-path coverage: every W3C error condition xqdb raises, asserted by
+// code and error-code string. Several paper pitfalls *are* errors, so
+// precise error behaviour is part of the reproduction.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "xml/parser.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+
+namespace xqdb {
+namespace {
+
+class ErrorFixture : public ::testing::Test {
+ protected:
+  Result<Sequence> Eval(const std::string& query,
+                        const std::string& doc_xml = "") {
+    auto parsed = ParseXQuery(query);
+    if (!parsed.ok()) return parsed.status();
+    parsed_ = std::make_unique<ParsedQuery>(std::move(*parsed));
+    runtime_ = std::make_unique<QueryRuntime>();
+    evaluator_ = std::make_unique<Evaluator>(&parsed_->static_context,
+                                             nullptr, runtime_.get());
+    if (!doc_xml.empty()) {
+      auto doc = ParseXml(doc_xml);
+      EXPECT_TRUE(doc.ok());
+      doc_ = std::move(*doc);
+      evaluator_->BindVariable(
+          "d", Sequence{Item(NodeHandle{doc_.get(), doc_->root()})});
+    }
+    return evaluator_->Eval(*parsed_->body);
+  }
+
+  void ExpectError(const std::string& query, StatusCode code,
+                   const std::string& code_text,
+                   const std::string& doc_xml = "") {
+    auto r = Eval(query, doc_xml);
+    ASSERT_FALSE(r.ok()) << query;
+    EXPECT_EQ(r.status().code(), code) << r.status().ToString();
+    EXPECT_NE(r.status().message().find(code_text), std::string::npos)
+        << query << " => " << r.status().ToString();
+  }
+
+  std::unique_ptr<Document> doc_;
+  std::unique_ptr<ParsedQuery> parsed_;
+  std::unique_ptr<QueryRuntime> runtime_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+TEST_F(ErrorFixture, UnboundVariableXPDY0002) {
+  ExpectError("$nope", StatusCode::kDynamicError, "XPDY0002");
+}
+
+TEST_F(ErrorFixture, ContextItemAbsentXPDY0002) {
+  ExpectError(".", StatusCode::kDynamicError, "XPDY0002");
+  ExpectError("foo", StatusCode::kDynamicError, "XPDY0002");
+  ExpectError("fn:position()", StatusCode::kDynamicError, "XPDY0002");
+}
+
+TEST_F(ErrorFixture, PathOnAtomicXPTY0019) {
+  ExpectError("(1)/a", StatusCode::kTypeError, "XPTY0019");
+}
+
+TEST_F(ErrorFixture, MixedPathResultXPTY0018) {
+  // A final step producing both nodes and atomics.
+  ExpectError("$d/a/(b, 1)", StatusCode::kTypeError, "XPTY0018",
+              "<a><b/></a>");
+}
+
+TEST_F(ErrorFixture, ValueComparisonCardinalityXPTY0004) {
+  ExpectError("(1, 2) eq 1", StatusCode::kTypeError, "XPTY0004");
+}
+
+TEST_F(ErrorFixture, ArithmeticOnNonNumericXPTY0004) {
+  // xs:string is not promoted in arithmetic (only untypedAtomic is).
+  ExpectError("\"a\" + 1", StatusCode::kTypeError, "XPTY0004");
+  ExpectError("fn:true() + 1", StatusCode::kTypeError, "XPTY0004");
+  ExpectError("(1, 2) + 1", StatusCode::kTypeError, "XPTY0004");
+}
+
+TEST_F(ErrorFixture, DivisionByZeroFOAR0001) {
+  ExpectError("1 idiv 0", StatusCode::kDynamicError, "FOAR0001");
+  ExpectError("1 mod 0", StatusCode::kDynamicError, "FOAR0001");
+}
+
+TEST_F(ErrorFixture, EbvOfMultiAtomicFORG0006) {
+  ExpectError("if ((1, 2)) then 1 else 2", StatusCode::kDynamicError,
+              "FORG0006");
+}
+
+TEST_F(ErrorFixture, CastFailureFORG0001) {
+  ExpectError("xs:double(\"20 USD\")", StatusCode::kCastError, "FORG0001");
+  ExpectError("xs:date(\"January 1, 2001\")", StatusCode::kCastError,
+              "FORG0001");
+}
+
+TEST_F(ErrorFixture, CastEmptyWithoutQuestionMarkXPTY0004) {
+  ExpectError("() cast as xs:double", StatusCode::kTypeError, "XPTY0004");
+  // With '?', the empty sequence is allowed.
+  auto ok = Eval("() cast as xs:double?");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->empty());
+}
+
+TEST_F(ErrorFixture, SetOpsRequireNodesXPTY0004) {
+  ExpectError("(1, 2) union (3)", StatusCode::kTypeError, "XPTY0004");
+  ExpectError("1 except 2", StatusCode::kTypeError, "XPTY0004");
+}
+
+TEST_F(ErrorFixture, NodeIsRequiresSingletonNodes) {
+  ExpectError("1 is 2", StatusCode::kTypeError, "XPTY0004");
+}
+
+TEST_F(ErrorFixture, DuplicateConstructedAttributeXQDY0025) {
+  ExpectError("<a x=\"1\">{$d/r/@x}</a>", StatusCode::kDynamicError,
+              "XQDY0025", "<r x=\"2\"/>");
+}
+
+TEST_F(ErrorFixture, AttributeAfterContentXQTY0024) {
+  ExpectError("<a>text{$d/r/@x}</a>", StatusCode::kTypeError, "XQTY0024",
+              "<r x=\"2\"/>");
+}
+
+TEST_F(ErrorFixture, AbsolutePathOnElementTreeXPDY0050) {
+  ExpectError("(<a><b/></a>)/b[/a]", StatusCode::kTypeError, "XPDY0050");
+}
+
+TEST_F(ErrorFixture, UnknownFunction) {
+  auto r = Eval("fn:no-such-function(1)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ErrorFixture, WrongArityXPST0017) {
+  ExpectError("fn:count()", StatusCode::kTypeError, "XPST0017");
+  ExpectError("fn:count(1, 2)", StatusCode::kTypeError, "XPST0017");
+}
+
+TEST_F(ErrorFixture, FnErrorRaises) {
+  ExpectError("fn:error(\"boom\")", StatusCode::kDynamicError, "boom");
+}
+
+TEST_F(ErrorFixture, OrderByKeyCardinality) {
+  ExpectError("for $x in (1, 2) order by (1, 2) return $x",
+              StatusCode::kTypeError, "XPTY0004");
+}
+
+}  // namespace
+}  // namespace xqdb

@@ -1,0 +1,269 @@
+// Direct checks of the paper's §3.4–§3.6 semantic claims at the XQuery
+// level: let vs for, document vs element nodes, and the five construction
+// barriers of §3.6.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+
+namespace xqdb {
+namespace {
+
+class PitfallFixture : public ::testing::Test {
+ protected:
+  void Bind(const std::string& var, const std::string& xml) {
+    auto doc = ParseXml(xml);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    docs_.push_back(std::move(*doc));
+    bound_.emplace_back(var,
+                        NodeHandle{docs_.back().get(), docs_.back()->root()});
+  }
+
+  Result<Sequence> Eval(const std::string& query) {
+    auto parsed = ParseXQuery(query);
+    if (!parsed.ok()) return parsed.status();
+    parsed_ = std::make_unique<ParsedQuery>(std::move(*parsed));
+    runtime_ = std::make_unique<QueryRuntime>();
+    evaluator_ = std::make_unique<Evaluator>(&parsed_->static_context,
+                                             nullptr, runtime_.get());
+    for (const auto& [var, handle] : bound_) {
+      evaluator_->BindVariable(var, Sequence{Item(handle)});
+    }
+    return evaluator_->Eval(*parsed_->body);
+  }
+
+  std::vector<std::string> Strings(const std::string& query) {
+    auto result = Eval(query);
+    EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+    std::vector<std::string> out;
+    if (!result.ok()) return out;
+    for (const Item& item : *result) {
+      out.push_back(item.is_node() ? SerializeXml(item.node())
+                                   : item.atomic().Lexical());
+    }
+    return out;
+  }
+
+  std::vector<std::unique_ptr<Document>> docs_;
+  std::vector<std::pair<std::string, NodeHandle>> bound_;
+  std::unique_ptr<ParsedQuery> parsed_;
+  std::unique_ptr<QueryRuntime> runtime_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+// ----- §3.4: let vs for -----------------------------------------------------
+
+TEST_F(PitfallFixture, Query17vs18ForVsLet) {
+  // One doc qualifies, one does not.
+  Bind("d1", "<order><lineitem price=\"150\"/></order>");
+  Bind("d2", "<order><lineitem price=\"50\"/></order>");
+  // Query 17 shape: for — one result element per qualifying lineitem.
+  auto q17 = Strings(
+      "for $doc in ($d1, $d2) "
+      "for $item in $doc//lineitem[@price > 100] "
+      "return <result>{$item}</result>");
+  EXPECT_EQ(q17.size(), 1u);
+  // Query 18 shape: let — one result element per *document*, empty results
+  // included.
+  auto q18 = Strings(
+      "for $doc in ($d1, $d2) "
+      "let $item := $doc//lineitem[@price > 100] "
+      "return <result>{$item}</result>");
+  ASSERT_EQ(q18.size(), 2u);
+  EXPECT_EQ(q18[1], "<result/>");  // The non-qualifying doc's empty element.
+}
+
+TEST_F(PitfallFixture, Query19ConstructorInReturnPreservesEmpties) {
+  Bind("d1", "<order><lineitem price=\"150\"/></order>");
+  Bind("d2", "<order><lineitem price=\"50\"/></order>");
+  auto rows = Strings(
+      "for $ord in ($d1/order, $d2/order) "
+      "return <result>{$ord/lineitem[@price > 100]}</result>");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NE(rows[0].find("lineitem"), std::string::npos);
+  EXPECT_EQ(rows[1], "<result/>");
+}
+
+TEST_F(PitfallFixture, Query20And21WhereEliminatesEmpties) {
+  Bind("d1", "<order><lineitem price=\"150\"/></order>");
+  Bind("d2", "<order><lineitem price=\"50\"/></order>");
+  auto q20 = Strings(
+      "for $ord in ($d1/order, $d2/order) "
+      "where $ord/lineitem/@price > 100 "
+      "return <result>{$ord/lineitem}</result>");
+  EXPECT_EQ(q20.size(), 1u);
+  auto q21 = Strings(
+      "for $ord in ($d1/order, $d2/order) "
+      "let $price := $ord/lineitem/@price "
+      "where $price > 100 "
+      "return <result>{$ord/lineitem}</result>");
+  EXPECT_EQ(q21.size(), 1u);
+}
+
+TEST_F(PitfallFixture, Query22BindOutDiscardsEmpties) {
+  Bind("d1", "<order><lineitem price=\"150\"/></order>");
+  Bind("d2", "<order><lineitem price=\"50\"/></order>");
+  // No constructor: empty sequences vanish in bind-out.
+  auto rows = Strings(
+      "for $ord in ($d1/order, $d2/order) "
+      "return $ord/lineitem[@price > 100]");
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+// ----- §3.5: document vs element nodes --------------------------------------
+
+TEST_F(PitfallFixture, Query23DocumentNodeNeedsExtraStep) {
+  Bind("d", "<order><lineitem/></order>");
+  // $d is the document node: /order/lineitem works...
+  EXPECT_EQ(Strings("$d/order/lineitem").size(), 1u);
+  // ...but an element-rooted context starts below its own name.
+  EXPECT_TRUE(Strings("$d/order/order/lineitem").empty());
+}
+
+TEST_F(PitfallFixture, Query24ConstructedElementHasNoExtraLevel) {
+  Bind("d", "<order><a/></order>");
+  // Query 24's shape: $ord is bound to constructed my_order elements;
+  // $ord/my_order finds nothing (the context IS my_order).
+  auto rows = Strings(
+      "for $ord in (for $o in $d/order return <my_order>{$o/*}</my_order>) "
+      "return $ord/my_order");
+  EXPECT_TRUE(rows.empty());
+  // Navigating the children works.
+  auto inner = Strings(
+      "for $ord in (for $o in $d/order return <my_order>{$o/*}</my_order>) "
+      "return $ord/a");
+  EXPECT_EQ(inner.size(), 1u);
+}
+
+TEST_F(PitfallFixture, Query25AbsolutePathOnConstructedTreeIsTypeError) {
+  Bind("d", "<order><custid>1002</custid></order>");
+  auto r = Eval(
+      "let $order := <neworder>{$d/order[custid > 1001]}</neworder> "
+      "return $order[//customer/name]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+  EXPECT_NE(r.status().message().find("XPDY0050"), std::string::npos);
+}
+
+// ----- §3.6: the five construction barriers ---------------------------------
+
+TEST_F(PitfallFixture, Condition1UntypedAtomicComparableToString) {
+  // The view's <pid> gets untypedAtomic content even when product/id was
+  // typed numeric; comparing with a string then works.
+  Bind("d", "<o><product><id>17</id></product></o>");
+  // Annotate id as integer (validated data).
+  Document* doc = docs_.back().get();
+  for (NodeIdx i = 0; i < static_cast<NodeIdx>(doc->node_count()); ++i) {
+    if (doc->node(i).kind == NodeKind::kElement &&
+        NamePool::Global()->LocalOf(doc->node(i).name) ==
+            std::string("id")) {
+      doc->SetAnnotation(i, TypeAnnotation::kInteger);
+    }
+  }
+  // Direct comparison of the typed id with a string: type error.
+  auto direct = Eval("$d/o/product/id/data(.) = '17'");
+  EXPECT_FALSE(direct.ok());
+  // Through construction, the value becomes untypedAtomic: succeeds.
+  auto through_view = Strings(
+      "let $view := <item><pid>{$d/o/product/id/data(.)}</pid></item> "
+      "return $view/pid = '17'");
+  ASSERT_EQ(through_view.size(), 1u);
+  EXPECT_EQ(through_view[0], "true");
+}
+
+TEST_F(PitfallFixture, Condition2LongVsDoubleRounding) {
+  // Large integers: the view comparison converts through double and
+  // collides; the direct integer comparison does not.
+  std::string big = "9007199254740993";    // 2^53 + 1
+  std::string big_minus = "9007199254740992";  // 2^53
+  Bind("d", "<o><id>" + big + "</id></o>");
+  Document* doc = docs_.back().get();
+  for (NodeIdx i = 0; i < static_cast<NodeIdx>(doc->node_count()); ++i) {
+    if (doc->node(i).kind == NodeKind::kElement &&
+        NamePool::Global()->LocalOf(doc->node(i).name) == std::string("id")) {
+      doc->SetAnnotation(i, TypeAnnotation::kInteger);
+    }
+  }
+  // Direct typed comparison: exact integer compare → false.
+  auto direct = Strings("$d/o/id/data(.) = " + big_minus);
+  ASSERT_EQ(direct.size(), 1u);
+  EXPECT_EQ(direct[0], "false");
+  // Via the untyped view: untypedAtomic vs integer promotes both to double
+  // → rounding collision → true.
+  auto viewed = Strings(
+      "let $view := <item><pid>{$d/o/id/data(.)}</pid></item> "
+      "return $view/pid = " + big_minus);
+  ASSERT_EQ(viewed.size(), 1u);
+  EXPECT_EQ(viewed[0], "true");
+}
+
+TEST_F(PitfallFixture, Condition3MultipleChildrenConcatenate) {
+  Bind("d", "<o><product><id>p1</id><id>p2</id></product></o>");
+  // The constructed pid holds "p1 p2" (space-joined atomics).
+  auto joined = Strings(
+      "let $view := <item><pid>{$d/o/product/id/data(.)}</pid></item> "
+      "return fn:string($view/pid)");
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0], "p1 p2");
+  // 'p1 p2' matches the view but not the base; 'p2' matches the base only.
+  EXPECT_EQ(Strings("let $view := <item><pid>{$d/o/product/id/data(.)}"
+                    "</pid></item> return $view/pid = 'p1 p2'")[0],
+            "true");
+  EXPECT_EQ(Strings("$d/o/product/id = 'p1 p2'")[0], "false");
+  EXPECT_EQ(Strings("$d/o/product/id = 'p2'")[0], "true");
+}
+
+TEST_F(PitfallFixture, Condition4DuplicateAttributeError) {
+  Bind("d", "<o><li><product price=\"1\"/><product price=\"2\"/></li></o>");
+  auto r = Eval("<item>{$d/o/li/product/@price}</item>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("XQDY0025"), std::string::npos);
+  // A single product is fine.
+  Bind("e", "<o><li><product price=\"1\"/></li></o>");
+  auto ok = Strings("<item>{$e/o/li/product/@price}</item>");
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_EQ(ok[0], "<item price=\"1\"/>");
+}
+
+TEST_F(PitfallFixture, Condition5NodeIdentityExcept) {
+  Bind("d", "<o><li><product price=\"9\"/></li></o>");
+  // Copies have fresh identities, so except removes nothing (§3.6 cond. 5).
+  auto rows = Strings(
+      "let $view := <item>{$d/o/li/product/@price}</item> "
+      "return $view/@price except $d/o/li/product/@price");
+  EXPECT_EQ(rows.size(), 1u);
+  // The naive "simplification" would yield the base attribute — and except
+  // with itself is empty.
+  auto simplified = Strings(
+      "$d/o/li/product/@price except $d/o/li/product/@price");
+  EXPECT_TRUE(simplified.empty());
+}
+
+TEST_F(PitfallFixture, ConstructionModePreserveKeepsAnnotations) {
+  Bind("d", "<o><id>17</id></o>");
+  Document* doc = docs_.back().get();
+  for (NodeIdx i = 0; i < static_cast<NodeIdx>(doc->node_count()); ++i) {
+    if (doc->node(i).kind == NodeKind::kElement &&
+        NamePool::Global()->LocalOf(doc->node(i).name) == std::string("id")) {
+      doc->SetAnnotation(i, TypeAnnotation::kInteger);
+    }
+  }
+  // Under strip (default), the copied id loses its integer annotation, so a
+  // numeric comparison against a string works through untypedAtomic.
+  auto strip = Eval("<v>{$d/o/id}</v>/id = '17'");
+  ASSERT_TRUE(strip.ok());
+  // Under preserve, the copy keeps xs:integer and the comparison errors.
+  auto preserve =
+      Eval("declare construction preserve; <v>{$d/o/id}</v>/id = '17'");
+  EXPECT_FALSE(preserve.ok());
+}
+
+}  // namespace
+}  // namespace xqdb
