@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_between.dir/bench_between.cc.o"
+  "CMakeFiles/bench_between.dir/bench_between.cc.o.d"
+  "bench_between"
+  "bench_between.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_between.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

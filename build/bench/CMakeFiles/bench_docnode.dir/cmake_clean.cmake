@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_docnode.dir/bench_docnode.cc.o"
+  "CMakeFiles/bench_docnode.dir/bench_docnode.cc.o.d"
+  "bench_docnode"
+  "bench_docnode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_docnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

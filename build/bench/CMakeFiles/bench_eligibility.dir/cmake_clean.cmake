@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eligibility.dir/bench_eligibility.cc.o"
+  "CMakeFiles/bench_eligibility.dir/bench_eligibility.cc.o.d"
+  "bench_eligibility"
+  "bench_eligibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eligibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_index_build.cc" "bench/CMakeFiles/bench_index_build.dir/bench_index_build.cc.o" "gcc" "bench/CMakeFiles/bench_index_build.dir/bench_index_build.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xqdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_letfor.dir/bench_letfor.cc.o"
+  "CMakeFiles/bench_letfor.dir/bench_letfor.cc.o.d"
+  "bench_letfor"
+  "bench_letfor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_letfor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_namespaces.dir/bench_namespaces.cc.o"
+  "CMakeFiles/bench_namespaces.dir/bench_namespaces.cc.o.d"
+  "bench_namespaces"
+  "bench_namespaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_namespaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sqlxml.dir/bench_sqlxml.cc.o"
+  "CMakeFiles/bench_sqlxml.dir/bench_sqlxml.cc.o.d"
+  "bench_sqlxml"
+  "bench_sqlxml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sqlxml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

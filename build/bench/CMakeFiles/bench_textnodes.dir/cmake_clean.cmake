@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_textnodes.dir/bench_textnodes.cc.o"
+  "CMakeFiles/bench_textnodes.dir/bench_textnodes.cc.o.d"
+  "bench_textnodes"
+  "bench_textnodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_textnodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_analytics.dir/order_analytics.cpp.o"
+  "CMakeFiles/order_analytics.dir/order_analytics.cpp.o.d"
+  "order_analytics"
+  "order_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfall_tour.dir/pitfall_tour.cpp.o"
+  "CMakeFiles/pitfall_tour.dir/pitfall_tour.cpp.o.d"
+  "pitfall_tour"
+  "pitfall_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfall_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rss_feeds.dir/rss_feeds.cpp.o"
+  "CMakeFiles/rss_feeds.dir/rss_feeds.cpp.o.d"
+  "rss_feeds"
+  "rss_feeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rss_feeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqdb_common.dir/common/status.cc.o"
+  "CMakeFiles/xqdb_common.dir/common/status.cc.o.d"
+  "CMakeFiles/xqdb_common.dir/common/str_util.cc.o"
+  "CMakeFiles/xqdb_common.dir/common/str_util.cc.o.d"
+  "libxqdb_common.a"
+  "libxqdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqdb_core.dir/core/database.cc.o"
+  "CMakeFiles/xqdb_core.dir/core/database.cc.o.d"
+  "CMakeFiles/xqdb_core.dir/core/eligibility.cc.o"
+  "CMakeFiles/xqdb_core.dir/core/eligibility.cc.o.d"
+  "CMakeFiles/xqdb_core.dir/core/planner.cc.o"
+  "CMakeFiles/xqdb_core.dir/core/planner.cc.o.d"
+  "CMakeFiles/xqdb_core.dir/core/predicate_extract.cc.o"
+  "CMakeFiles/xqdb_core.dir/core/predicate_extract.cc.o.d"
+  "libxqdb_core.a"
+  "libxqdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

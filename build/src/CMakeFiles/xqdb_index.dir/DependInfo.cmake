@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/xqdb_index.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/xqdb_index.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/index_manager.cc" "src/CMakeFiles/xqdb_index.dir/index/index_manager.cc.o" "gcc" "src/CMakeFiles/xqdb_index.dir/index/index_manager.cc.o.d"
+  "/root/repo/src/index/xml_index.cc" "src/CMakeFiles/xqdb_index.dir/index/xml_index.cc.o" "gcc" "src/CMakeFiles/xqdb_index.dir/index/xml_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xqdb_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqdb_index.dir/index/btree.cc.o"
+  "CMakeFiles/xqdb_index.dir/index/btree.cc.o.d"
+  "CMakeFiles/xqdb_index.dir/index/index_manager.cc.o"
+  "CMakeFiles/xqdb_index.dir/index/index_manager.cc.o.d"
+  "CMakeFiles/xqdb_index.dir/index/xml_index.cc.o"
+  "CMakeFiles/xqdb_index.dir/index/xml_index.cc.o.d"
+  "libxqdb_index.a"
+  "libxqdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

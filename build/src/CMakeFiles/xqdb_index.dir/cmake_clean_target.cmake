@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxqdb_index.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqdb_sql.dir/sql/executor.cc.o"
+  "CMakeFiles/xqdb_sql.dir/sql/executor.cc.o.d"
+  "CMakeFiles/xqdb_sql.dir/sql/plan.cc.o"
+  "CMakeFiles/xqdb_sql.dir/sql/plan.cc.o.d"
+  "CMakeFiles/xqdb_sql.dir/sql/sql_ast.cc.o"
+  "CMakeFiles/xqdb_sql.dir/sql/sql_ast.cc.o.d"
+  "CMakeFiles/xqdb_sql.dir/sql/sql_parser.cc.o"
+  "CMakeFiles/xqdb_sql.dir/sql/sql_parser.cc.o.d"
+  "libxqdb_sql.a"
+  "libxqdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqdb_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/xqdb_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/xqdb_storage.dir/storage/table.cc.o"
+  "CMakeFiles/xqdb_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/xqdb_storage.dir/storage/value.cc.o"
+  "CMakeFiles/xqdb_storage.dir/storage/value.cc.o.d"
+  "libxqdb_storage.a"
+  "libxqdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqdb_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/xqdb_workload.dir/workload/generator.cc.o.d"
+  "libxqdb_workload.a"
+  "libxqdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

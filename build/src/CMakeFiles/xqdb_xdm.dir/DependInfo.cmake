@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xdm/atomic.cc" "src/CMakeFiles/xqdb_xdm.dir/xdm/atomic.cc.o" "gcc" "src/CMakeFiles/xqdb_xdm.dir/xdm/atomic.cc.o.d"
+  "/root/repo/src/xdm/cast.cc" "src/CMakeFiles/xqdb_xdm.dir/xdm/cast.cc.o" "gcc" "src/CMakeFiles/xqdb_xdm.dir/xdm/cast.cc.o.d"
+  "/root/repo/src/xdm/compare.cc" "src/CMakeFiles/xqdb_xdm.dir/xdm/compare.cc.o" "gcc" "src/CMakeFiles/xqdb_xdm.dir/xdm/compare.cc.o.d"
+  "/root/repo/src/xdm/datetime.cc" "src/CMakeFiles/xqdb_xdm.dir/xdm/datetime.cc.o" "gcc" "src/CMakeFiles/xqdb_xdm.dir/xdm/datetime.cc.o.d"
+  "/root/repo/src/xdm/item.cc" "src/CMakeFiles/xqdb_xdm.dir/xdm/item.cc.o" "gcc" "src/CMakeFiles/xqdb_xdm.dir/xdm/item.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xqdb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

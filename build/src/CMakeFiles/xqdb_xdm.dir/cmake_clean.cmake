@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqdb_xdm.dir/xdm/atomic.cc.o"
+  "CMakeFiles/xqdb_xdm.dir/xdm/atomic.cc.o.d"
+  "CMakeFiles/xqdb_xdm.dir/xdm/cast.cc.o"
+  "CMakeFiles/xqdb_xdm.dir/xdm/cast.cc.o.d"
+  "CMakeFiles/xqdb_xdm.dir/xdm/compare.cc.o"
+  "CMakeFiles/xqdb_xdm.dir/xdm/compare.cc.o.d"
+  "CMakeFiles/xqdb_xdm.dir/xdm/datetime.cc.o"
+  "CMakeFiles/xqdb_xdm.dir/xdm/datetime.cc.o.d"
+  "CMakeFiles/xqdb_xdm.dir/xdm/item.cc.o"
+  "CMakeFiles/xqdb_xdm.dir/xdm/item.cc.o.d"
+  "libxqdb_xdm.a"
+  "libxqdb_xdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqdb_xdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

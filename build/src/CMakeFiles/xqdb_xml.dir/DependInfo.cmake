@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/xqdb_xml.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/xqdb_xml.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xqdb_xml.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xqdb_xml.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/qname.cc" "src/CMakeFiles/xqdb_xml.dir/xml/qname.cc.o" "gcc" "src/CMakeFiles/xqdb_xml.dir/xml/qname.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xqdb_xml.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xqdb_xml.dir/xml/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xqdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqdb_xml.dir/xml/document.cc.o"
+  "CMakeFiles/xqdb_xml.dir/xml/document.cc.o.d"
+  "CMakeFiles/xqdb_xml.dir/xml/parser.cc.o"
+  "CMakeFiles/xqdb_xml.dir/xml/parser.cc.o.d"
+  "CMakeFiles/xqdb_xml.dir/xml/qname.cc.o"
+  "CMakeFiles/xqdb_xml.dir/xml/qname.cc.o.d"
+  "CMakeFiles/xqdb_xml.dir/xml/serializer.cc.o"
+  "CMakeFiles/xqdb_xml.dir/xml/serializer.cc.o.d"
+  "libxqdb_xml.a"
+  "libxqdb_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqdb_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpath/annotate.cc" "src/CMakeFiles/xqdb_xpath.dir/xpath/annotate.cc.o" "gcc" "src/CMakeFiles/xqdb_xpath.dir/xpath/annotate.cc.o.d"
+  "/root/repo/src/xpath/containment.cc" "src/CMakeFiles/xqdb_xpath.dir/xpath/containment.cc.o" "gcc" "src/CMakeFiles/xqdb_xpath.dir/xpath/containment.cc.o.d"
+  "/root/repo/src/xpath/pattern.cc" "src/CMakeFiles/xqdb_xpath.dir/xpath/pattern.cc.o" "gcc" "src/CMakeFiles/xqdb_xpath.dir/xpath/pattern.cc.o.d"
+  "/root/repo/src/xpath/pattern_nfa.cc" "src/CMakeFiles/xqdb_xpath.dir/xpath/pattern_nfa.cc.o" "gcc" "src/CMakeFiles/xqdb_xpath.dir/xpath/pattern_nfa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xqdb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xqdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

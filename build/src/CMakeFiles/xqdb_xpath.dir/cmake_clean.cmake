@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqdb_xpath.dir/xpath/annotate.cc.o"
+  "CMakeFiles/xqdb_xpath.dir/xpath/annotate.cc.o.d"
+  "CMakeFiles/xqdb_xpath.dir/xpath/containment.cc.o"
+  "CMakeFiles/xqdb_xpath.dir/xpath/containment.cc.o.d"
+  "CMakeFiles/xqdb_xpath.dir/xpath/pattern.cc.o"
+  "CMakeFiles/xqdb_xpath.dir/xpath/pattern.cc.o.d"
+  "CMakeFiles/xqdb_xpath.dir/xpath/pattern_nfa.cc.o"
+  "CMakeFiles/xqdb_xpath.dir/xpath/pattern_nfa.cc.o.d"
+  "libxqdb_xpath.a"
+  "libxqdb_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqdb_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqdb_xquery.dir/xquery/ast.cc.o"
+  "CMakeFiles/xqdb_xquery.dir/xquery/ast.cc.o.d"
+  "CMakeFiles/xqdb_xquery.dir/xquery/evaluator.cc.o"
+  "CMakeFiles/xqdb_xquery.dir/xquery/evaluator.cc.o.d"
+  "CMakeFiles/xqdb_xquery.dir/xquery/functions.cc.o"
+  "CMakeFiles/xqdb_xquery.dir/xquery/functions.cc.o.d"
+  "CMakeFiles/xqdb_xquery.dir/xquery/lexer.cc.o"
+  "CMakeFiles/xqdb_xquery.dir/xquery/lexer.cc.o.d"
+  "CMakeFiles/xqdb_xquery.dir/xquery/parser.cc.o"
+  "CMakeFiles/xqdb_xquery.dir/xquery/parser.cc.o.d"
+  "CMakeFiles/xqdb_xquery.dir/xquery/static_context.cc.o"
+  "CMakeFiles/xqdb_xquery.dir/xquery/static_context.cc.o.d"
+  "libxqdb_xquery.a"
+  "libxqdb_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqdb_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

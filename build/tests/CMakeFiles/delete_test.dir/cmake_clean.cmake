@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delete_test.dir/delete_test.cc.o"
+  "CMakeFiles/delete_test.dir/delete_test.cc.o.d"
+  "delete_test"
+  "delete_test.pdb"
+  "delete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

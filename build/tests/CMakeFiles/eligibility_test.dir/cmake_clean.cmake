@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eligibility_test.dir/eligibility_test.cc.o"
+  "CMakeFiles/eligibility_test.dir/eligibility_test.cc.o.d"
+  "eligibility_test"
+  "eligibility_test.pdb"
+  "eligibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eligibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_index_test.dir/xml_index_test.cc.o"
+  "CMakeFiles/xml_index_test.dir/xml_index_test.cc.o.d"
+  "xml_index_test"
+  "xml_index_test.pdb"
+  "xml_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

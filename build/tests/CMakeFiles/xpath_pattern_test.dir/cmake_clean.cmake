@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_pattern_test.dir/xpath_pattern_test.cc.o"
+  "CMakeFiles/xpath_pattern_test.dir/xpath_pattern_test.cc.o.d"
+  "xpath_pattern_test"
+  "xpath_pattern_test.pdb"
+  "xpath_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_errors_test.dir/xquery_errors_test.cc.o"
+  "CMakeFiles/xquery_errors_test.dir/xquery_errors_test.cc.o.d"
+  "xquery_errors_test"
+  "xquery_errors_test.pdb"
+  "xquery_errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

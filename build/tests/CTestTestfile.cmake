@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/xdm_test[1]_include.cmake")
+include("/root/repo/build/tests/xpath_pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/containment_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_index_test[1]_include.cmake")
+include("/root/repo/build/tests/xquery_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/xquery_pitfalls_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/xquery_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/xquery_errors_test[1]_include.cmake")
+include("/root/repo/build/tests/eligibility_test[1]_include.cmake")
+include("/root/repo/build/tests/join_index_test[1]_include.cmake")
+include("/root/repo/build/tests/delete_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_queries_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
