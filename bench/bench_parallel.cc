@@ -1,0 +1,215 @@
+// Machine-readable parallel-engine benchmark: sweeps the scan path over a
+// thread count ladder, times the parallel index build, and measures the
+// compiled-query cache, then writes BENCH_parallel.json with ns/op and
+// speedup-vs-1-thread for each configuration.
+//
+//   ./bench_parallel [output.json]
+//
+// Environment: XQDB_BENCH_ORDERS overrides the collection size (default
+// 4000 documents).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/database.h"
+#include "workload/generator.h"
+
+namespace {
+
+using xqdb::Database;
+using xqdb::LoadPaperWorkload;
+using xqdb::OrdersWorkloadConfig;
+using xqdb::Status;
+using xqdb::ThreadPool;
+
+constexpr char kScanSql[] =
+    "SELECT ordid FROM orders WHERE XMLEXISTS("
+    "'$order//lineitem[@price > 995]' passing orddoc as \"order\")";
+
+constexpr char kIndexDdl[] =
+    "CREATE INDEX li_price ON orders(orddoc) "
+    "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE";
+
+int OrdersFromEnv() {
+  if (const char* env = std::getenv("XQDB_BENCH_ORDERS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 4000;
+}
+
+OrdersWorkloadConfig BenchConfig() {
+  OrdersWorkloadConfig config;
+  config.num_orders = OrdersFromEnv();
+  config.seed = 42;
+  return config;
+}
+
+std::unique_ptr<Database> LoadDb() {
+  auto db = std::make_unique<Database>();
+  Status s = LoadPaperWorkload(db.get(), BenchConfig());
+  if (!s.ok()) {
+    std::fprintf(stderr, "workload load failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  return db;
+}
+
+double NowNs() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Best-of-N wall time for one call of `fn` (ns). Best-of beats mean on a
+// shared machine: scheduler noise only ever adds time.
+template <typename Fn>
+double TimeBestNs(int reps, Fn&& fn) {
+  double best = 0;
+  for (int i = 0; i < reps; ++i) {
+    double t0 = NowNs();
+    fn();
+    double dt = NowNs() - t0;
+    if (i == 0 || dt < best) best = dt;
+  }
+  return best;
+}
+
+struct Row {
+  std::string name;
+  size_t threads;
+  double ns_per_op;
+  double speedup_vs_1;
+  std::string note;
+};
+
+void AppendJson(std::string* out, const Row& r, bool last) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"%s\", \"threads\": %zu, "
+                "\"ns_per_op\": %.0f, \"speedup_vs_1_thread\": %.3f, "
+                "\"note\": \"%s\"}%s\n",
+                r.name.c_str(), r.threads, r.ns_per_op, r.speedup_vs_1,
+                r.note.c_str(), last ? "" : ",");
+  *out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<Row> rows;
+
+  // --- Scan sweep: unindexed XMLEXISTS over the whole collection. -------
+  {
+    auto db = LoadDb();
+    const std::vector<size_t> ladder = {1, 2, 4, 8};
+    double base_ns = 0;
+    std::string base_result;
+    for (size_t t : ladder) {
+      ThreadPool::SetGlobalThreads(t);
+      std::string result;
+      auto run = [&] {
+        auto rs = db->ExecuteSql(kScanSql);
+        if (!rs.ok()) {
+          std::fprintf(stderr, "scan failed: %s\n",
+                       rs.status().ToString().c_str());
+          std::abort();
+        }
+        result = rs->ToString(1u << 20);
+      };
+      run();  // warm-up; also populates the plan cache
+      double ns = TimeBestNs(5, run);
+      if (t == 1) {
+        base_ns = ns;
+        base_result = result;
+      } else if (result != base_result) {
+        std::fprintf(stderr, "DETERMINISM VIOLATION at %zu threads\n", t);
+        return 1;
+      }
+      rows.push_back({"scan_xmlexists", t, ns, base_ns / ns,
+                      "identical results verified vs 1 thread"});
+      std::printf("scan   threads=%zu  %10.0f ns/op  speedup %.2fx\n", t, ns,
+                  base_ns / ns);
+    }
+  }
+
+  // --- Index build: pattern matching + cast fan out per document. -------
+  {
+    double base_ns = 0;
+    for (size_t t : {size_t{1}, size_t{4}}) {
+      ThreadPool::SetGlobalThreads(t);
+      // A fresh database per rep — CREATE INDEX is once-per-table.
+      double ns = TimeBestNs(3, [&] {
+        auto db = LoadDb();
+        auto rs = db->ExecuteSql(kIndexDdl);
+        if (!rs.ok()) std::abort();
+      });
+      if (t == 1) base_ns = ns;
+      rows.push_back({"index_build", t, ns, base_ns / ns,
+                      "includes workload load; build is the delta"});
+      std::printf("build  threads=%zu  %10.0f ns/op  speedup %.2fx\n", t, ns,
+                  base_ns / ns);
+    }
+  }
+
+  // --- Compiled-query cache: first execution parses + plans, the rest hit
+  // the cache. Indexed point query keeps execution cheap so the front-end
+  // savings dominate. --------------------------------------------------
+  {
+    ThreadPool::SetGlobalThreads(1);
+    auto db = LoadDb();
+    if (!db->ExecuteSql(kIndexDdl).ok()) std::abort();
+    const std::string q =
+        "SELECT ordid FROM orders WHERE XMLEXISTS("
+        "'$order//lineitem[@price > 999.5]' passing orddoc as \"order\")";
+    double cold_ns = TimeBestNs(1, [&] {
+      if (!db->ExecuteSql(q).ok()) std::abort();
+    });
+    double warm_ns = TimeBestNs(20, [&] {
+      auto rs = db->ExecuteSql(q);
+      if (!rs.ok() || rs->stats.plan_cache_hits != 1) {
+        std::fprintf(stderr, "expected plan-cache hit\n");
+        std::abort();
+      }
+    });
+    rows.push_back({"query_cold_parse_plan", 1, cold_ns, 1.0,
+                    "first execution: parse + plan + run"});
+    rows.push_back({"query_cached_plan", 1, warm_ns, cold_ns / warm_ns,
+                    "plan-cache hit verified via ExecStats"});
+    std::printf("cache  cold %10.0f ns  warm %10.0f ns  (%.2fx)\n", cold_ns,
+                warm_ns, cold_ns / warm_ns);
+  }
+
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+
+  std::string json;
+  json += "{\n";
+  json += "  \"benchmark\": \"bench_parallel\",\n";
+  json += "  \"orders\": " + std::to_string(OrdersFromEnv()) + ",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    AppendJson(&json, rows[i], i + 1 == rows.size());
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

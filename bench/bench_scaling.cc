@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 
 namespace {
 
@@ -54,6 +55,24 @@ void BM_Scaling_SqlXmlExists(benchmark::State& state) {
 }
 BENCHMARK(BM_Scaling_SqlXmlExists)
     ->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Thread sweep over the unindexed scan: the fallback evaluates the
+// XMLEXISTS predicate per document on the pool, so throughput should track
+// the thread count (range(1)) until cores run out. range(0) = collection
+// size, range(1) = XQDB threads.
+void BM_Scaling_ParallelScan(benchmark::State& state) {
+  xqdb::ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(1)));
+  auto* db = GetDatabase(ConfigFor(static_cast<int>(state.range(0))), {});
+  xqdb::bench::RunSqlBenchmark(
+      state, db,
+      "SELECT ordid FROM orders WHERE XMLEXISTS("
+      "'$order//lineitem[@price > 995]' passing orddoc as \"order\")");
+  xqdb::ThreadPool::SetGlobalThreads(xqdb::ThreadPool::DefaultThreads());
+}
+BENCHMARK(BM_Scaling_ParallelScan)
+    ->Args({2000, 1})->Args({2000, 2})->Args({2000, 4})
+    ->Args({8000, 1})->Args({8000, 4})
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

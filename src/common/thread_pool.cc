@@ -1,0 +1,161 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace xqdb {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads <= 1) return;  // Degenerate pool: ParallelFor runs inline.
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+  }
+}
+
+size_t ThreadPool::NumChunks(size_t begin, size_t end, size_t grain,
+                             size_t threads) {
+  if (end <= begin) return 0;
+  size_t n = end - begin;
+  if (grain == 0) {
+    size_t ways = std::max<size_t>(1, threads) * 4;
+    grain = std::max<size_t>(1, (n + ways - 1) / ways);
+  }
+  return (n + grain - 1) / grain;
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  size_t n = end - begin;
+  if (grain == 0) {
+    size_t ways = std::max<size_t>(1, workers_.size()) * 4;
+    grain = std::max<size_t>(1, (n + ways - 1) / ways);
+  }
+  if (workers_.empty() || n <= grain) {
+    // Inline: degenerate pool, or a range too small to be worth splitting.
+    // Chunk boundaries still honour `grain` so per-chunk output slots line
+    // up with NumChunks() regardless of the pool size.
+    for (size_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  struct ForState {
+    std::atomic<size_t> remaining;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<ForState>();
+  size_t chunks = (n + grain - 1) / grain;
+  state->remaining.store(chunks, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t c = 0; c < chunks; ++c) {
+      size_t lo = begin + c * grain;
+      size_t hi = std::min(end, lo + grain);
+      queue_.emplace_back([state, &fn, lo, hi] {
+        try {
+          fn(lo, hi);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(state->error_mu);
+          if (!state->first_error) {
+            state->first_error = std::current_exception();
+          }
+        }
+        if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> dlock(state->done_mu);
+          state->done_cv.notify_all();
+        }
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  // The calling thread participates: steal queued chunks (ours or another
+  // ParallelFor's — tasks are self-contained) instead of blocking idle.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.back());
+        queue_.pop_back();
+      }
+    }
+    if (!task) break;
+    task();
+    if (state->remaining.load(std::memory_order_acquire) == 0) break;
+  }
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(lock, [&] {
+      return state->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+namespace {
+std::unique_ptr<ThreadPool>* GlobalSlot() {
+  static auto* slot = new std::unique_ptr<ThreadPool>;
+  return slot;
+}
+std::mutex* GlobalMu() {
+  static auto* mu = new std::mutex;
+  return mu;
+}
+}  // namespace
+
+size_t ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("XQDB_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0) return std::min<long>(v, 256);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(*GlobalMu());
+  auto* slot = GlobalSlot();
+  if (*slot == nullptr) *slot = std::make_unique<ThreadPool>(DefaultThreads());
+  return **slot;
+}
+
+void ThreadPool::SetGlobalThreads(size_t threads) {
+  std::lock_guard<std::mutex> lock(*GlobalMu());
+  *GlobalSlot() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace xqdb

@@ -1,0 +1,75 @@
+#ifndef XQDB_COMMON_THREAD_POOL_H_
+#define XQDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xqdb {
+
+/// A fixed-size worker pool for data-parallel loops. xqdb partitions work
+/// document-at-a-time (one table row = one document), so the unit of
+/// scheduling is a contiguous [begin, end) chunk of row indices.
+///
+/// A pool of size 0 or 1 runs everything inline on the calling thread —
+/// the degenerate pool is exactly the old single-threaded engine, which is
+/// what makes the parallel paths easy to test for determinism.
+///
+/// Exceptions thrown by chunk functions are captured and the first one is
+/// rethrown on the calling thread after every chunk has finished, so a
+/// ParallelFor never leaks work into the background.
+class ThreadPool {
+ public:
+  /// `threads` = number of worker threads (0 → run inline).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Splits [begin, end) into chunks of at most `grain` indices and runs
+  /// `fn(chunk_begin, chunk_end)` for each, blocking until all complete.
+  /// Chunks are dispatched in order but may run concurrently and complete
+  /// out of order; callers that need ordered output should write into
+  /// per-chunk slots (chunk index = (chunk_begin - begin) / grain).
+  /// `grain` == 0 picks a grain that yields ~4 chunks per worker.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// The number of chunks ParallelFor will use for a given range/grain —
+  /// callers preallocate per-chunk result slots with this.
+  static size_t NumChunks(size_t begin, size_t end, size_t grain,
+                          size_t threads);
+
+  /// The process-wide pool. Size comes from the XQDB_THREADS environment
+  /// variable when set (clamped to [0, 256]), otherwise
+  /// hardware_concurrency(). Created on first use; never destroyed.
+  static ThreadPool& Global();
+
+  /// Replaces the global pool (benchmarks sweep a threads dimension; tests
+  /// compare 1-thread vs N-thread runs). Not safe concurrently with queries
+  /// running on the old pool.
+  static void SetGlobalThreads(size_t threads);
+
+  /// The thread count Global() would be created with: XQDB_THREADS if set,
+  /// else hardware_concurrency().
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::vector<std::function<void()>> queue_;  // LIFO; tasks are symmetric
+  bool shutdown_ = false;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_COMMON_THREAD_POOL_H_

@@ -7,7 +7,22 @@
 
 namespace xqdb {
 
+Result<ResultSet> Database::RunSelect(const SelectStmt& stmt,
+                                      const SelectPlan& plan) {
+  SqlExecutor executor(&catalog_);
+  return executor.Run(stmt, plan);
+}
+
 Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
+  // Serving fast path: a repeated query reuses its parsed AST + plan and
+  // skips the whole front end. Only SELECTs are ever inserted, so a cache
+  // hit implies a SELECT.
+  const uint64_t catalog_version = catalog_.version();
+  if (auto cached = query_cache_.LookupSql(sql, catalog_version)) {
+    auto rs = RunSelect(*cached->stmt.select, cached->plan);
+    if (rs.ok()) rs->stats.plan_cache_hits = 1;
+    return rs;
+  }
   XQDB_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
   switch (stmt.kind) {
     case SqlStatement::Kind::kCreateTable:
@@ -26,8 +41,12 @@ Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
     case SqlStatement::Kind::kSelect: {
       Planner planner(&catalog_);
       XQDB_ASSIGN_OR_RETURN(SelectPlan plan, planner.PlanSelect(*stmt.select));
-      SqlExecutor executor(&catalog_);
-      return executor.Run(*stmt.select, plan);
+      auto entry = std::make_shared<CachedSqlQuery>();
+      entry->stmt = std::move(stmt);
+      entry->plan = std::move(plan);
+      entry->catalog_version = catalog_version;
+      query_cache_.InsertSql(sql, entry);
+      return RunSelect(*entry->stmt.select, entry->plan);
     }
   }
   return Status::Internal("unhandled statement kind");
@@ -45,10 +64,25 @@ Result<std::string> Database::ExplainSql(const std::string& sql) {
 
 Result<Database::XQueryResult> Database::ExecuteXQuery(
     const std::string& query) {
+  const uint64_t catalog_version = catalog_.version();
+  if (auto cached = query_cache_.LookupXQuery(query, catalog_version)) {
+    auto out = RunXQuery(cached->parsed, cached->plan);
+    if (out.ok()) out->stats.plan_cache_hits = 1;
+    return out;
+  }
   XQDB_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseXQuery(query));
   Planner planner(&catalog_);
   XQDB_ASSIGN_OR_RETURN(XQueryPlan plan, planner.PlanXQuery(*parsed.body));
+  auto entry = std::make_shared<CachedXQuery>();
+  entry->parsed = std::move(parsed);
+  entry->plan = std::move(plan);
+  entry->catalog_version = catalog_version;
+  query_cache_.InsertXQuery(query, entry);
+  return RunXQuery(entry->parsed, entry->plan);
+}
 
+Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
+                                                   const XQueryPlan& plan) {
   XQueryResult out;
   out.plan = plan.Explain();
   out.runtime = std::make_shared<QueryRuntime>();
@@ -129,6 +163,8 @@ Result<ResultSet> Database::RunCreateIndex(const CreateIndexStmt& stmt) {
     XQDB_RETURN_IF_ERROR(
         table->CreateRelationalIndex(stmt.index_name, stmt.column_name));
   }
+  // A new index can flip a cached plan from scan to probe: invalidate.
+  catalog_.BumpVersion();
   return ResultSet{};
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/query_cache.h"
 #include "sql/executor.h"
 #include "sql/sql_parser.h"
 #include "storage/catalog.h"
@@ -57,12 +58,22 @@ class Database {
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
+  /// Compiled-query cache counters (tests / monitoring).
+  QueryCache::Stats query_cache_stats() const { return query_cache_.stats(); }
+
  private:
   Result<ResultSet> RunCreateTable(const CreateTableStmt& stmt);
   Result<ResultSet> RunCreateIndex(const CreateIndexStmt& stmt);
   Result<ResultSet> RunInsert(const InsertStmt& stmt);
 
+  /// Executes a compiled SELECT / XQuery (shared by the cache-hit and
+  /// freshly-compiled paths).
+  Result<ResultSet> RunSelect(const SelectStmt& stmt, const SelectPlan& plan);
+  Result<XQueryResult> RunXQuery(const ParsedQuery& parsed,
+                                 const XQueryPlan& plan);
+
   Catalog catalog_;
+  QueryCache query_cache_;
 };
 
 }  // namespace xqdb

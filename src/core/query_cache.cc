@@ -1,0 +1,90 @@
+#include "core/query_cache.h"
+
+namespace xqdb {
+
+namespace {
+std::string SqlKey(const std::string& text) { return "S\x01" + text; }
+std::string XQueryKey(const std::string& text) { return "X\x01" + text; }
+}  // namespace
+
+QueryCache::Slot* QueryCache::LookupLocked(const std::string& key,
+                                           uint64_t catalog_version) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.catalog_version != catalog_version) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+    ++stats_.invalidated;
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++stats_.hits;
+  return &it->second;
+}
+
+void QueryCache::InsertLocked(std::string key, Slot slot) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Replace (e.g. re-planned after DDL): keep the LRU node.
+    slot.lru_pos = it->second.lru_pos;
+    it->second = std::move(slot);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (entries_.size() >= capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  slot.lru_pos = lru_.begin();
+  entries_.emplace(std::move(key), std::move(slot));
+}
+
+std::shared_ptr<const CachedSqlQuery> QueryCache::LookupSql(
+    const std::string& text, uint64_t catalog_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot* slot = LookupLocked(SqlKey(text), catalog_version);
+  return slot == nullptr ? nullptr : slot->sql;
+}
+
+void QueryCache::InsertSql(const std::string& text,
+                           std::shared_ptr<const CachedSqlQuery> entry) {
+  Slot slot;
+  slot.catalog_version = entry->catalog_version;
+  slot.sql = std::move(entry);
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(SqlKey(text), std::move(slot));
+}
+
+std::shared_ptr<const CachedXQuery> QueryCache::LookupXQuery(
+    const std::string& text, uint64_t catalog_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot* slot = LookupLocked(XQueryKey(text), catalog_version);
+  return slot == nullptr ? nullptr : slot->xquery;
+}
+
+void QueryCache::InsertXQuery(const std::string& text,
+                              std::shared_ptr<const CachedXQuery> entry) {
+  Slot slot;
+  slot.catalog_version = entry->catalog_version;
+  slot.xquery = std::move(entry);
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(XQueryKey(text), std::move(slot));
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace xqdb

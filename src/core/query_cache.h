@@ -1,0 +1,90 @@
+#ifndef XQDB_CORE_QUERY_CACHE_H_
+#define XQDB_CORE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sql/plan.h"
+#include "sql/sql_ast.h"
+#include "xquery/parser.h"
+
+namespace xqdb {
+
+/// A fully compiled SQL SELECT: the parsed statement (which owns every
+/// embedded XQuery AST and static context) plus the plan chosen for it.
+/// The plan borrows Expr pointers from the statement, so the two live and
+/// die together. Execution only reads the AST (variable bindings live in
+/// per-execution Evaluators), so one cached entry serves any number of
+/// consecutive executions.
+struct CachedSqlQuery {
+  SqlStatement stmt;  // kind == kSelect
+  SelectPlan plan;
+  uint64_t catalog_version = 0;
+};
+
+/// A fully compiled standalone XQuery.
+struct CachedXQuery {
+  ParsedQuery parsed;
+  XQueryPlan plan;
+  uint64_t catalog_version = 0;
+};
+
+/// LRU cache of compiled queries keyed on raw query text — the serving
+/// scenario's fast path: a repeated query skips lexing, parsing, embedded
+/// XQuery compilation, and planning entirely. Entries planned under an
+/// older catalog version (any DDL since) are discarded on lookup, because
+/// new indexes change eligibility. Thread-safe.
+class QueryCache {
+ public:
+  explicit QueryCache(size_t capacity = 128) : capacity_(capacity) {}
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  std::shared_ptr<const CachedSqlQuery> LookupSql(const std::string& text,
+                                                  uint64_t catalog_version);
+  void InsertSql(const std::string& text,
+                 std::shared_ptr<const CachedSqlQuery> entry);
+
+  std::shared_ptr<const CachedXQuery> LookupXQuery(const std::string& text,
+                                                   uint64_t catalog_version);
+  void InsertXQuery(const std::string& text,
+                    std::shared_ptr<const CachedXQuery> entry);
+
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;       // includes version-invalidated lookups
+    long long invalidated = 0;  // entries discarded for version mismatch
+    long long evictions = 0;    // capacity evictions
+  };
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  // One slot holds either statement kind; the text key is prefixed with
+  // "S\x01" / "X\x01" so identical SQL and XQuery texts cannot collide.
+  struct Slot {
+    std::shared_ptr<const CachedSqlQuery> sql;
+    std::shared_ptr<const CachedXQuery> xquery;
+    uint64_t catalog_version = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Returns the slot for `key` if present and current; erases stale
+  /// entries. Caller holds mu_.
+  Slot* LookupLocked(const std::string& key, uint64_t catalog_version);
+  void InsertLocked(std::string key, Slot slot);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, Slot> entries_;
+  Stats stats_;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_CORE_QUERY_CACHE_H_

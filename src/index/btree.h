@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace xqdb {
@@ -67,6 +68,59 @@ class BPlusTree {
       }
     }
     return erased;
+  }
+
+  /// Replaces the tree's contents with `sorted` (entries in key order;
+  /// duplicate keys allowed), building packed leaves left-to-right and then
+  /// each interior level in one linear pass — the classic bottom-up bulk
+  /// load that makes a parallel CREATE INDEX cheap: workers match+cast
+  /// documents concurrently, then a single merge-sorted array lands here.
+  /// Later Inserts split nodes normally.
+  void BulkLoad(std::vector<std::pair<Key, Value>> sorted) {
+    size_ = sorted.size();
+    if (sorted.empty()) {
+      root_ = std::make_unique<Node>(/*leaf=*/true);
+      return;
+    }
+    // Leaf level: full leaves, chained for range scans.
+    std::vector<std::unique_ptr<Node>> level;
+    for (size_t i = 0; i < sorted.size();) {
+      size_t take = std::min(kOrder, sorted.size() - i);
+      auto leaf = std::make_unique<Node>(/*leaf=*/true);
+      leaf->keys.reserve(take);
+      leaf->values.reserve(take);
+      for (size_t j = 0; j < take; ++j) {
+        leaf->keys.push_back(std::move(sorted[i + j].first));
+        leaf->values.push_back(std::move(sorted[i + j].second));
+      }
+      i += take;
+      level.push_back(std::move(leaf));
+    }
+    for (size_t j = 0; j + 1 < level.size(); ++j) {
+      level[j]->next = level[j + 1].get();
+    }
+    // Interior levels. The separator left of child c is the smallest key in
+    // c's subtree — the same convention leaf splits use, so descents by
+    // UpperBound land on the right child for duplicate keys.
+    while (level.size() > 1) {
+      std::vector<std::unique_ptr<Node>> up;
+      for (size_t j = 0; j < level.size();) {
+        size_t remaining = level.size() - j;
+        size_t take = std::min(kOrder + 1, remaining);
+        if (remaining - take == 1) --take;  // never leave a 1-child node
+        auto node = std::make_unique<Node>(/*leaf=*/false);
+        node->children.reserve(take);
+        node->keys.reserve(take - 1);
+        for (size_t c = 0; c < take; ++c) {
+          if (c > 0) node->keys.push_back(SubtreeMinKey(*level[j + c]));
+          node->children.push_back(std::move(level[j + c]));
+        }
+        j += take;
+        up.push_back(std::move(node));
+      }
+      level = std::move(up);
+    }
+    root_ = std::move(level[0]);
   }
 
   /// Calls fn(key, value) for every entry in [lo, hi], in key order.
@@ -173,6 +227,13 @@ class BPlusTree {
     Key separator{};
     std::unique_ptr<Node> right;
   };
+
+  /// Smallest key stored under `node` (leftmost leaf's first key).
+  static const Key& SubtreeMinKey(const Node& node) {
+    const Node* n = &node;
+    while (!n->leaf) n = n->children.front().get();
+    return n->keys.front();
+  }
 
   /// Index of the first key in `keys` not less than `key` (lower bound).
   size_t LowerBound(const std::vector<Key>& keys, const Key& key) const {

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "xdm/cast.h"
 #include "xdm/item.h"
 
@@ -41,8 +42,7 @@ Result<XmlIndex> XmlIndex::Create(std::string name, std::string pattern_text,
                                   IndexValueType type) {
   XmlIndex idx;
   idx.name_ = std::move(name);
-  XQDB_ASSIGN_OR_RETURN(idx.pattern_, ParsePattern(pattern_text));
-  XQDB_ASSIGN_OR_RETURN(idx.nfa_, PatternNfa::Compile(idx.pattern_));
+  XQDB_ASSIGN_OR_RETURN(idx.compiled_, GetCompiledPattern(pattern_text));
   idx.type_ = type;
   return idx;
 }
@@ -61,7 +61,7 @@ std::optional<AtomicValue> XmlIndex::KeyFor(const Document& doc,
 }
 
 void XmlIndex::InsertDocument(uint32_t row, const Document& doc) {
-  ForEachMatch(nfa_, doc, [&](NodeIdx node) {
+  ForEachMatch(compiled_->nfa, doc, [&](NodeIdx node) {
     std::optional<AtomicValue> key = KeyFor(doc, node);
     if (!key.has_value()) return;
     IndexedNodeRef ref{row, node};
@@ -82,7 +82,7 @@ void XmlIndex::InsertDocument(uint32_t row, const Document& doc) {
 }
 
 void XmlIndex::EraseDocument(uint32_t row, const Document& doc) {
-  ForEachMatch(nfa_, doc, [&](NodeIdx node) {
+  ForEachMatch(compiled_->nfa, doc, [&](NodeIdx node) {
     std::optional<AtomicValue> key = KeyFor(doc, node);
     if (!key.has_value()) return;
     IndexedNodeRef ref{row, node};
@@ -101,6 +101,96 @@ void XmlIndex::EraseDocument(uint32_t row, const Document& doc) {
     }
     if (erased) --entry_count_;
   });
+}
+
+void XmlIndex::CollectEntries(
+    uint32_t row, const Document& doc,
+    std::vector<std::pair<std::string, IndexedNodeRef>>* str_out,
+    std::vector<std::pair<double, IndexedNodeRef>>* dbl_out,
+    std::vector<std::pair<long long, IndexedNodeRef>>* tmp_out) const {
+  ForEachMatch(compiled_->nfa, doc, [&](NodeIdx node) {
+    std::optional<AtomicValue> key = KeyFor(doc, node);
+    if (!key.has_value()) return;
+    IndexedNodeRef ref{row, node};
+    switch (type_) {
+      case IndexValueType::kVarchar:
+        str_out->emplace_back(key->string_value(), ref);
+        break;
+      case IndexValueType::kDouble:
+        dbl_out->emplace_back(key->double_value(), ref);
+        break;
+      case IndexValueType::kDate:
+      case IndexValueType::kTimestamp:
+        tmp_out->emplace_back(key->temporal_value(), ref);
+        break;
+    }
+  });
+}
+
+namespace {
+
+/// Merges per-chunk entry vectors, sorts by (key, row, node) — the row/node
+/// tiebreak makes the leaf layout deterministic regardless of chunking —
+/// and bulk-loads the tree. Returns the entry count.
+template <typename Key>
+size_t MergeAndLoad(std::vector<std::vector<std::pair<Key, IndexedNodeRef>>>
+                        chunks,
+                    BPlusTree<Key, IndexedNodeRef>* tree) {
+  size_t total = 0;
+  for (const auto& c : chunks) total += c.size();
+  std::vector<std::pair<Key, IndexedNodeRef>> all;
+  all.reserve(total);
+  for (auto& c : chunks) {
+    all.insert(all.end(), std::make_move_iterator(c.begin()),
+               std::make_move_iterator(c.end()));
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.first < b.first) return true;
+    if (b.first < a.first) return false;
+    if (a.second.row != b.second.row) return a.second.row < b.second.row;
+    return a.second.node < b.second.node;
+  });
+  tree->BulkLoad(std::move(all));
+  return total;
+}
+
+}  // namespace
+
+void XmlIndex::BulkBuild(
+    const std::vector<std::pair<uint32_t, const Document*>>& docs) {
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t n = docs.size();
+  size_t ways = std::max<size_t>(1, pool.thread_count()) * 4;
+  const size_t grain = std::max<size_t>(8, (n + ways - 1) / ways);
+  const size_t chunks = n == 0 ? 0 : (n + grain - 1) / grain;
+
+  std::vector<std::vector<std::pair<std::string, IndexedNodeRef>>> str_chunks(
+      chunks);
+  std::vector<std::vector<std::pair<double, IndexedNodeRef>>> dbl_chunks(
+      chunks);
+  std::vector<std::vector<std::pair<long long, IndexedNodeRef>>> tmp_chunks(
+      chunks);
+  pool.ParallelFor(0, n, grain, [&](size_t lo, size_t hi) {
+    size_t c = lo / grain;
+    for (size_t i = lo; i < hi; ++i) {
+      if (docs[i].second == nullptr) continue;
+      CollectEntries(docs[i].first, *docs[i].second, &str_chunks[c],
+                     &dbl_chunks[c], &tmp_chunks[c]);
+    }
+  });
+
+  switch (type_) {
+    case IndexValueType::kVarchar:
+      entry_count_ = MergeAndLoad(std::move(str_chunks), &string_tree_);
+      break;
+    case IndexValueType::kDouble:
+      entry_count_ = MergeAndLoad(std::move(dbl_chunks), &double_tree_);
+      break;
+    case IndexValueType::kDate:
+    case IndexValueType::kTimestamp:
+      entry_count_ = MergeAndLoad(std::move(tmp_chunks), &temporal_tree_);
+      break;
+  }
 }
 
 namespace {

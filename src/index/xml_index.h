@@ -2,8 +2,10 @@
 #define XQDB_INDEX_XML_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -11,6 +13,7 @@
 #include "xdm/atomic.h"
 #include "xml/document.h"
 #include "xpath/pattern.h"
+#include "xpath/pattern_cache.h"
 #include "xpath/pattern_nfa.h"
 
 namespace xqdb {
@@ -57,7 +60,7 @@ class XmlIndex {
                                  IndexValueType type);
 
   const std::string& name() const { return name_; }
-  const Pattern& pattern() const { return pattern_; }
+  const Pattern& pattern() const { return compiled_->pattern; }
   IndexValueType type() const { return type_; }
   size_t entry_count() const { return entry_count_; }
 
@@ -66,6 +69,13 @@ class XmlIndex {
 
   /// Removes a document's entries (document deletion / update).
   void EraseDocument(uint32_t row, const Document& doc);
+
+  /// Builds the index over a whole collection at once (CREATE INDEX on a
+  /// loaded table): Pattern-NFA matching and tolerant casting run
+  /// document-at-a-time on the global thread pool, the per-chunk entry
+  /// vectors are merged and sorted, and the result is bulk-loaded into the
+  /// B-tree. Replaces existing contents. Null documents are skipped.
+  void BulkBuild(const std::vector<std::pair<uint32_t, const Document*>>& docs);
 
   /// Range probe: returns the *rows* containing at least one entry in
   /// [lo, hi], deduplicated, ascending.
@@ -95,9 +105,17 @@ class XmlIndex {
   /// (tolerant insert).
   std::optional<AtomicValue> KeyFor(const Document& doc, NodeIdx node) const;
 
+  /// Collects (key, ref) pairs for every matching, castable node of one
+  /// document into per-type output vectors (exactly one is used).
+  void CollectEntries(
+      uint32_t row, const Document& doc,
+      std::vector<std::pair<std::string, IndexedNodeRef>>* str_out,
+      std::vector<std::pair<double, IndexedNodeRef>>* dbl_out,
+      std::vector<std::pair<long long, IndexedNodeRef>>* tmp_out) const;
+
   std::string name_;
-  Pattern pattern_;
-  PatternNfa nfa_;
+  // Interned: indexes with the same XMLPATTERN text share one compilation.
+  std::shared_ptr<const CompiledPattern> compiled_;
   IndexValueType type_ = IndexValueType::kVarchar;
   size_t entry_count_ = 0;
 

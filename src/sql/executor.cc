@@ -4,10 +4,26 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "xdm/cast.h"
 #include "xquery/evaluator.h"
 
 namespace xqdb {
+
+namespace {
+
+/// Below this many rows the chunk bookkeeping of a parallel predicate pass
+/// costs more than the evaluation it spreads out.
+constexpr size_t kParallelRowThreshold = 64;
+
+/// Chunk size for per-row predicate evaluation: small enough to balance
+/// skewed documents across workers, large enough to amortize dispatch.
+size_t PredicateGrain(size_t n, size_t threads) {
+  size_t ways = std::max<size_t>(1, threads) * 4;
+  return std::max<size_t>(16, (n + ways - 1) / ways);
+}
+
+}  // namespace
 
 std::string ResultSet::ToString(size_t max_rows) const {
   std::string out;
@@ -234,24 +250,114 @@ Result<bool> SqlExecutor::EvalPredicate(const SqlExpr& e,
   }
 }
 
+Result<std::vector<std::vector<SqlValue>>> SqlExecutor::FilterRows(
+    const SqlExpr& where, const std::vector<ColumnSlot>& schema,
+    std::vector<std::vector<SqlValue>> rows, QueryRuntime* runtime,
+    ExecStats* stats) {
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t n = rows.size();
+  if (pool.thread_count() <= 1 || n < kParallelRowThreshold) {
+    std::vector<std::vector<SqlValue>> kept;
+    for (auto& row : rows) {
+      XQDB_ASSIGN_OR_RETURN(
+          bool b, EvalPredicate(where, schema, row, runtime, stats));
+      if (b) kept.push_back(std::move(row));
+    }
+    return kept;
+  }
+
+  // Parallel path: each chunk evaluates its rows with a private
+  // QueryRuntime (predicate temporaries — constructed nodes — never
+  // outlive the predicate) and private ExecStats; the verdict bitmap is
+  // written to disjoint per-chunk slots, so the only shared state is the
+  // read-only table storage behind `rows`.
+  const size_t grain = PredicateGrain(n, pool.thread_count());
+  const size_t chunks = (n + grain - 1) / grain;
+  struct ChunkOut {
+    std::vector<char> keep;
+    ExecStats stats;
+    Status error = Status::OK();
+  };
+  std::vector<ChunkOut> outs(chunks);
+  pool.ParallelFor(0, n, grain, [&](size_t lo, size_t hi) {
+    ChunkOut& out = outs[lo / grain];
+    out.keep.assign(hi - lo, 0);
+    QueryRuntime chunk_runtime;
+    for (size_t i = lo; i < hi; ++i) {
+      auto b = EvalPredicate(where, schema, rows[i], &chunk_runtime,
+                             &out.stats);
+      if (!b.ok()) {
+        out.error = b.status();
+        return;
+      }
+      out.keep[i - lo] = *b ? 1 : 0;
+    }
+  });
+  std::vector<std::vector<SqlValue>> kept;
+  for (size_t c = 0; c < chunks; ++c) {
+    XQDB_RETURN_IF_ERROR(outs[c].error);
+    stats->Merge(outs[c].stats);
+    for (size_t i = 0; i < outs[c].keep.size(); ++i) {
+      if (outs[c].keep[i]) kept.push_back(std::move(rows[c * grain + i]));
+    }
+  }
+  return kept;
+}
+
 Result<size_t> SqlExecutor::RunDelete(const DeleteStmt& stmt) {
   XQDB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table_name));
   std::vector<ColumnSlot> schema;
   for (const ColumnDef& col : table->columns()) {
     schema.push_back(ColumnSlot{table->name(), col.name});
   }
-  QueryRuntime runtime;
   ExecStats stats;
+  const size_t n = table->row_count();
   std::vector<uint32_t> victims;
-  for (uint32_t r = 0; r < table->row_count(); ++r) {
-    if (table->is_deleted(r)) continue;
-    if (stmt.where != nullptr) {
-      XQDB_ASSIGN_OR_RETURN(
-          bool hit, EvalPredicate(*stmt.where, schema, table->row(r),
-                                  &runtime, &stats));
-      if (!hit) continue;
+  ThreadPool& pool = ThreadPool::Global();
+  if (stmt.where == nullptr || pool.thread_count() <= 1 ||
+      n < kParallelRowThreshold) {
+    QueryRuntime runtime;
+    for (uint32_t r = 0; r < n; ++r) {
+      if (table->is_deleted(r)) continue;
+      if (stmt.where != nullptr) {
+        XQDB_ASSIGN_OR_RETURN(
+            bool hit, EvalPredicate(*stmt.where, schema, table->row(r),
+                                    &runtime, &stats));
+        if (!hit) continue;
+      }
+      victims.push_back(r);
     }
-    victims.push_back(r);
+  } else {
+    // Parallel victim detection; mutation (DeleteRow) stays on the calling
+    // thread because index maintenance writes shared B-trees.
+    const size_t grain = PredicateGrain(n, pool.thread_count());
+    const size_t chunks = (n + grain - 1) / grain;
+    struct ChunkOut {
+      std::vector<uint32_t> victims;
+      ExecStats stats;
+      Status error = Status::OK();
+    };
+    std::vector<ChunkOut> outs(chunks);
+    pool.ParallelFor(0, n, grain, [&](size_t lo, size_t hi) {
+      ChunkOut& out = outs[lo / grain];
+      QueryRuntime runtime;
+      for (size_t r = lo; r < hi; ++r) {
+        uint32_t rid = static_cast<uint32_t>(r);
+        if (table->is_deleted(rid)) continue;
+        auto hit = EvalPredicate(*stmt.where, schema, table->row(rid),
+                                 &runtime, &out.stats);
+        if (!hit.ok()) {
+          out.error = hit.status();
+          return;
+        }
+        if (*hit) out.victims.push_back(rid);
+      }
+    });
+    for (ChunkOut& out : outs) {
+      XQDB_RETURN_IF_ERROR(out.error);
+      stats.Merge(out.stats);
+      victims.insert(victims.end(), out.victims.begin(), out.victims.end());
+    }
   }
   for (uint32_t r : victims) {
     XQDB_RETURN_IF_ERROR(table->DeleteRow(r));
@@ -438,16 +544,13 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
     rows = std::move(next);
   }
 
-  // WHERE.
+  // WHERE. This is the ineligible-predicate fallback path: when no index
+  // pre-filters, every row evaluates its XMLEXISTS/XQuery predicates here,
+  // so the work fans out document-at-a-time to the thread pool.
   if (stmt.where != nullptr) {
-    std::vector<std::vector<SqlValue>> kept;
-    for (auto& row : rows) {
-      XQDB_ASSIGN_OR_RETURN(
-          bool b,
-          EvalPredicate(*stmt.where, schema, row, rs.runtime.get(), &stats));
-      if (b) kept.push_back(std::move(row));
-    }
-    rows = std::move(kept);
+    XQDB_ASSIGN_OR_RETURN(
+        rows, FilterRows(*stmt.where, schema, std::move(rows),
+                         rs.runtime.get(), &stats));
   }
 
   // SELECT list.

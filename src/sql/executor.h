@@ -18,6 +18,18 @@ struct ExecStats {
   long long index_entries = 0;     // B+Tree entries touched
   long long xquery_evals = 0;      // embedded XQuery evaluations
   long long rows_prefiltered = 0;  // rows admitted by index probes
+  long long plan_cache_hits = 0;   // 1 if this execution reused a cached plan
+
+  /// Folds a worker chunk's counters into this one (parallel scans keep
+  /// per-chunk ExecStats and sum them after the join, so no counter is
+  /// written concurrently).
+  void Merge(const ExecStats& o) {
+    rows_scanned += o.rows_scanned;
+    index_entries += o.index_entries;
+    xquery_evals += o.xquery_evals;
+    rows_prefiltered += o.rows_prefiltered;
+    plan_cache_hits += o.plan_cache_hits;
+  }
 };
 
 /// A materialized query result. Rows may reference nodes in table storage
@@ -72,6 +84,15 @@ class SqlExecutor {
                                       QueryRuntime* runtime,
                                       ExecStats* stats);
   Result<SqlValue> XmlCastValue(const Sequence& seq, SqlType type, int len);
+
+  /// Applies `where` to every row, preserving order. Fans the per-row
+  /// predicate evaluation out to the global thread pool when the row count
+  /// warrants it; each worker chunk gets a private QueryRuntime and
+  /// ExecStats (summed into `stats` after the join).
+  Result<std::vector<std::vector<SqlValue>>> FilterRows(
+      const SqlExpr& where, const std::vector<ColumnSlot>& schema,
+      std::vector<std::vector<SqlValue>> rows, QueryRuntime* runtime,
+      ExecStats* stats);
 
   /// Converts a PASSING argument to an XQuery sequence with the SQL type
   /// mapped to the corresponding XML Schema type (paper §3.3: "$pid

@@ -13,6 +13,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name,
   auto table = std::make_unique<Table>(key, std::move(columns));
   Table* ptr = table.get();
   tables_.emplace(std::move(key), std::move(table));
+  BumpVersion();
   return ptr;
 }
 

@@ -32,8 +32,18 @@ class Catalog : public XmlColumnProvider {
   Result<std::vector<NodeHandle>> XmlColumn(
       std::string_view table, std::string_view column) const override;
 
+  /// DDL generation counter. Bumped by every CREATE TABLE / CREATE INDEX;
+  /// the compiled-query cache tags entries with the version they were
+  /// planned under and discards them when it moves (a new index can make a
+  /// previously scan-bound query index-eligible). DML does not bump it:
+  /// cached plans probe indexes at execution time, so inserts and deletes
+  /// never make a cached plan incorrect — only, at worst, cost-stale.
+  uint64_t version() const { return version_; }
+  void BumpVersion() { ++version_; }
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  uint64_t version_ = 0;
 };
 
 /// A provider view that restricts one (table, column) to a set of rows —

@@ -137,12 +137,16 @@ Status Table::CreateXmlIndex(const std::string& index_name,
   }
   XQDB_ASSIGN_OR_RETURN(XmlIndex idx,
                         XmlIndex::Create(index_name, pattern, type));
-  // Backfill (live rows only).
+  // Backfill (live rows only): pattern matching + casting run per document
+  // on the thread pool, then one sorted bulk load into the B-tree.
+  std::vector<std::pair<uint32_t, const Document*>> docs;
+  docs.reserve(rows_.size());
   for (uint32_t r = 0; r < rows_.size(); ++r) {
     if (is_deleted(r)) continue;
     const Document* doc = xml_document(r, col);
-    if (doc != nullptr) idx.InsertDocument(r, *doc);
+    if (doc != nullptr) docs.emplace_back(r, doc);
   }
+  idx.BulkBuild(docs);
   return indexes_.AddXmlIndex(column, std::move(idx));
 }
 

@@ -1,14 +1,19 @@
 #include "xml/document.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 
 namespace xqdb {
 
-int64_t Document::next_instance_id_ = 1;
+// Atomic: parallel scan workers construct documents concurrently (each in
+// its own QueryRuntime), and node identity must stay process-unique.
+std::atomic<int64_t> Document::next_instance_id_{1};
 
-Document::Document() : instance_id_(next_instance_id_++) {}
+Document::Document()
+    : instance_id_(next_instance_id_.fetch_add(1, std::memory_order_relaxed)) {
+}
 
 NodeIdx Document::AppendNode(Node n, NodeIdx parent, bool as_attribute) {
   NodeIdx idx = static_cast<NodeIdx>(nodes_.size());

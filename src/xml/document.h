@@ -1,6 +1,7 @@
 #ifndef XQDB_XML_DOCUMENT_H_
 #define XQDB_XML_DOCUMENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -108,7 +109,7 @@ class Document {
   int64_t instance_id_;
   std::vector<Node> nodes_;
 
-  static int64_t next_instance_id_;
+  static std::atomic<int64_t> next_instance_id_;
 };
 
 /// A reference to one node in one document. The document must outlive the

@@ -2,10 +2,11 @@
 #define XQDB_XML_QNAME_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace xqdb {
 
@@ -18,8 +19,10 @@ inline constexpr NameId kInvalidName = -1;
 /// queries, and index patterns all resolve names through the same pool so
 /// that name equality is id equality.
 ///
-/// Thread-compatibility: interning is not synchronized; xqdb is a
-/// single-threaded engine (like the paper's per-query agent model).
+/// Thread-safety: fully synchronized (reader-writer lock). Parallel scan
+/// workers and parallel index builds intern/resolve names concurrently.
+/// Entries live in a deque so NamespaceOf/LocalOf string_views stay valid
+/// across concurrent Intern calls (a deque never relocates elements).
 class NamePool {
  public:
   NamePool() = default;
@@ -42,14 +45,18 @@ class NamePool {
   /// "{uri}local" for diagnostics, or plain "local" when URI is empty.
   std::string ToString(NameId id) const;
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
   struct Entry {
     std::string ns_uri;
     std::string local;
   };
-  std::vector<Entry> entries_;
+  mutable std::shared_mutex mu_;
+  std::deque<Entry> entries_;
   std::unordered_map<std::string, NameId> lookup_;  // key: uri + '\x01' + local
 };
 

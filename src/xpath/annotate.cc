@@ -1,16 +1,17 @@
 #include "xpath/annotate.h"
 
-#include "xpath/pattern.h"
-#include "xpath/pattern_nfa.h"
+#include <memory>
+
+#include "xpath/pattern_cache.h"
 
 namespace xqdb {
 
 Result<size_t> AnnotateMatching(Document* doc, std::string_view pattern,
                                 TypeAnnotation annotation) {
-  XQDB_ASSIGN_OR_RETURN(Pattern parsed, ParsePattern(pattern));
-  XQDB_ASSIGN_OR_RETURN(PatternNfa nfa, PatternNfa::Compile(parsed));
+  XQDB_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPattern> compiled,
+                        GetCompiledPattern(pattern));
   size_t count = 0;
-  ForEachMatch(nfa, *doc, [&](NodeIdx idx) {
+  ForEachMatch(compiled->nfa, *doc, [&](NodeIdx idx) {
     doc->SetAnnotation(idx, annotation);
     ++count;
   });

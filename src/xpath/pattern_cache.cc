@@ -1,0 +1,58 @@
+#include "xpath/pattern_cache.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace xqdb {
+
+namespace {
+
+struct PatternCache {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledPattern>>
+      by_text;
+  PatternCacheStats stats;
+};
+
+PatternCache* Cache() {
+  static auto* cache = new PatternCache;
+  return cache;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const CompiledPattern>> GetCompiledPattern(
+    std::string_view text) {
+  PatternCache* cache = Cache();
+  std::string key(text);
+  {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    auto it = cache->by_text.find(key);
+    if (it != cache->by_text.end()) {
+      ++cache->stats.hits;
+      return it->second;
+    }
+  }
+  // Compile outside the lock — pattern compilation can be slow and two
+  // threads racing on the same text just means one redundant compile.
+  auto compiled = std::make_shared<CompiledPattern>();
+  XQDB_ASSIGN_OR_RETURN(compiled->pattern, ParsePattern(text));
+  XQDB_ASSIGN_OR_RETURN(compiled->nfa, PatternNfa::Compile(compiled->pattern));
+  std::lock_guard<std::mutex> lock(cache->mu);
+  auto [it, inserted] = cache->by_text.emplace(std::move(key), compiled);
+  if (inserted) {
+    ++cache->stats.misses;
+  } else {
+    ++cache->stats.hits;  // lost the race; reuse the winner's copy
+  }
+  return it->second;
+}
+
+PatternCacheStats GetPatternCacheStats() {
+  PatternCache* cache = Cache();
+  std::lock_guard<std::mutex> lock(cache->mu);
+  return cache->stats;
+}
+
+}  // namespace xqdb

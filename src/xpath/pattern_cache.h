@@ -1,0 +1,36 @@
+#ifndef XQDB_XPATH_PATTERN_CACHE_H_
+#define XQDB_XPATH_PATTERN_CACHE_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "xpath/pattern.h"
+#include "xpath/pattern_nfa.h"
+
+namespace xqdb {
+
+/// A pattern text compiled once: the normalized Pattern plus its NFA.
+/// Shared by every index / annotation that uses the same XMLPATTERN text.
+struct CompiledPattern {
+  Pattern pattern;
+  PatternNfa nfa;
+};
+
+/// Interning compiler: returns the process-wide compiled form of `text`,
+/// parsing + compiling at most once per distinct pattern text. Thread-safe.
+/// Parse/compile failures are not cached (they stay cheap and callers want
+/// the fresh error message).
+Result<std::shared_ptr<const CompiledPattern>> GetCompiledPattern(
+    std::string_view text);
+
+/// Hit/miss counters for tests and EXPLAIN-style diagnostics.
+struct PatternCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+};
+PatternCacheStats GetPatternCacheStats();
+
+}  // namespace xqdb
+
+#endif  // XQDB_XPATH_PATTERN_CACHE_H_

@@ -1,0 +1,157 @@
+// ThreadPool unit tests: coverage/ordering contracts of ParallelFor,
+// exception propagation, grain edge cases, and the degenerate 0/1-thread
+// pools that must behave exactly like a serial loop.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace xqdb {
+namespace {
+
+// Runs ParallelFor over [begin, end) and checks every index is visited
+// exactly once and every chunk respects the grain.
+void CheckCoverage(ThreadPool& pool, size_t begin, size_t end, size_t grain) {
+  std::vector<std::atomic<int>> visits(end);
+  for (auto& v : visits) v.store(0);
+  std::mutex mu;
+  std::set<std::pair<size_t, size_t>> chunks;
+  pool.ParallelFor(begin, end, grain, [&](size_t lo, size_t hi) {
+    ASSERT_LT(lo, hi);
+    ASSERT_GE(lo, begin);
+    ASSERT_LE(hi, end);
+    if (grain > 0) {
+      ASSERT_LE(hi - lo, grain);
+      ASSERT_EQ((lo - begin) % grain, 0u) << "chunk not grain-aligned";
+    }
+    for (size_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace(lo, hi);
+  });
+  for (size_t i = begin; i < end; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+  if (grain > 0) {
+    EXPECT_EQ(chunks.size(),
+              ThreadPool::NumChunks(begin, end, grain, pool.thread_count()));
+  }
+}
+
+TEST(ThreadPoolTest, DegenerateZeroThreadPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  CheckCoverage(pool, 0, 100, 7);
+}
+
+TEST(ThreadPoolTest, DegenerateOneThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 0u);  // 1 thread == caller, no workers
+  CheckCoverage(pool, 3, 103, 10);
+}
+
+TEST(ThreadPoolTest, MultiThreadCoverage) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  CheckCoverage(pool, 0, 1000, 13);
+  CheckCoverage(pool, 5, 6, 1);    // single element
+  CheckCoverage(pool, 0, 4, 100);  // grain larger than range: one chunk
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(10, 10, 4, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, GrainZeroPicksAGrainAndCovers) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(500);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(0, 500, 0, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < 500; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, GrainOneMakesOneChunkPerIndex) {
+  ThreadPool pool(2);
+  std::atomic<size_t> chunks{0};
+  pool.ParallelFor(0, 64, 1, [&](size_t lo, size_t hi) {
+    EXPECT_EQ(hi, lo + 1);
+    chunks.fetch_add(1);
+  });
+  EXPECT_EQ(chunks.load(), 64u);
+}
+
+TEST(ThreadPoolTest, NumChunksMatchesChunking) {
+  EXPECT_EQ(ThreadPool::NumChunks(0, 0, 4, 2), 0u);
+  EXPECT_EQ(ThreadPool::NumChunks(0, 1, 4, 2), 1u);
+  EXPECT_EQ(ThreadPool::NumChunks(0, 8, 4, 2), 2u);
+  EXPECT_EQ(ThreadPool::NumChunks(0, 9, 4, 2), 3u);
+  EXPECT_EQ(ThreadPool::NumChunks(2, 10, 100, 2), 1u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 5,
+                       [&](size_t lo, size_t) {
+                         if (lo >= 50) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must still be usable after an exception drained.
+  CheckCoverage(pool, 0, 200, 9);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromInlinePool) {
+  ThreadPool pool(0);
+  EXPECT_THROW(pool.ParallelFor(0, 10, 2,
+                                [](size_t, size_t) {
+                                  throw std::logic_error("inline boom");
+                                }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, 1, [&](size_t, size_t) {
+    pool.ParallelFor(0, 8, 1, [&](size_t, size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsRebuildsGlobalPool) {
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::Global().thread_count(), 3u);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::Global().thread_count(), 0u);
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+}
+
+TEST(ThreadPoolTest, DefaultThreadsHonorsEnvOverride) {
+  const char* saved = std::getenv("XQDB_THREADS");
+  std::string saved_value = saved ? saved : "";
+  setenv("XQDB_THREADS", "7", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 7u);
+  setenv("XQDB_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 0u);
+  setenv("XQDB_THREADS", "99999", 1);  // clamped
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 256u);
+  if (saved) {
+    setenv("XQDB_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("XQDB_THREADS");
+  }
+}
+
+}  // namespace
+}  // namespace xqdb
