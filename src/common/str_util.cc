@@ -70,7 +70,9 @@ std::vector<std::string> SplitString(std::string_view s, char delim) {
 std::optional<double> ParseXsDouble(std::string_view s) {
   std::string_view t = TrimWhitespace(s);
   if (t.empty()) return std::nullopt;
-  if (t == "INF" || t == "+INF") return std::numeric_limits<double>::infinity();
+  // The xs:double lexical space names the specials exactly INF, -INF and
+  // NaN (case-sensitive); "+INF", "inf", "nan" and friends are not in it.
+  if (t == "INF") return std::numeric_limits<double>::infinity();
   if (t == "-INF") return -std::numeric_limits<double>::infinity();
   if (t == "NaN") return std::numeric_limits<double>::quiet_NaN();
   // strtod accepts hex floats and "inf"/"nan" spellings that xs:double does

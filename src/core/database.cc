@@ -7,21 +7,51 @@
 
 namespace xqdb {
 
+namespace {
+
+/// Downgrades every access path of a SELECT plan to a full collection
+/// scan (ExecOptions::force_scan). The residual predicate is always
+/// re-applied by the executor, so the scan plan computes the ground-truth
+/// result any index plan must match.
+void ForceScanPlan(SelectPlan* plan) {
+  for (AccessPath& access : plan->access) {
+    std::vector<std::string> notes = std::move(access.notes);
+    access = AccessPath{};
+    access.notes = std::move(notes);
+    access.summary = "forced collection scan (ExecOptions::force_scan)";
+  }
+}
+
+void ForceScanPlan(XQueryPlan* plan) {
+  plan->use_index = false;
+  std::vector<std::string> notes = std::move(plan->access.notes);
+  plan->access = AccessPath{};
+  plan->access.notes = std::move(notes);
+  plan->access.summary = "forced collection scan (ExecOptions::force_scan)";
+}
+
+}  // namespace
+
 Result<ResultSet> Database::RunSelect(const SelectStmt& stmt,
                                       const SelectPlan& plan) {
   SqlExecutor executor(&catalog_);
   return executor.Run(stmt, plan);
 }
 
-Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
+Result<ResultSet> Database::ExecuteSql(const std::string& sql,
+                                       const ExecOptions& options) {
+  // A forced plan must not be served from (or inserted into) the cache.
+  const bool use_cache = !options.disable_cache && !options.force_scan;
   // Serving fast path: a repeated query reuses its parsed AST + plan and
   // skips the whole front end. Only SELECTs are ever inserted, so a cache
   // hit implies a SELECT.
   const uint64_t catalog_version = catalog_.version();
-  if (auto cached = query_cache_.LookupSql(sql, catalog_version)) {
-    auto rs = RunSelect(*cached->stmt.select, cached->plan);
-    if (rs.ok()) rs->stats.plan_cache_hits = 1;
-    return rs;
+  if (use_cache) {
+    if (auto cached = query_cache_.LookupSql(sql, catalog_version)) {
+      auto rs = RunSelect(*cached->stmt.select, cached->plan);
+      if (rs.ok()) rs->stats.plan_cache_hits = 1;
+      return rs;
+    }
   }
   XQDB_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
   switch (stmt.kind) {
@@ -41,11 +71,12 @@ Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
     case SqlStatement::Kind::kSelect: {
       Planner planner(&catalog_);
       XQDB_ASSIGN_OR_RETURN(SelectPlan plan, planner.PlanSelect(*stmt.select));
+      if (options.force_scan) ForceScanPlan(&plan);
       auto entry = std::make_shared<CachedSqlQuery>();
       entry->stmt = std::move(stmt);
       entry->plan = std::move(plan);
       entry->catalog_version = catalog_version;
-      query_cache_.InsertSql(sql, entry);
+      if (use_cache) query_cache_.InsertSql(sql, entry);
       return RunSelect(*entry->stmt.select, entry->plan);
     }
   }
@@ -63,21 +94,25 @@ Result<std::string> Database::ExplainSql(const std::string& sql) {
 }
 
 Result<Database::XQueryResult> Database::ExecuteXQuery(
-    const std::string& query) {
+    const std::string& query, const ExecOptions& options) {
+  const bool use_cache = !options.disable_cache && !options.force_scan;
   const uint64_t catalog_version = catalog_.version();
-  if (auto cached = query_cache_.LookupXQuery(query, catalog_version)) {
-    auto out = RunXQuery(cached->parsed, cached->plan);
-    if (out.ok()) out->stats.plan_cache_hits = 1;
-    return out;
+  if (use_cache) {
+    if (auto cached = query_cache_.LookupXQuery(query, catalog_version)) {
+      auto out = RunXQuery(cached->parsed, cached->plan);
+      if (out.ok()) out->stats.plan_cache_hits = 1;
+      return out;
+    }
   }
   XQDB_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseXQuery(query));
   Planner planner(&catalog_);
   XQDB_ASSIGN_OR_RETURN(XQueryPlan plan, planner.PlanXQuery(*parsed.body));
+  if (options.force_scan) ForceScanPlan(&plan);
   auto entry = std::make_shared<CachedXQuery>();
   entry->parsed = std::move(parsed);
   entry->plan = std::move(plan);
   entry->catalog_version = catalog_version;
-  query_cache_.InsertXQuery(query, entry);
+  if (use_cache) query_cache_.InsertXQuery(query, entry);
   return RunXQuery(entry->parsed, entry->plan);
 }
 
@@ -114,6 +149,7 @@ Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
         break;
       }
       case AccessPath::Kind::kFullScan:
+      case AccessPath::Kind::kIndexJoinProbe:  // never planned standalone
         break;
     }
     out.stats.index_entries =

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/exec_options.h"
 #include "core/query_cache.h"
 #include "sql/executor.h"
 #include "sql/sql_parser.h"
@@ -36,7 +37,10 @@ class Database {
 
   /// Executes one SQL statement. DDL/DML return an empty ResultSet with a
   /// populated `message` column convention: zero columns, zero rows.
-  Result<ResultSet> ExecuteSql(const std::string& sql);
+  /// `options` forces plan shapes (collection scan, cold compile) — the
+  /// differential harness's hooks; the defaults are the serving path.
+  Result<ResultSet> ExecuteSql(const std::string& sql,
+                               const ExecOptions& options = {});
 
   /// EXPLAIN: parses and plans the statement, returns the access-path
   /// narration without executing.
@@ -52,7 +56,8 @@ class Database {
     ExecStats stats;
   };
 
-  Result<XQueryResult> ExecuteXQuery(const std::string& query);
+  Result<XQueryResult> ExecuteXQuery(const std::string& query,
+                                     const ExecOptions& options = {});
   Result<std::string> ExplainXQuery(const std::string& query);
 
   Catalog& catalog() { return catalog_; }

@@ -20,6 +20,18 @@ bool TypeCompatible(IndexValueType index_type, const ExtractedPredicate& pred,
     }
     return true;
   }
+  if (pred.op == CompareOp::kNe && index_type != IndexValueType::kVarchar) {
+    // '!=' is not a range: the only probe that can serve it is "every
+    // document with a matching node" — and a typed index does not contain
+    // the nodes that fail the tolerant cast (nor NaN, which '!=' *does*
+    // select: NaN != x is true). Only a VARCHAR index holds every matching
+    // node (§2.2), so only it can pre-filter '!=' without dropping rows.
+    *why_not =
+        "'!=' predicate: a " + std::string(IndexValueTypeName(index_type)) +
+        " index omits non-castable and NaN values, which '!=' selects — "
+        "only a VARCHAR index contains every matching node (Def. 1)";
+    return false;
+  }
   switch (pred.comparison_type) {
     case AtomicType::kDouble:
       if (index_type != IndexValueType::kDouble) {

@@ -1,0 +1,27 @@
+#ifndef XQDB_CORE_EXEC_OPTIONS_H_
+#define XQDB_CORE_EXEC_OPTIONS_H_
+
+namespace xqdb {
+
+/// Per-execution knobs for plan forcing. The differential harness
+/// (tools/xqdiff, src/testing/) uses these to pit the planner's chosen
+/// access path against a forced collection scan and a cache hit against a
+/// cold compile; they are also useful for ad-hoc "is the index wrong or
+/// the query?" debugging.
+struct ExecOptions {
+  /// Downgrades every chosen access path to a full collection scan.
+  /// Because the executor always re-applies the complete predicate
+  /// (indexes only pre-filter, Definition 1), a forced scan is the
+  /// ground-truth result the index plan must reproduce. Implies
+  /// disable_cache: a forced plan must neither serve from nor pollute
+  /// the compiled-query cache.
+  bool force_scan = false;
+
+  /// Bypasses the compiled-query cache entirely — no lookup, no insert.
+  /// Every execution is a cold compile.
+  bool disable_cache = false;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_CORE_EXEC_OPTIONS_H_

@@ -1,6 +1,7 @@
 #include "index/xml_index.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "common/str_util.h"
@@ -57,6 +58,15 @@ std::optional<AtomicValue> XmlIndex::KeyFor(const Document& doc,
   if (!typed.ok()) return std::nullopt;  // Tolerant: annotation parse failed.
   auto key = CastTo(typed.value(), IndexKeyAtomicType(type_));
   if (!key.ok()) return std::nullopt;  // Tolerant: not castable.
+  if (type_ == IndexValueType::kDouble && std::isnan(key->double_value())) {
+    // NaN has no position in the B+Tree's total order (it would break the
+    // bulk-load sort's strict weak ordering). No range or equality
+    // predicate can select NaN (every ordered comparison with it is
+    // false), so skipping it keeps Definition 1 intact — like any other
+    // tolerant skip, an index over it just must not claim to answer
+    // predicates NaN could satisfy ('!=' needs a VARCHAR index).
+    return std::nullopt;
+  }
   return key.value();
 }
 
@@ -233,10 +243,14 @@ Result<std::vector<uint32_t>> XmlIndex::ProbeRange(const ProbeBound& lo,
       ScanBound<double> shi = ScanBound<double>::Unbounded();
       if (lo.value.has_value()) {
         XQDB_ASSIGN_OR_RETURN(AtomicValue k, CoerceKey(*lo.value, type_));
+        // A NaN bound satisfies no ordered comparison: the probe is empty
+        // by definition, not a tree walk with an unordered key.
+        if (std::isnan(k.double_value())) return std::vector<uint32_t>{};
         slo = ScanBound<double>{k.double_value(), lo.inclusive};
       }
       if (hi.value.has_value()) {
         XQDB_ASSIGN_OR_RETURN(AtomicValue k, CoerceKey(*hi.value, type_));
+        if (std::isnan(k.double_value())) return std::vector<uint32_t>{};
         shi = ScanBound<double>{k.double_value(), hi.inclusive};
       }
       scanned = double_tree_.Scan(
@@ -301,11 +315,13 @@ double XmlIndex::EstimateRangeFraction(const ProbeBound& lo,
       if (lo.value.has_value()) {
         auto k = CoerceKey(*lo.value, type_);
         if (!k.ok()) return 1.0;
+        if (std::isnan(k->double_value())) return 0.0;  // empty probe
         slo = ScanBound<double>{k->double_value(), lo.inclusive};
       }
       if (hi.value.has_value()) {
         auto k = CoerceKey(*hi.value, type_);
         if (!k.ok()) return 1.0;
+        if (std::isnan(k->double_value())) return 0.0;
         shi = ScanBound<double>{k->double_value(), hi.inclusive};
       }
       count = double_tree_.EstimateRangeCount(slo, shi);

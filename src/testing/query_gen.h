@@ -1,0 +1,91 @@
+#ifndef XQDB_TESTING_QUERY_GEN_H_
+#define XQDB_TESTING_QUERY_GEN_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace xqdb {
+namespace testing {
+
+/// One generated query in either front-end language. `expect`, when
+/// non-empty, pins the canonical outcome of the serial cold run (rows
+/// newline-joined, or "ERROR: <status>") — corpus cases use it to detect
+/// regressions that change *both* sides of an oracle identically (e.g. a
+/// lexical-space fix, where index and scan agree before and after).
+struct GenQuery {
+  bool is_sql = false;
+  std::string text;
+  std::string expect;
+};
+
+/// A self-contained differential scenario: the workload to load, the
+/// indexes to create, optional hand-written documents to insert, the
+/// queries to check, and the DML statements of the staleness epoch (run
+/// between the cold and the cache-replayed executions, so cached plans
+/// must stay correct across them).
+struct DiffScenario {
+  OrdersWorkloadConfig workload;
+  std::vector<std::string> ddl;
+  std::vector<std::string> extra_docs;  // raw <order> XML, inserted last
+  std::vector<std::string> bad_docs;    // XML the parser must REJECT
+  std::vector<GenQuery> queries;
+  std::vector<std::string> dml;
+};
+
+/// Seeded grammar-based generator for XQuery path/predicate queries and
+/// SQL/XML statements over the paper's orders/customer schema. Element and
+/// attribute names, comparison types, and value ranges are drawn from the
+/// src/workload generator's vocabulary, so predicates actually select data
+/// (a price predicate samples near [price_min, price_max], a product-id
+/// predicate samples "p<n>" with n near num_products, and so on).
+///
+/// The grammar deliberately stays inside the engine's *error-free*
+/// fragment for clean workloads: numeric comparisons only against numeric
+/// paths, string comparisons against string paths, value comparisons only
+/// on provably singleton operands (with the paper's xs:double(.) /
+/// xs:date(.) idiom). Any dynamic error a generated query raises is
+/// therefore a finding, not noise, and one-sided errors count as
+/// divergences.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(unsigned seed);
+
+  /// The whole scenario for this seed: workload knobs, a random subset of
+  /// candidate indexes, `num_queries` queries, and a DML epoch.
+  DiffScenario GenerateScenario(int num_queries);
+
+  /// Individual pieces (the fuzz driver and tests may mix their own).
+  OrdersWorkloadConfig GenerateWorkload();
+  std::vector<std::string> GenerateDdl();
+  GenQuery GenerateQuery();
+  std::vector<std::string> GenerateDml(const OrdersWorkloadConfig& workload);
+
+ private:
+  // Value samplers (workload vocabulary).
+  std::string PriceLiteral();
+  std::string QuantityLiteral();
+  std::string CustidLiteral();
+  std::string ProductIdLiteral();
+  std::string ProductNameLiteral();
+  std::string DateLiteral();
+
+  // Grammar productions.
+  std::string Comparison(bool for_where_clause);
+  std::string PredicateBlock();  // "[...]" (possibly several, possibly none)
+  std::string GenerateXQueryText();
+  std::string GenerateSqlText();
+
+  int Pick(int n);  // uniform [0, n)
+  double Coin();    // uniform [0, 1)
+
+  std::mt19937 rng_;
+  unsigned seed_;
+};
+
+}  // namespace testing
+}  // namespace xqdb
+
+#endif  // XQDB_TESTING_QUERY_GEN_H_

@@ -35,7 +35,17 @@ Result<AtomicValue> CastFromString(const AtomicValue& v, AtomicType target) {
     }
     case AtomicType::kInteger: {
       auto i = ParseXsInteger(s);
-      if (!i) return CastFailure(v, target);
+      if (!i) {
+        // A lexically valid xs:double special is a *value*-range failure
+        // (FOCA0002), matching the double→integer path; everything else is
+        // a lexical failure (FORG0001).
+        std::string_view t = TrimWhitespace(s);
+        if (t == "INF" || t == "-INF" || t == "NaN") {
+          return Status::CastError("FOCA0002: cannot cast '" +
+                                   std::string(t) + "' to xs:integer");
+        }
+        return CastFailure(v, target);
+      }
       return AtomicValue::Integer(*i);
     }
     case AtomicType::kBoolean: {

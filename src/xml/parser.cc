@@ -192,11 +192,45 @@ class XmlParser {
       } else if (ent == "apos") {
         out.push_back('\'');
       } else if (!ent.empty() && ent[0] == '#') {
-        long code = 0;
-        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
-          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
-        } else {
-          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        // Numeric character reference. Parse the digits by hand: strtol
+        // would silently accept signs, trailing junk, and overflow.
+        std::string_view digits = ent.substr(1);
+        unsigned base = 10;
+        if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+          base = 16;
+          digits.remove_prefix(1);
+        }
+        if (digits.empty()) {
+          return Status::ParseError("empty character reference '&" +
+                                    std::string(ent) + ";'");
+        }
+        unsigned long code = 0;
+        for (char c : digits) {
+          unsigned d;
+          if (c >= '0' && c <= '9') {
+            d = static_cast<unsigned>(c - '0');
+          } else if (base == 16 && c >= 'a' && c <= 'f') {
+            d = static_cast<unsigned>(c - 'a' + 10);
+          } else if (base == 16 && c >= 'A' && c <= 'F') {
+            d = static_cast<unsigned>(c - 'A' + 10);
+          } else {
+            return Status::ParseError("malformed character reference '&" +
+                                      std::string(ent) + ";'");
+          }
+          code = code * base + d;
+          if (code > 0x10FFFF) code = 0x110000;  // overflow clamp: invalid
+        }
+        // XML 1.0 Char production: #x9 | #xA | #xD | [#x20-#xD7FF] |
+        // [#xE000-#xFFFD] | [#x10000-#x10FFFF]. Surrogate code points and
+        // anything past U+10FFFF are ill-formed, not encodable garbage.
+        bool valid = code == 0x9 || code == 0xA || code == 0xD ||
+                     (code >= 0x20 && code <= 0xD7FF) ||
+                     (code >= 0xE000 && code <= 0xFFFD) ||
+                     (code >= 0x10000 && code <= 0x10FFFF);
+        if (!valid) {
+          return Status::ParseError(
+              "character reference '&" + std::string(ent) +
+              ";' is outside the XML Char range");
         }
         // Encode as UTF-8.
         if (code < 0x80) {
@@ -204,8 +238,13 @@ class XmlParser {
         } else if (code < 0x800) {
           out.push_back(static_cast<char>(0xC0 | (code >> 6)));
           out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-        } else {
+        } else if (code < 0x10000) {
           out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
           out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
           out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
         }

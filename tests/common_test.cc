@@ -91,6 +91,17 @@ TEST(StrUtilTest, ParseXsDoubleRejectsGarbage) {
   EXPECT_FALSE(ParseXsDouble("inf").has_value());  // xs:double is INF
 }
 
+TEST(StrUtilTest, ParseXsDoubleSpecialsAreCaseAndSignExact) {
+  // XSD 1.0 names the specials exactly INF, -INF, NaN. "+INF" only
+  // entered the lexical space in XSD 1.1, which we do not implement.
+  EXPECT_FALSE(ParseXsDouble("+INF").has_value());
+  EXPECT_FALSE(ParseXsDouble("+inf").has_value());
+  EXPECT_FALSE(ParseXsDouble("-inf").has_value());
+  EXPECT_FALSE(ParseXsDouble("nan").has_value());
+  EXPECT_FALSE(ParseXsDouble("NAN").has_value());
+  EXPECT_FALSE(ParseXsDouble("Infinity").has_value());
+}
+
 TEST(StrUtilTest, ParseXsInteger) {
   EXPECT_EQ(*ParseXsInteger("123"), 123);
   EXPECT_EQ(*ParseXsInteger("-7"), -7);

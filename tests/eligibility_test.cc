@@ -284,6 +284,28 @@ TEST_F(ExplainFixture, Query2CannotUseIndex) {
   EXPECT_NE(plan.find("does not contain"), std::string::npos) << plan;
 }
 
+TEST_F(ExplainFixture, NotEqualsIneligibleOnDoubleIndex) {
+  // '!=' selects NaN and uncastable values — exactly the entries a DOUBLE
+  // index omits (tolerant cast + NaN skip). Serving it from LI_PRICE would
+  // under-include, so eligibility must refuse (Definition 1).
+  std::string plan = Explain(
+      "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "//order[lineitem/@price != 100] return $i");
+  EXPECT_EQ(plan.find("INDEX RANGE SCAN"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("'!='"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainFixture, NotEqualsEligibleOnVarcharIndex) {
+  // A VARCHAR index contains every node on the path (string cast never
+  // fails), so '!=' as a *string* comparison may be served from it.
+  Exec("CREATE INDEX li_price_s ON orders(orddoc) "
+       "USING XMLPATTERN '//lineitem/@price' AS SQL VARCHAR(20)");
+  std::string plan = Explain(
+      "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "//order[lineitem/@price != \"100\"] return $i");
+  EXPECT_NE(plan.find("LI_PRICE_S"), std::string::npos) << plan;
+}
+
 TEST_F(ExplainFixture, Query3StringLiteralIneligible) {
   std::string plan = Explain(
       "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"

@@ -66,6 +66,23 @@ TEST(CastTest, StringToNumeric) {
       StatusCode::kCastError);
 }
 
+TEST(CastTest, DoubleSpecialsToIntegerRaiseFoca0002) {
+  // "INF" *is* in xs:double's lexical space — it just has no value in
+  // xs:integer's value space, so the failure is FOCA0002 (value out of
+  // range), not FORG0001 (lexically invalid). F&O 17.1.
+  for (const char* s : {"INF", "-INF", "NaN"}) {
+    auto r = CastTo(AtomicValue::String(s), AtomicType::kInteger);
+    ASSERT_FALSE(r.ok()) << s;
+    EXPECT_EQ(r.status().code(), StatusCode::kCastError);
+    EXPECT_NE(r.status().message().find("FOCA0002"), std::string::npos)
+        << r.status().ToString();
+  }
+  auto r = CastTo(AtomicValue::String("abc"), AtomicType::kInteger);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("FORG0001"), std::string::npos)
+      << r.status().ToString();
+}
+
 TEST(CastTest, UntypedBehavesLikeString) {
   auto d = CastTo(AtomicValue::UntypedAtomic("1e2"), AtomicType::kDouble);
   ASSERT_TRUE(d.ok());

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -190,6 +191,48 @@ TEST(XmlIndexTest, ProbeWithUncastableKeyFails) {
   auto rows =
       index->ProbeEqual(AtomicValue::String("not a number"), &stats);
   EXPECT_FALSE(rows.ok());
+}
+
+TEST(XmlIndexTest, NanIsNeverAnIndexKey) {
+  // NaN has no position in the B+Tree's total order (handing it to the
+  // bulk-load sort is UB: strict weak ordering breaks), and no ordered
+  // comparison selects NaN, so skipping it keeps Definition 1 for every
+  // probe-able predicate — '!=' is the one operator that selects NaN, and
+  // eligibility refuses it on non-VARCHAR indexes for exactly this reason.
+  auto index = XmlIndex::Create("li_price", "//lineitem/@price",
+                                IndexValueType::kDouble);
+  ASSERT_TRUE(index.ok());
+  auto doc = Doc("<order><lineitem price=\"NaN\"/>"
+                 "<lineitem price=\"150\"/></order>");
+  index->InsertDocument(0, *doc);
+  EXPECT_EQ(index->entry_count(), 1u);  // only the 150
+
+  // A VARCHAR index on the same path keeps the NaN (it is just a string).
+  auto str = XmlIndex::Create("li_price_s", "//lineitem/@price",
+                              IndexValueType::kVarchar);
+  ASSERT_TRUE(str.ok());
+  str->InsertDocument(0, *doc);
+  EXPECT_EQ(str->entry_count(), 2u);
+}
+
+TEST(XmlIndexTest, NanProbeBoundsSelectNothing) {
+  auto index = XmlIndex::Create("li_price", "//lineitem/@price",
+                                IndexValueType::kDouble);
+  ASSERT_TRUE(index.ok());
+  auto doc = Doc("<order><lineitem price=\"150\"/></order>");
+  index->InsertDocument(0, *doc);
+  const AtomicValue nan = AtomicValue::Double(
+      std::numeric_limits<double>::quiet_NaN());
+  ProbeStats stats;
+  auto rows = index->ProbeRange(ProbeBound{nan, false}, ProbeBound{}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());  // price > NaN matches nothing
+  rows = index->ProbeRange(ProbeBound{}, ProbeBound{nan, true}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());  // price <= NaN matches nothing
+  rows = index->ProbeEqual(nan, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
 }
 
 TEST(XmlIndexTest, TimestampIndex) {

@@ -90,6 +90,36 @@ TEST(XmlParserTest, EntityReferences) {
   EXPECT_EQ(a.doc->node(attr).content, "<&>");
 }
 
+TEST(XmlParserTest, NumericCharRefsValidatedAgainstCharProduction) {
+  // XML 1.0 Char: #x9 | #xA | #xD | [#x20-#xD7FF] | [#xE000-#xFFFD] |
+  // [#x10000-#x10FFFF]. Everything else — surrogates, #xFFFE, code points
+  // past U+10FFFF (including strtol-overflowing digit strings), control
+  // characters, empty or malformed digit runs — is a well-formedness error.
+  EXPECT_TRUE(ParseXml("<a>&#x9;&#xA;&#xD;&#x20;</a>").ok());
+  EXPECT_TRUE(ParseXml("<a>&#xD7FF;&#xE000;&#xFFFD;</a>").ok());
+  EXPECT_TRUE(ParseXml("<a>&#x10FFFF;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#xD800;</a>").ok());  // surrogate block lo
+  EXPECT_FALSE(ParseXml("<a>&#xDFFF;</a>").ok());  // surrogate block hi
+  EXPECT_FALSE(ParseXml("<a>&#xFFFE;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#xFFFF;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#x110000;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#xFFFFFFFFFF;</a>").ok());  // > LONG_MAX digits
+  EXPECT_FALSE(ParseXml("<a>&#0;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#8;</a>").ok());   // backspace
+  EXPECT_FALSE(ParseXml("<a>&#x;</a>").ok());   // no digits
+  EXPECT_FALSE(ParseXml("<a>&#;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#x1G;</a>").ok());  // junk after digits
+  EXPECT_FALSE(ParseXml("<a>&#-65;</a>").ok());  // strtol would take a sign
+  EXPECT_FALSE(ParseXml("<a>&# 65;</a>").ok());
+}
+
+TEST(XmlParserTest, SupplementaryPlaneCharRefEncodesAsFourUtf8Bytes) {
+  auto doc = ParseXml("<a>&#x10000;</a>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  NodeHandle a = FirstElementChild(Root(**doc));
+  EXPECT_EQ(a.doc->StringValue(a.idx), "\xF0\x90\x80\x80");
+}
+
 TEST(XmlParserTest, CdataKept) {
   auto doc = ParseXml("<a><![CDATA[1 < 2 & 3]]></a>");
   ASSERT_TRUE(doc.ok());
