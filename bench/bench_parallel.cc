@@ -3,7 +3,12 @@
 // compiled-query cache, then writes BENCH_parallel.json with ns/op and
 // speedup-vs-1-thread for each configuration.
 //
-//   ./bench_parallel [output.json]
+//   ./bench_parallel [output.json] [--assert-counters]
+//
+// --assert-counters re-runs the indexed workload and exits non-zero if the
+// ExecStats counters show the index was never probed — the regression that
+// timing alone cannot catch (a silent fallback to scan stays correct and
+// merely looks slow).
 //
 // Environment: XQDB_BENCH_ORDERS overrides the collection size (default
 // 4000 documents).
@@ -89,23 +94,35 @@ struct Row {
   double ns_per_op;
   double speedup_vs_1;
   std::string note;
+  std::string counters;  // ExecStats::ToJson() of a representative run
 };
 
 void AppendJson(std::string* out, const Row& r, bool last) {
-  char buf[512];
+  char buf[1024];
   std::snprintf(buf, sizeof(buf),
                 "    {\"name\": \"%s\", \"threads\": %zu, "
                 "\"ns_per_op\": %.0f, \"speedup_vs_1_thread\": %.3f, "
-                "\"note\": \"%s\"}%s\n",
+                "\"note\": \"%s\", \"counters\": %s}%s\n",
                 r.name.c_str(), r.threads, r.ns_per_op, r.speedup_vs_1,
-                r.note.c_str(), last ? "" : ",");
+                r.note.c_str(),
+                r.counters.empty() ? "{}" : r.counters.c_str(),
+                last ? "" : ",");
   *out += buf;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  std::string out_path = "BENCH_parallel.json";
+  bool assert_counters = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--assert-counters") {
+      assert_counters = true;
+    } else {
+      out_path = arg;
+    }
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   std::vector<Row> rows;
 
@@ -118,6 +135,7 @@ int main(int argc, char** argv) {
     for (size_t t : ladder) {
       ThreadPool::SetGlobalThreads(t);
       std::string result;
+      xqdb::ExecStats stats;
       auto run = [&] {
         auto rs = db->ExecuteSql(kScanSql);
         if (!rs.ok()) {
@@ -126,6 +144,7 @@ int main(int argc, char** argv) {
           std::abort();
         }
         result = rs->ToString(1u << 20);
+        stats = rs->stats;
       };
       run();  // warm-up; also populates the plan cache
       double ns = TimeBestNs(5, run);
@@ -137,7 +156,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       rows.push_back({"scan_xmlexists", t, ns, base_ns / ns,
-                      "identical results verified vs 1 thread"});
+                      "identical results verified vs 1 thread",
+                      stats.ToJson()});
       std::printf("scan   threads=%zu  %10.0f ns/op  speedup %.2fx\n", t, ns,
                   base_ns / ns);
     }
@@ -148,15 +168,18 @@ int main(int argc, char** argv) {
     double base_ns = 0;
     for (size_t t : {size_t{1}, size_t{4}}) {
       ThreadPool::SetGlobalThreads(t);
+      xqdb::ExecStats stats;
       // A fresh database per rep — CREATE INDEX is once-per-table.
       double ns = TimeBestNs(3, [&] {
         auto db = LoadDb();
         auto rs = db->ExecuteSql(kIndexDdl);
         if (!rs.ok()) std::abort();
+        stats = rs->stats;
       });
       if (t == 1) base_ns = ns;
       rows.push_back({"index_build", t, ns, base_ns / ns,
-                      "includes workload load; build is the delta"});
+                      "includes workload load; build is the delta",
+                      stats.ToJson()});
       std::printf("build  threads=%zu  %10.0f ns/op  speedup %.2fx\n", t, ns,
                   base_ns / ns);
     }
@@ -172,22 +195,57 @@ int main(int argc, char** argv) {
     const std::string q =
         "SELECT ordid FROM orders WHERE XMLEXISTS("
         "'$order//lineitem[@price > 999.5]' passing orddoc as \"order\")";
+    xqdb::ExecStats cold_stats;
     double cold_ns = TimeBestNs(1, [&] {
-      if (!db->ExecuteSql(q).ok()) std::abort();
+      auto rs = db->ExecuteSql(q);
+      if (!rs.ok()) std::abort();
+      cold_stats = rs->stats;
     });
+    xqdb::ExecStats warm_stats;
     double warm_ns = TimeBestNs(20, [&] {
       auto rs = db->ExecuteSql(q);
       if (!rs.ok() || rs->stats.plan_cache_hits != 1) {
         std::fprintf(stderr, "expected plan-cache hit\n");
         std::abort();
       }
+      warm_stats = rs->stats;
     });
     rows.push_back({"query_cold_parse_plan", 1, cold_ns, 1.0,
-                    "first execution: parse + plan + run"});
+                    "first execution: parse + plan + run",
+                    cold_stats.ToJson()});
     rows.push_back({"query_cached_plan", 1, warm_ns, cold_ns / warm_ns,
-                    "plan-cache hit verified via ExecStats"});
+                    "plan-cache hit verified via ExecStats",
+                    warm_stats.ToJson()});
     std::printf("cache  cold %10.0f ns  warm %10.0f ns  (%.2fx)\n", cold_ns,
                 warm_ns, cold_ns / warm_ns);
+  }
+
+  // --- --assert-counters: an index-eligible workload with the index
+  // present MUST report B+Tree probe activity. Timing cannot catch a
+  // silent eligibility regression (the scan fallback is still correct),
+  // the counters can. --------------------------------------------------
+  if (assert_counters) {
+    ThreadPool::SetGlobalThreads(1);
+    auto db = LoadDb();
+    if (!db->ExecuteSql(kIndexDdl).ok()) std::abort();
+    xqdb::ExecOptions cold;
+    cold.disable_cache = true;
+    auto rs = db->ExecuteSql(kScanSql, cold);
+    if (!rs.ok()) {
+      std::fprintf(stderr, "assert-counters query failed: %s\n",
+                   rs.status().ToString().c_str());
+      return 1;
+    }
+    if (rs->stats.index_entries_probed == 0) {
+      std::fprintf(stderr,
+                   "--assert-counters FAILED: index-eligible query reported "
+                   "index_entries_probed=0 (counters: %s)\n",
+                   rs->stats.ToJson().c_str());
+      return 1;
+    }
+    std::printf("assert-counters OK: index_entries_probed=%lld "
+                "index_docs_returned=%lld\n",
+                rs->stats.index_entries_probed, rs->stats.index_docs_returned);
   }
 
   ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());

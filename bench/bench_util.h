@@ -62,8 +62,8 @@ inline void RunXQueryBenchmark(benchmark::State& state, Database* db,
     }
     rows = static_cast<long long>(result->rows.size());
     navigated = result->stats.rows_scanned;
-    entries = result->stats.index_entries;
-    prefiltered = result->stats.rows_prefiltered;
+    entries = result->stats.index_entries_probed;
+    prefiltered = result->stats.index_docs_returned;
     benchmark::DoNotOptimize(result->rows);
   }
   state.counters["rows"] = static_cast<double>(rows);
@@ -84,7 +84,7 @@ inline void RunSqlBenchmark(benchmark::State& state, Database* db,
     }
     rows = static_cast<long long>(result->rows.size());
     scanned = result->stats.rows_scanned;
-    entries = result->stats.index_entries;
+    entries = result->stats.index_entries_probed;
     benchmark::DoNotOptimize(result->rows);
   }
   state.counters["rows"] = static_cast<double>(rows);

@@ -49,7 +49,7 @@ int main() {
   Check(result.status(), "run query 1");
   std::printf("Query 1: %zu qualifying orders; %lld index entries touched, "
               "%lld documents navigated (of %d in the collection).\n\n",
-              result->rows.size(), result->stats.index_entries,
+              result->rows.size(), result->stats.index_entries_probed,
               result->stats.rows_scanned, config.num_orders);
 
   // 4. Query 2 from the paper cannot use li_price: the wildcard attribute
@@ -74,6 +74,6 @@ int main() {
   Check(rs.status(), "run query 8");
   std::printf("Query 8 returned %zu rows (scanned %lld, prefiltered %lld).\n",
               rs->rows.size(), rs->stats.rows_scanned,
-              rs->stats.rows_prefiltered);
+              rs->stats.index_docs_returned);
   return 0;
 }

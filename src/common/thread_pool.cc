@@ -7,6 +7,14 @@
 
 namespace xqdb {
 
+namespace {
+std::atomic<long long> g_tasks_executed{0};
+}  // namespace
+
+long long ThreadPool::TasksExecuted() {
+  return g_tasks_executed.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(size_t threads) {
   if (threads <= 1) return;  // Degenerate pool: ParallelFor runs inline.
   workers_.reserve(threads);
@@ -63,6 +71,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     // up with NumChunks() regardless of the pool size.
     for (size_t lo = begin; lo < end; lo += grain) {
       fn(lo, std::min(end, lo + grain));
+      g_tasks_executed.fetch_add(1, std::memory_order_relaxed);
     }
     return;
   }
@@ -86,6 +95,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
       queue_.emplace_back([state, &fn, lo, hi] {
         try {
           fn(lo, hi);
+          g_tasks_executed.fetch_add(1, std::memory_order_relaxed);
         } catch (...) {
           std::lock_guard<std::mutex> elock(state->error_mu);
           if (!state->first_error) {

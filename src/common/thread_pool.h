@@ -60,6 +60,13 @@ class ThreadPool {
   /// else hardware_concurrency().
   static size_t DefaultThreads();
 
+  /// Total ParallelFor chunks executed process-wide since start, including
+  /// chunks run inline by the degenerate pool. Monotonic. Callers meter a
+  /// region by differencing before/after — under concurrent queries the
+  /// delta attributes other queries' chunks to this one, which is the
+  /// documented (and accepted) approximation of ExecStats::pool_tasks.
+  static long long TasksExecuted();
+
  private:
   void WorkerLoop();
 

@@ -1,6 +1,10 @@
 #include "core/database.h"
 
+#include <chrono>
+
+#include "common/thread_pool.h"
 #include "core/planner.h"
+#include "observability/trace.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xquery/parser.h"
@@ -30,7 +34,52 @@ void ForceScanPlan(XQueryPlan* plan) {
   plan->access.summary = "forced collection scan (ExecOptions::force_scan)";
 }
 
+long long NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Fills the phase timings of one finished execution. On a plan-cache hit
+/// the caller passes parse_end == plan_end == t0 so parse/plan read 0 —
+/// the phases genuinely did not run. pool_tasks is metered as the delta of
+/// the process-wide dispatch counter, which over-counts when another query
+/// runs concurrently; per-query exactness would put a shared atomic on the
+/// chunk hot path, and "roughly how parallel was this?" doesn't need it.
+void FinishStats(ExecStats* stats, long long t0, long long parse_end,
+                 long long plan_end, long long tasks_before) {
+  const long long t1 = NowNs();
+  stats->parse_ns = parse_end - t0;
+  stats->plan_ns = plan_end - parse_end;
+  stats->exec_ns = t1 - plan_end;
+  stats->total_ns = t1 - t0;
+  stats->pool_tasks += ThreadPool::TasksExecuted() - tasks_before;
+}
+
+constexpr char kNoPlanText[] = "  (DDL/DML statement — no access plan)\n";
+
 }  // namespace
+
+template <typename ResultT>
+void Database::EmitQueryTrace(const char* kind, const std::string& text,
+                              const std::string& plan,
+                              const ExecOptions& options,
+                              const ResultT& result) {
+  const bool tracing = options.trace || TraceEnabledByEnv();
+  if (!tracing && SlowQueryThresholdNs() == 0) return;
+  QueryTrace trace;
+  trace.kind = kind;
+  trace.text = text;
+  trace.plan = plan;
+  trace.ok = result.ok();
+  if (result.ok()) {
+    trace.stats = result->stats;
+  } else {
+    trace.error = result.status().ToString();
+  }
+  if (tracing) EmitTrace(trace);
+  MaybeLogSlowQuery(trace);
+}
 
 Result<ResultSet> Database::RunSelect(const SelectStmt& stmt,
                                       const SelectPlan& plan) {
@@ -40,6 +89,18 @@ Result<ResultSet> Database::RunSelect(const SelectStmt& stmt,
 
 Result<ResultSet> Database::ExecuteSql(const std::string& sql,
                                        const ExecOptions& options) {
+  const bool tracing = options.trace || TraceEnabledByEnv();
+  std::string plan_text;
+  auto rs = ExecuteSqlInternal(sql, options, tracing ? &plan_text : nullptr);
+  EmitQueryTrace("sql", sql, plan_text, options, rs);
+  return rs;
+}
+
+Result<ResultSet> Database::ExecuteSqlInternal(const std::string& sql,
+                                               const ExecOptions& options,
+                                               std::string* plan_text) {
+  const long long t0 = NowNs();
+  const long long tasks0 = ThreadPool::TasksExecuted();
   // A forced plan must not be served from (or inserted into) the cache.
   const bool use_cache = !options.disable_cache && !options.force_scan;
   // Serving fast path: a repeated query reuses its parsed AST + plan and
@@ -48,72 +109,141 @@ Result<ResultSet> Database::ExecuteSql(const std::string& sql,
   const uint64_t catalog_version = catalog_.version();
   if (use_cache) {
     if (auto cached = query_cache_.LookupSql(sql, catalog_version)) {
+      if (plan_text != nullptr) {
+        *plan_text = cached->plan.Explain(*cached->stmt.select);
+      }
       auto rs = RunSelect(*cached->stmt.select, cached->plan);
-      if (rs.ok()) rs->stats.plan_cache_hits = 1;
+      if (rs.ok()) {
+        rs->stats.plan_cache_hits = 1;
+        FinishStats(&rs->stats, t0, t0, t0, tasks0);
+      }
       return rs;
     }
   }
   XQDB_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
+  const long long parse_end = NowNs();
+  long long plan_end = parse_end;
+  if (plan_text != nullptr) *plan_text = kNoPlanText;
+  Result<ResultSet> rs = Status::Internal("unhandled statement kind");
   switch (stmt.kind) {
     case SqlStatement::Kind::kCreateTable:
-      return RunCreateTable(*stmt.create_table);
+      rs = RunCreateTable(*stmt.create_table);
+      break;
     case SqlStatement::Kind::kCreateIndex:
-      return RunCreateIndex(*stmt.create_index);
+      rs = RunCreateIndex(*stmt.create_index);
+      break;
     case SqlStatement::Kind::kInsert:
-      return RunInsert(*stmt.insert);
+      rs = RunInsert(*stmt.insert);
+      break;
     case SqlStatement::Kind::kDelete: {
       SqlExecutor executor(&catalog_);
-      XQDB_ASSIGN_OR_RETURN(size_t n, executor.RunDelete(*stmt.del));
-      ResultSet rs;
-      rs.stats.rows_scanned = static_cast<long long>(n);
-      return rs;
+      auto n = executor.RunDelete(*stmt.del);
+      if (!n.ok()) {
+        rs = n.status();
+        break;
+      }
+      ResultSet out;
+      out.stats.rows_scanned = static_cast<long long>(*n);
+      rs = std::move(out);
+      break;
     }
     case SqlStatement::Kind::kSelect: {
       Planner planner(&catalog_);
-      XQDB_ASSIGN_OR_RETURN(SelectPlan plan, planner.PlanSelect(*stmt.select));
-      if (options.force_scan) ForceScanPlan(&plan);
+      auto plan = planner.PlanSelect(*stmt.select);
+      if (!plan.ok()) {
+        rs = plan.status();
+        break;
+      }
+      if (options.force_scan) ForceScanPlan(&*plan);
+      plan_end = NowNs();
+      if (plan_text != nullptr) *plan_text = plan->Explain(*stmt.select);
       auto entry = std::make_shared<CachedSqlQuery>();
       entry->stmt = std::move(stmt);
-      entry->plan = std::move(plan);
+      entry->plan = *std::move(plan);
       entry->catalog_version = catalog_version;
       if (use_cache) query_cache_.InsertSql(sql, entry);
-      return RunSelect(*entry->stmt.select, entry->plan);
+      rs = RunSelect(*entry->stmt.select, entry->plan);
+      break;
     }
   }
-  return Status::Internal("unhandled statement kind");
+  if (rs.ok()) FinishStats(&rs->stats, t0, parse_end, plan_end, tasks0);
+  return rs;
 }
 
 Result<std::string> Database::ExplainSql(const std::string& sql) {
   XQDB_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
   if (stmt.kind != SqlStatement::Kind::kSelect) {
-    return std::string("  (DDL/DML statement — no access plan)\n");
+    return std::string(kNoPlanText);
   }
   Planner planner(&catalog_);
   XQDB_ASSIGN_OR_RETURN(SelectPlan plan, planner.PlanSelect(*stmt.select));
   return plan.Explain(*stmt.select);
 }
 
+Result<std::string> Database::ExplainAnalyzeSql(const std::string& sql,
+                                                const ExecOptions& options) {
+  std::string plan_text;
+  auto rs = ExecuteSqlInternal(sql, options, &plan_text);
+  EmitQueryTrace("explain-analyze", sql, plan_text, options, rs);
+  if (!rs.ok()) return rs.status();
+  std::string out = std::move(plan_text);
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  out += "  runtime:\n";
+  out += rs->stats.Render();
+  return out;
+}
+
+Result<std::string> Database::ExplainAnalyzeXQuery(const std::string& query,
+                                                   const ExecOptions& options) {
+  auto res = ExecuteXQueryInternal(query, options);
+  EmitQueryTrace("explain-analyze", query,
+                 res.ok() ? res->plan : std::string(), options, res);
+  if (!res.ok()) return res.status();
+  std::string out = res->plan;
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  out += "  runtime:\n";
+  out += res->stats.Render();
+  return out;
+}
+
 Result<Database::XQueryResult> Database::ExecuteXQuery(
     const std::string& query, const ExecOptions& options) {
+  auto out = ExecuteXQueryInternal(query, options);
+  EmitQueryTrace("xquery", query, out.ok() ? out->plan : std::string(),
+                 options, out);
+  return out;
+}
+
+Result<Database::XQueryResult> Database::ExecuteXQueryInternal(
+    const std::string& query, const ExecOptions& options) {
+  const long long t0 = NowNs();
+  const long long tasks0 = ThreadPool::TasksExecuted();
   const bool use_cache = !options.disable_cache && !options.force_scan;
   const uint64_t catalog_version = catalog_.version();
   if (use_cache) {
     if (auto cached = query_cache_.LookupXQuery(query, catalog_version)) {
       auto out = RunXQuery(cached->parsed, cached->plan);
-      if (out.ok()) out->stats.plan_cache_hits = 1;
+      if (out.ok()) {
+        out->stats.plan_cache_hits = 1;
+        FinishStats(&out->stats, t0, t0, t0, tasks0);
+      }
       return out;
     }
   }
   XQDB_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseXQuery(query));
+  const long long parse_end = NowNs();
   Planner planner(&catalog_);
   XQDB_ASSIGN_OR_RETURN(XQueryPlan plan, planner.PlanXQuery(*parsed.body));
   if (options.force_scan) ForceScanPlan(&plan);
+  const long long plan_end = NowNs();
   auto entry = std::make_shared<CachedXQuery>();
   entry->parsed = std::move(parsed);
   entry->plan = std::move(plan);
   entry->catalog_version = catalog_version;
   if (use_cache) query_cache_.InsertXQuery(query, entry);
-  return RunXQuery(entry->parsed, entry->plan);
+  auto out = RunXQuery(entry->parsed, entry->plan);
+  if (out.ok()) FinishStats(&out->stats, t0, parse_end, plan_end, tasks0);
+  return out;
 }
 
 Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
@@ -152,9 +282,9 @@ Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
       case AccessPath::Kind::kIndexJoinProbe:  // never planned standalone
         break;
     }
-    out.stats.index_entries =
+    out.stats.index_entries_probed =
         static_cast<long long>(pstats.entries_scanned);
-    out.stats.rows_prefiltered = static_cast<long long>(rows.size());
+    out.stats.index_docs_returned = static_cast<long long>(rows.size());
     filtered = std::make_unique<FilteredProvider>(
         &catalog_, plan.table, plan.column, std::move(rows));
     provider = filtered.get();
@@ -163,6 +293,11 @@ Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
   Evaluator eval(&parsed.static_context, provider, out.runtime.get());
   XQDB_ASSIGN_OR_RETURN(out.items, eval.Eval(*parsed.body));
   out.stats.rows_scanned = eval.docs_navigated();
+  // Without an index pre-filter every navigated document was visited
+  // blind — that is a collection scan, the ineligible shape of Definition
+  // 1; with one, the documents the evaluator saw were index-admitted and
+  // already counted in index_docs_returned.
+  if (!plan.use_index) out.stats.docs_scanned = eval.docs_navigated();
   out.stats.xquery_evals = 1;
 
   out.rows.reserve(out.items.size());
@@ -201,7 +336,17 @@ Result<ResultSet> Database::RunCreateIndex(const CreateIndexStmt& stmt) {
   }
   // A new index can flip a cached plan from scan to probe: invalidate.
   catalog_.BumpVersion();
-  return ResultSet{};
+  ResultSet rs;
+  if (stmt.is_xml_pattern) {
+    // Surface the bulk build's Pattern-NFA work: how many nodes matched the
+    // XMLPATTERN and how many were tolerantly skipped as uncastable.
+    if (const XmlIndex* idx =
+            table->indexes().FindXmlIndexByName(stmt.index_name)) {
+      rs.stats.nfa_matches = static_cast<long long>(idx->nfa_match_count());
+      rs.stats.cast_failures = static_cast<long long>(idx->cast_skip_count());
+    }
+  }
+  return rs;
 }
 
 Result<ResultSet> Database::RunInsert(const InsertStmt& stmt) {

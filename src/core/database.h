@@ -46,6 +46,17 @@ class Database {
   /// narration without executing.
   Result<std::string> ExplainSql(const std::string& sql);
 
+  /// EXPLAIN ANALYZE: executes the statement and returns the access-path
+  /// narration annotated with the runtime counters and phase timings it
+  /// actually accumulated (observability/exec_stats.h). This is how the
+  /// paper's Definition 1 claim is audited at execution time: the eligible
+  /// plan reports index_docs_returned == |matching docs|, the ineligible
+  /// one reports docs_scanned == |collection|.
+  Result<std::string> ExplainAnalyzeSql(const std::string& sql,
+                                        const ExecOptions& options = {});
+  Result<std::string> ExplainAnalyzeXQuery(const std::string& query,
+                                           const ExecOptions& options = {});
+
   /// Result of a standalone XQuery (the paper's Query 7 interface): one row
   /// per top-level item.
   struct XQueryResult {
@@ -67,6 +78,23 @@ class Database {
   QueryCache::Stats query_cache_stats() const { return query_cache_.stats(); }
 
  private:
+  /// The shared execution core: parse → plan → run with phase timings
+  /// metered into the result's ExecStats. When `plan_text` is non-null the
+  /// rendered access-path narration is stored there (from the cache entry
+  /// on a hit, from the fresh plan otherwise) — EXPLAIN ANALYZE's hook.
+  Result<ResultSet> ExecuteSqlInternal(const std::string& sql,
+                                       const ExecOptions& options,
+                                       std::string* plan_text);
+  Result<XQueryResult> ExecuteXQueryInternal(const std::string& query,
+                                             const ExecOptions& options);
+
+  /// Builds and routes the QueryTrace record for one finished execution
+  /// (trace sink + slow-query log).
+  template <typename ResultT>
+  void EmitQueryTrace(const char* kind, const std::string& text,
+                      const std::string& plan, const ExecOptions& options,
+                      const ResultT& result);
+
   Result<ResultSet> RunCreateTable(const CreateTableStmt& stmt);
   Result<ResultSet> RunCreateIndex(const CreateIndexStmt& stmt);
   Result<ResultSet> RunInsert(const InsertStmt& stmt);

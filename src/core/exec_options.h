@@ -20,6 +20,12 @@ struct ExecOptions {
   /// Bypasses the compiled-query cache entirely — no lookup, no insert.
   /// Every execution is a cold compile.
   bool disable_cache = false;
+
+  /// Emits a JSON QueryTrace record for this execution to the trace sink
+  /// (observability/trace.h) even when the process-wide XQDB_TRACE switch
+  /// is off. Counters and phase timings are collected either way; this only
+  /// controls emission.
+  bool trace = false;
 };
 
 }  // namespace xqdb

@@ -6,10 +6,32 @@
 
 #include "common/str_util.h"
 #include "common/thread_pool.h"
+#include "observability/metrics.h"
 #include "xdm/cast.h"
 #include "xdm/item.h"
 
 namespace xqdb {
+
+namespace {
+
+/// Process-wide build-side counters (pointers interned once; increments are
+/// relaxed atomics, safe from parallel bulk-build chunks).
+Counter* NfaMatchCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("index.nfa_matches");
+  return c;
+}
+Counter* CastSkipCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("index.cast_skips");
+  return c;
+}
+Histogram* ProbeEntriesHistogram() {
+  static Histogram* h =
+      MetricsRegistry::Global().GetHistogram("index.probe_entries");
+  return h;
+}
+
+}  // namespace
 
 std::string_view IndexValueTypeName(IndexValueType t) {
   switch (t) {
@@ -72,8 +94,14 @@ std::optional<AtomicValue> XmlIndex::KeyFor(const Document& doc,
 
 void XmlIndex::InsertDocument(uint32_t row, const Document& doc) {
   ForEachMatch(compiled_->nfa, doc, [&](NodeIdx node) {
+    ++nfa_match_count_;
+    NfaMatchCounter()->Increment();
     std::optional<AtomicValue> key = KeyFor(doc, node);
-    if (!key.has_value()) return;
+    if (!key.has_value()) {
+      ++cast_skip_count_;
+      CastSkipCounter()->Increment();
+      return;
+    }
     IndexedNodeRef ref{row, node};
     switch (type_) {
       case IndexValueType::kVarchar:
@@ -117,10 +145,15 @@ void XmlIndex::CollectEntries(
     uint32_t row, const Document& doc,
     std::vector<std::pair<std::string, IndexedNodeRef>>* str_out,
     std::vector<std::pair<double, IndexedNodeRef>>* dbl_out,
-    std::vector<std::pair<long long, IndexedNodeRef>>* tmp_out) const {
+    std::vector<std::pair<long long, IndexedNodeRef>>* tmp_out,
+    size_t* matches, size_t* skips) const {
   ForEachMatch(compiled_->nfa, doc, [&](NodeIdx node) {
+    ++*matches;
     std::optional<AtomicValue> key = KeyFor(doc, node);
-    if (!key.has_value()) return;
+    if (!key.has_value()) {
+      ++*skips;
+      return;
+    }
     IndexedNodeRef ref{row, node};
     switch (type_) {
       case IndexValueType::kVarchar:
@@ -180,14 +213,22 @@ void XmlIndex::BulkBuild(
       chunks);
   std::vector<std::vector<std::pair<long long, IndexedNodeRef>>> tmp_chunks(
       chunks);
+  std::vector<size_t> match_chunks(chunks, 0), skip_chunks(chunks, 0);
   pool.ParallelFor(0, n, grain, [&](size_t lo, size_t hi) {
     size_t c = lo / grain;
     for (size_t i = lo; i < hi; ++i) {
       if (docs[i].second == nullptr) continue;
       CollectEntries(docs[i].first, *docs[i].second, &str_chunks[c],
-                     &dbl_chunks[c], &tmp_chunks[c]);
+                     &dbl_chunks[c], &tmp_chunks[c], &match_chunks[c],
+                     &skip_chunks[c]);
     }
   });
+  for (size_t c = 0; c < chunks; ++c) {
+    nfa_match_count_ += match_chunks[c];
+    cast_skip_count_ += skip_chunks[c];
+    NfaMatchCounter()->Add(static_cast<long long>(match_chunks[c]));
+    CastSkipCounter()->Add(static_cast<long long>(skip_chunks[c]));
+  }
 
   switch (type_) {
     case IndexValueType::kVarchar:
@@ -279,6 +320,7 @@ Result<std::vector<uint32_t>> XmlIndex::ProbeRange(const ProbeBound& lo,
     }
   }
   if (stats != nullptr) stats->entries_scanned += scanned;
+  ProbeEntriesHistogram()->Record(static_cast<long long>(scanned));
   return Dedup(std::move(rows));
 }
 

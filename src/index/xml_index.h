@@ -64,6 +64,12 @@ class XmlIndex {
   IndexValueType type() const { return type_; }
   size_t entry_count() const { return entry_count_; }
 
+  /// Lifetime build-side instrumentation: Pattern-NFA node matches seen and
+  /// tolerant cast skips taken across every insert/bulk-build on this
+  /// index. `nfa_matches - cast_skips` is what actually entered the tree.
+  size_t nfa_match_count() const { return nfa_match_count_; }
+  size_t cast_skip_count() const { return cast_skip_count_; }
+
   /// Indexes every matching node of one document (one table row).
   void InsertDocument(uint32_t row, const Document& doc);
 
@@ -106,18 +112,23 @@ class XmlIndex {
   std::optional<AtomicValue> KeyFor(const Document& doc, NodeIdx node) const;
 
   /// Collects (key, ref) pairs for every matching, castable node of one
-  /// document into per-type output vectors (exactly one is used).
+  /// document into per-type output vectors (exactly one is used). Counts
+  /// NFA matches and tolerant skips into the out params (parallel bulk
+  /// builds keep these per-chunk; members are summed after the join).
   void CollectEntries(
       uint32_t row, const Document& doc,
       std::vector<std::pair<std::string, IndexedNodeRef>>* str_out,
       std::vector<std::pair<double, IndexedNodeRef>>* dbl_out,
-      std::vector<std::pair<long long, IndexedNodeRef>>* tmp_out) const;
+      std::vector<std::pair<long long, IndexedNodeRef>>* tmp_out,
+      size_t* matches, size_t* skips) const;
 
   std::string name_;
   // Interned: indexes with the same XMLPATTERN text share one compilation.
   std::shared_ptr<const CompiledPattern> compiled_;
   IndexValueType type_ = IndexValueType::kVarchar;
   size_t entry_count_ = 0;
+  size_t nfa_match_count_ = 0;
+  size_t cast_skip_count_ = 0;
 
   // Exactly one tree is used, chosen by type_.
   BPlusTree<double, IndexedNodeRef> double_tree_;

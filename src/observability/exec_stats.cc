@@ -1,0 +1,73 @@
+#include "observability/exec_stats.h"
+
+#include <cstdio>
+
+namespace xqdb {
+
+namespace {
+
+struct Field {
+  const char* name;
+  long long ExecStats::* member;
+};
+
+// Counter order is the narrative order of an execution: fetch, probe,
+// filter, evaluate, schedule.
+constexpr Field kCounters[] = {
+    {"rows_scanned", &ExecStats::rows_scanned},
+    {"docs_scanned", &ExecStats::docs_scanned},
+    {"index_entries_probed", &ExecStats::index_entries_probed},
+    {"index_docs_returned", &ExecStats::index_docs_returned},
+    {"rows_filtered", &ExecStats::rows_filtered},
+    {"xquery_evals", &ExecStats::xquery_evals},
+    {"cast_failures", &ExecStats::cast_failures},
+    {"nfa_matches", &ExecStats::nfa_matches},
+    {"pool_tasks", &ExecStats::pool_tasks},
+    {"plan_cache_hits", &ExecStats::plan_cache_hits},
+};
+
+constexpr Field kTimings[] = {
+    {"parse_ns", &ExecStats::parse_ns},
+    {"plan_ns", &ExecStats::plan_ns},
+    {"exec_ns", &ExecStats::exec_ns},
+    {"total_ns", &ExecStats::total_ns},
+};
+
+}  // namespace
+
+std::string ExecStats::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  auto emit = [&](const char* name, long long v) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    out += name;
+    out += "\": ";
+    out += std::to_string(v);
+  };
+  for (const Field& f : kCounters) emit(f.name, this->*f.member);
+  for (const Field& f : kTimings) emit(f.name, this->*f.member);
+  out += "}";
+  return out;
+}
+
+std::string ExecStats::Render() const {
+  std::string out;
+  for (const Field& f : kCounters) {
+    long long v = this->*f.member;
+    if (v == 0) continue;
+    out += "    ";
+    out += f.name;
+    out += " = " + std::to_string(v) + "\n";
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "    time: parse %.1f us, plan %.1f us, exec %.1f us, "
+                "total %.1f us\n",
+                parse_ns / 1e3, plan_ns / 1e3, exec_ns / 1e3, total_ns / 1e3);
+  out += buf;
+  return out;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,76 @@
+#ifndef XQDB_OBSERVABILITY_EXEC_STATS_H_
+#define XQDB_OBSERVABILITY_EXEC_STATS_H_
+
+#include <string>
+
+namespace xqdb {
+
+/// Per-execution counters and phase timings. This is the runtime half of
+/// EXPLAIN: the static plan says which access path was *chosen*, these
+/// counters say what it actually *did* — an eligible index probe reports
+/// `index_docs_returned == |matching docs|` while the ineligible
+/// formulation of the same predicate reports `docs_scanned == |collection|`
+/// (the paper's Definition 1 claim, pinned by numbers instead of timing).
+///
+/// Counters are plain (non-atomic) long longs: parallel scans give every
+/// worker chunk a private ExecStats and Merge() them after the join, so no
+/// counter is ever written concurrently and the disabled-tracing overhead
+/// stays at an increment per event.
+struct ExecStats {
+  // -- Access-path counters -----------------------------------------------
+  long long rows_scanned = 0;         // base-table rows fetched (all paths)
+  long long docs_scanned = 0;         // documents visited WITHOUT an index
+                                      // pre-filter (full collection scans)
+  long long index_entries_probed = 0; // B+Tree entries touched by probes
+  long long index_docs_returned = 0;  // rows admitted by index probes
+  long long rows_filtered = 0;        // rows rejected by the residual WHERE
+
+  // -- Evaluation counters ------------------------------------------------
+  long long xquery_evals = 0;         // embedded XQuery evaluations
+  long long cast_failures = 0;        // tolerant cast skips (uncastable join
+                                      // keys; build-time skips on DDL)
+  long long nfa_matches = 0;          // Pattern-NFA node matches (DDL builds)
+  long long pool_tasks = 0;           // thread-pool chunks this execution
+                                      // dispatched (approximate under
+                                      // concurrent queries)
+  long long plan_cache_hits = 0;      // 1 if this execution reused a plan
+
+  // -- Phase timings (monotonic nanoseconds; 0 = phase skipped, e.g.
+  // parse/plan on a plan-cache hit) ---------------------------------------
+  long long parse_ns = 0;
+  long long plan_ns = 0;
+  long long exec_ns = 0;
+  long long total_ns = 0;
+
+  /// Folds a worker chunk's counters into this one (parallel scans keep
+  /// per-chunk ExecStats and sum them after the join, so no counter is
+  /// written concurrently).
+  void Merge(const ExecStats& o) {
+    rows_scanned += o.rows_scanned;
+    docs_scanned += o.docs_scanned;
+    index_entries_probed += o.index_entries_probed;
+    index_docs_returned += o.index_docs_returned;
+    rows_filtered += o.rows_filtered;
+    xquery_evals += o.xquery_evals;
+    cast_failures += o.cast_failures;
+    nfa_matches += o.nfa_matches;
+    pool_tasks += o.pool_tasks;
+    plan_cache_hits += o.plan_cache_hits;
+    parse_ns += o.parse_ns;
+    plan_ns += o.plan_ns;
+    exec_ns += o.exec_ns;
+    total_ns += o.total_ns;
+  }
+
+  /// One-line JSON object (trace sink, xqdiff divergence reports,
+  /// bench_parallel's reporter).
+  std::string ToJson() const;
+
+  /// Multi-line "  counter = value" block (EXPLAIN ANALYZE rendering).
+  /// Zero-valued counters are elided; timings print in microseconds.
+  std::string Render() const;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_OBSERVABILITY_EXEC_STATS_H_

@@ -1,0 +1,71 @@
+#include "observability/metrics.h"
+
+#include <cmath>
+
+namespace xqdb {
+
+long long Histogram::ApproxQuantile(double q) const {
+  long long total = count();
+  if (total == 0) return 0;
+  // Ceil, not truncate: the q-quantile is the smallest value with at least
+  // ceil(q * N) samples at or below it (truncation would let a single
+  // outlier hide inside the p99.9 of a hundred small samples).
+  long long target =
+      static_cast<long long>(std::ceil(q * static_cast<double>(total)));
+  if (target < 1) target = 1;
+  if (target > total) target = total;
+  long long cum = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    cum += bucket(b);
+    if (cum >= target) return 1LL << b;
+  }
+  return 1LL << (kBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: metrics outlive every thread that may still be
+  // incrementing them at exit.
+  static auto* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter* c : counters_) {
+    if (c->name_ == name) return c;
+  }
+  counters_.push_back(new Counter(name));
+  return counters_.back();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Histogram* h : histograms_) {
+    if (h->name_ == name) return h;
+  }
+  histograms_.push_back(new Histogram(name));
+  return histograms_.back();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + counters_[i]->name_ +
+           "\": " + std::to_string(counters_[i]->value());
+  }
+  out += "}, \"histograms\": {";
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram* h = histograms_[i];
+    if (i) out += ", ";
+    out += "\"" + h->name_ + "\": {\"count\": " + std::to_string(h->count()) +
+           ", \"sum\": " + std::to_string(h->sum()) +
+           ", \"p50\": " + std::to_string(h->ApproxQuantile(0.5)) +
+           ", \"p99\": " + std::to_string(h->ApproxQuantile(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace xqdb

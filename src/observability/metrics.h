@@ -1,0 +1,90 @@
+#ifndef XQDB_OBSERVABILITY_METRICS_H_
+#define XQDB_OBSERVABILITY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xqdb {
+
+/// A process-wide monotonically increasing counter. Increments are relaxed
+/// atomics — the registry is read by monitoring, not by control flow, so
+/// no ordering is needed and the hot-path cost is one uncontended
+/// fetch_add. Counters are created once (static local at the use site) and
+/// live for the process lifetime; the registry never deletes.
+class Counter {
+ public:
+  void Add(long long n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<long long> value_{0};
+};
+
+/// A log2-bucketed histogram of non-negative samples (durations, scan
+/// lengths). Bucket i counts samples in [2^(i-1), 2^i); bucket 0 counts
+/// zeros and ones. Fixed 64 buckets, relaxed atomics: recording is
+/// lock-free and wait-free, reading gives a consistent-enough snapshot for
+/// monitoring.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(long long sample) {
+    if (sample < 0) sample = 0;
+    size_t b = 0;
+    while ((1LL << b) < sample && b + 1 < kBuckets) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  long long count() const { return count_.load(std::memory_order_relaxed); }
+  long long sum() const { return sum_.load(std::memory_order_relaxed); }
+  long long bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// The upper bound of the smallest bucket whose cumulative count reaches
+  /// `q` (0..1) of the total — a coarse quantile, exact to a factor of 2.
+  long long ApproxQuantile(double q) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<long long> buckets_[kBuckets] = {};
+  std::atomic<long long> sum_{0};
+  std::atomic<long long> count_{0};
+};
+
+/// Owner of every Counter/Histogram in the process. GetCounter/GetHistogram
+/// intern by name (same name → same object), so instrumentation sites can
+/// cache the pointer in a function-local static and pay the registry lock
+/// only once.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// JSON object {"counters": {...}, "histograms": {...}} of every metric.
+  std::string SnapshotJson() const;
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mu_;
+  std::vector<Counter*> counters_;
+  std::vector<Histogram*> histograms_;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_OBSERVABILITY_METRICS_H_

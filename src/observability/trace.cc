@@ -1,0 +1,133 @@
+#include "observability/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace xqdb {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::mutex* SinkMutex() {
+  static auto* mu = new std::mutex;
+  return mu;
+}
+
+std::function<void(const std::string&)>* TestSink() {
+  static auto* sink = new std::function<void(const std::string&)>;
+  return sink;
+}
+
+/// The env-selected sink target, resolved once. Empty = stderr.
+const std::string& TraceFileFromEnv() {
+  static const std::string* path = [] {
+    const char* env = std::getenv("XQDB_TRACE");
+    if (env == nullptr || *env == '\0' || std::strcmp(env, "stderr") == 0 ||
+        std::strcmp(env, "1") == 0) {
+      return new std::string;
+    }
+    return new std::string(env);
+  }();
+  return *path;
+}
+
+}  // namespace
+
+bool TraceEnabledByEnv() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("XQDB_TRACE");
+    return env != nullptr && *env != '\0';
+  }();
+  return enabled;
+}
+
+long long SlowQueryThresholdNs() {
+  static const long long threshold = [] {
+    const char* env = std::getenv("XQDB_SLOW_QUERY_MS");
+    if (env == nullptr) return 0LL;
+    char* end = nullptr;
+    double ms = std::strtod(env, &end);
+    if (end == env || ms <= 0) return 0LL;
+    return static_cast<long long>(ms * 1e6);
+  }();
+  return threshold;
+}
+
+std::string QueryTrace::ToJson() const {
+  std::string out = "{\"kind\": \"" + JsonEscape(kind) + "\", \"query\": \"" +
+                    JsonEscape(text) + "\"";
+  if (!plan.empty()) out += ", \"plan\": \"" + JsonEscape(plan) + "\"";
+  out += ", \"ok\": ";
+  out += ok ? "true" : "false";
+  if (!ok) out += ", \"error\": \"" + JsonEscape(error) + "\"";
+  out += ", \"stats\": " + stats.ToJson() + "}";
+  return out;
+}
+
+void SetTraceSinkForTesting(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(*SinkMutex());
+  *TestSink() = std::move(sink);
+}
+
+void EmitTrace(const QueryTrace& trace) {
+  std::string line = trace.ToJson();
+  std::lock_guard<std::mutex> lock(*SinkMutex());
+  if (*TestSink()) {
+    (*TestSink())(line);
+    return;
+  }
+  const std::string& path = TraceFileFromEnv();
+  if (path.empty()) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
+  if (std::FILE* f = std::fopen(path.c_str(), "a")) {
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fclose(f);
+  }
+}
+
+void MaybeLogSlowQuery(const QueryTrace& trace) {
+  long long threshold = SlowQueryThresholdNs();
+  if (threshold == 0 || trace.stats.total_ns < threshold) return;
+  std::lock_guard<std::mutex> lock(*SinkMutex());
+  std::fprintf(stderr, "[xqdb slow query %.1f ms] %s\n",
+               trace.stats.total_ns / 1e6, trace.ToJson().c_str());
+}
+
+}  // namespace xqdb

@@ -1,0 +1,54 @@
+#ifndef XQDB_OBSERVABILITY_TRACE_H_
+#define XQDB_OBSERVABILITY_TRACE_H_
+
+#include <functional>
+#include <string>
+
+#include "observability/exec_stats.h"
+
+namespace xqdb {
+
+/// One query's runtime trace: what ran, which plan it took, and the
+/// ExecStats counters it accumulated. Built by Database::Execute* when
+/// tracing is on (ExecOptions::trace or the XQDB_TRACE environment
+/// variable) and handed to the trace sink as one JSON line.
+struct QueryTrace {
+  std::string kind;   // "sql" | "xquery" | "explain-analyze"
+  std::string text;   // the statement as submitted
+  std::string plan;   // the access-path narration ("" for DDL/DML)
+  bool ok = true;     // false when execution returned an error status
+  std::string error;  // Status::ToString() when !ok
+  ExecStats stats;
+
+  std::string ToJson() const;
+};
+
+/// Whether tracing is enabled process-wide: true when XQDB_TRACE is set to
+/// anything non-empty. Read once (first call) — tracing is a deploy-time
+/// switch, not a per-query one; per-query opt-in goes through
+/// ExecOptions::trace.
+bool TraceEnabledByEnv();
+
+/// Slow-query threshold in nanoseconds, from XQDB_SLOW_QUERY_MS. 0 = the
+/// slow-query log is off. Read once.
+long long SlowQueryThresholdNs();
+
+/// Emits one trace record to the configured sink:
+///   XQDB_TRACE=stderr (or "1")  → one JSON line on stderr
+///   XQDB_TRACE=/path/to/file    → appended to that file
+/// A test-installed callback (SetTraceSinkForTesting) overrides both.
+/// Thread-safe: records are written whole, never interleaved.
+void EmitTrace(const QueryTrace& trace);
+
+/// Routes EmitTrace records to `sink` instead of the env-configured target
+/// (nullptr restores the default). Tests use this to capture traces.
+void SetTraceSinkForTesting(std::function<void(const std::string&)> sink);
+
+/// The slow-query log: called for every traced-or-not execution; writes a
+/// one-line report to stderr when the query's total_ns exceeds the
+/// XQDB_SLOW_QUERY_MS threshold.
+void MaybeLogSlowQuery(const QueryTrace& trace);
+
+}  // namespace xqdb
+
+#endif  // XQDB_OBSERVABILITY_TRACE_H_

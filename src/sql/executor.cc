@@ -261,7 +261,11 @@ Result<std::vector<std::vector<SqlValue>>> SqlExecutor::FilterRows(
     for (auto& row : rows) {
       XQDB_ASSIGN_OR_RETURN(
           bool b, EvalPredicate(where, schema, row, runtime, stats));
-      if (b) kept.push_back(std::move(row));
+      if (b) {
+        kept.push_back(std::move(row));
+      } else {
+        ++stats->rows_filtered;
+      }
     }
     return kept;
   }
@@ -291,6 +295,7 @@ Result<std::vector<std::vector<SqlValue>>> SqlExecutor::FilterRows(
         return;
       }
       out.keep[i - lo] = *b ? 1 : 0;
+      if (!*b) ++out.stats.rows_filtered;
     }
   });
   std::vector<std::vector<SqlValue>> kept;
@@ -414,8 +419,8 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
           default:
             break;
         }
-        stats.index_entries += static_cast<long long>(pstats.entries_scanned);
-        stats.rows_prefiltered +=
+        stats.index_entries_probed += static_cast<long long>(pstats.entries_scanned);
+        stats.index_docs_returned +=
             static_cast<long long>(static_row_ids.size());
       } else if (!per_row_probe) {
         static_row_ids.reserve(table->live_row_count());
@@ -450,13 +455,17 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
             std::set<uint32_t> hit;
             for (const Item& key : atoms) {
               auto probed = path->index->ProbeEqual(key.atomic(), &pstats);
-              if (!probed.ok()) continue;  // Uncastable key: no matches.
+              if (!probed.ok()) {
+                // Uncastable key: no matches (tolerant, like build skips).
+                ++stats.cast_failures;
+                continue;
+              }
               hit.insert(probed->begin(), probed->end());
             }
-            stats.index_entries +=
+            stats.index_entries_probed +=
                 static_cast<long long>(pstats.entries_scanned);
             probe_row_ids.assign(hit.begin(), hit.end());
-            stats.rows_prefiltered +=
+            stats.index_docs_returned +=
                 static_cast<long long>(probe_row_ids.size());
           } else {
             // Could not compute the key (unexpected): fall back to pairing
@@ -469,9 +478,16 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
           }
           row_ids = &probe_row_ids;
         }
+        const bool from_index =
+            per_row_probe ||
+            (path != nullptr && path->kind != AccessPath::Kind::kFullScan);
         for (uint32_t r : *row_ids) {
           if (table->is_deleted(r)) continue;  // tombstoned since probe
           ++stats.rows_scanned;
+          // Definition 1's audit trail: a row visited with no index
+          // pre-filter is a scanned document; pre-filtered visits are
+          // already metered as index_docs_returned at the probe site.
+          if (!from_index) ++stats.docs_scanned;
           std::vector<SqlValue> combined = base;
           const std::vector<SqlValue>& trow = table->row(r);
           combined.insert(combined.end(), trow.begin(), trow.end());

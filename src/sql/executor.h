@@ -6,31 +6,12 @@
 #include <vector>
 
 #include "common/result.h"
+#include "observability/exec_stats.h"
 #include "sql/plan.h"
 #include "sql/sql_ast.h"
 #include "storage/catalog.h"
 
 namespace xqdb {
-
-/// Execution statistics the benchmarks report.
-struct ExecStats {
-  long long rows_scanned = 0;      // base-table rows fetched
-  long long index_entries = 0;     // B+Tree entries touched
-  long long xquery_evals = 0;      // embedded XQuery evaluations
-  long long rows_prefiltered = 0;  // rows admitted by index probes
-  long long plan_cache_hits = 0;   // 1 if this execution reused a cached plan
-
-  /// Folds a worker chunk's counters into this one (parallel scans keep
-  /// per-chunk ExecStats and sum them after the join, so no counter is
-  /// written concurrently).
-  void Merge(const ExecStats& o) {
-    rows_scanned += o.rows_scanned;
-    index_entries += o.index_entries;
-    xquery_evals += o.xquery_evals;
-    rows_prefiltered += o.rows_prefiltered;
-    plan_cache_hits += o.plan_cache_hits;
-  }
-};
 
 /// A materialized query result. Rows may reference nodes in table storage
 /// and in `runtime` (documents constructed during evaluation), so the

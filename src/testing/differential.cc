@@ -21,6 +21,8 @@ namespace {
 struct Outcome {
   bool ok = false;
   std::string text;
+  ExecStats stats;  // attached to divergence reports: which side probed
+                    // what is usually the whole diagnosis
 };
 
 Outcome RunOne(Database* db, const GenQuery& q, const ExecOptions& opts) {
@@ -32,6 +34,7 @@ Outcome RunOne(Database* db, const GenQuery& q, const ExecOptions& opts) {
       return out;
     }
     out.ok = true;
+    out.stats = rs->stats;
     for (const auto& row : rs->rows) {
       for (size_t i = 0; i < row.size(); ++i) {
         if (i) out.text += '|';
@@ -46,6 +49,7 @@ Outcome RunOne(Database* db, const GenQuery& q, const ExecOptions& opts) {
       return out;
     }
     out.ok = true;
+    out.stats = xr->stats;
     for (const auto& row : xr->rows) {
       out.text += row;
       out.text += '\n';
@@ -72,7 +76,9 @@ std::string Truncate(const std::string& s, size_t n = 500) {
 std::string DiffDetail(const char* lhs_name, const Outcome& lhs,
                        const char* rhs_name, const Outcome& rhs) {
   return std::string(lhs_name) + ":\n" + Truncate(lhs.text) + "\n--- vs " +
-         rhs_name + ":\n" + Truncate(rhs.text);
+         rhs_name + ":\n" + Truncate(rhs.text) + "\n--- counters " +
+         lhs_name + ": " + lhs.stats.ToJson() + "\n--- counters " + rhs_name +
+         ": " + rhs.stats.ToJson();
 }
 
 /// Loads workload + DDL + extra docs into a fresh database. Setup failures

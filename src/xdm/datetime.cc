@@ -131,10 +131,12 @@ std::optional<long long> ParseXsDateTime(std::string_view raw) {
   ++pos;
   auto ss = TakeDigits(s, &pos, 2);
   if (!ss) return std::nullopt;
+  bool frac_nonzero = false;
   if (pos < s.size() && s[pos] == '.') {
     ++pos;
     size_t digits = 0;
     while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      if (s[pos] != '0') frac_nonzero = true;
       ++pos;
       ++digits;
     }
@@ -145,7 +147,11 @@ std::optional<long long> ParseXsDateTime(std::string_view raw) {
                  static_cast<unsigned>(*d))) {
     return std::nullopt;
   }
-  if (*hh > 23 || *mi > 59 || *ss > 59) return std::nullopt;
+  // XSD's end-of-day form: hour 24 is legal exactly when the minutes,
+  // seconds, and fraction are all zero, and denotes 00:00:00 of the next
+  // day (the epoch-seconds arithmetic below normalizes it for free).
+  if (*hh == 24 && (*mi != 0 || *ss != 0 || frac_nonzero)) return std::nullopt;
+  if (*hh > 24 || *mi > 59 || *ss > 59) return std::nullopt;
   auto tz = ParseTimezone(s, pos);
   if (!tz) return std::nullopt;
   long long days = DaysFromCivil(year, static_cast<unsigned>(*mo),
@@ -157,8 +163,12 @@ std::string FormatXsDate(long long days_since_epoch) {
   long long y;
   unsigned m, d;
   CivilFromDays(days_since_epoch, &y, &m, &d);
+  // Canonical XSD prints the sign *before* the zero-padded 4-digit year:
+  // -0044-03-15, not the -044-03-15 that %04lld produces (the sign eats a
+  // pad column).
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02u", y, m, d);
+  std::snprintf(buf, sizeof(buf), "%s%04lld-%02u-%02u", y < 0 ? "-" : "",
+                y < 0 ? -y : y, m, d);
   return buf;
 }
 
@@ -173,8 +183,9 @@ std::string FormatXsDateTime(long long seconds_since_epoch) {
   unsigned m, d;
   CivilFromDays(days, &y, &m, &d);
   char buf[48];
-  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02uT%02lld:%02lld:%02lldZ", y,
-                m, d, rem / 3600, (rem / 60) % 60, rem % 60);
+  std::snprintf(buf, sizeof(buf), "%s%04lld-%02u-%02uT%02lld:%02lld:%02lldZ",
+                y < 0 ? "-" : "", y < 0 ? -y : y, m, d, rem / 3600,
+                (rem / 60) % 60, rem % 60);
   return buf;
 }
 

@@ -284,6 +284,7 @@ Result<Sequence> Evaluator::EvalFlwor(const Expr& e, const Focus& f) {
     Sequence result;
     std::vector<AtomicValue> keys;
     std::vector<bool> key_empty;
+    std::vector<bool> key_nan;
   };
   std::vector<Keyed> keyed;
   bool ordered = !e.order_by.empty();
@@ -304,8 +305,11 @@ Result<Sequence> Evaluator::EvalFlwor(const Expr& e, const Focus& f) {
             return Status::TypeError("XPTY0004: order-by key cardinality");
           }
           k.key_empty.push_back(atoms.empty());
-          k.keys.push_back(atoms.empty() ? AtomicValue::String("")
-                                         : atoms[0].atomic());
+          AtomicValue key =
+              atoms.empty() ? AtomicValue::String("") : atoms[0].atomic();
+          k.key_nan.push_back(key.type() == AtomicType::kDouble &&
+                              std::isnan(key.double_value()));
+          k.keys.push_back(std::move(key));
         }
       }
       XQDB_ASSIGN_OR_RETURN(k.result, EvalExpr(*e.children[0], f));
@@ -342,6 +346,16 @@ Result<Sequence> Evaluator::EvalFlwor(const Expr& e, const Focus& f) {
               return desc ? !less : less;
             }
             if (a.key_empty[i]) continue;
+            // XQuery §3.8.3: for order by, NaN is equal to itself and less
+            // than every other non-empty value. Letting NaN fall through to
+            // CompareAtomic's kUnordered made it compare "equal" to
+            // *everything* — not a strict weak ordering (3 < 5 but both
+            // "equal" NaN), which is UB for std::stable_sort.
+            if (a.key_nan[i] != b.key_nan[i]) {
+              bool less = a.key_nan[i];
+              return desc ? !less : less;
+            }
+            if (a.key_nan[i]) continue;
             auto r = CompareAtomic(a.keys[i], b.keys[i]);
             if (!r.ok()) {
               if (sort_error.ok()) sort_error = r.status();

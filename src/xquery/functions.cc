@@ -231,14 +231,24 @@ Result<Sequence> FnSubstring(std::vector<Sequence>& args, FnContext&) {
     }
     len = NumberOf(a2[0].atomic());
   }
-  long long from = static_cast<long long>(std::llround(start));
+  // F&O §5.4.3: keep the characters at 1-based positions p with
+  //   fn:round(start) <= p < fn:round(start) + fn:round(length)
+  // evaluated in xs:double arithmetic. fn:round is floor(x + 0.5), which
+  // passes NaN and ±INF through, so a NaN bound fails both comparisons and
+  // yields "" — the arithmetic must never round-trip through integers
+  // (llround on NaN/±INF is undefined behaviour).
+  const auto xs_round = [](double x) { return std::floor(x + 0.5); };
+  const double from = xs_round(start);
+  // Two-arg form has no upper bound; the three-arg bound is
+  // round(start) + round(length), so (-INF, +INF) gives -INF + INF = NaN
+  // and an empty result, exactly as the spec's examples require.
+  const double to = args.size() == 3
+                        ? from + xs_round(len)
+                        : std::numeric_limits<double>::infinity();
   std::string out;
-  for (long long i = 0; i < static_cast<long long>(s.size()); ++i) {
-    double pos = static_cast<double>(i + 1);
-    if (pos >= static_cast<double>(from) &&
-        pos < static_cast<double>(from) + len) {
-      out.push_back(s[static_cast<size_t>(i)]);
-    }
+  for (size_t i = 0; i < s.size(); ++i) {
+    const double pos = static_cast<double>(i) + 1.0;
+    if (pos >= from && pos < to) out.push_back(s[i]);
   }
   return Sequence{Item(AtomicValue::String(std::move(out)))};
 }
@@ -532,12 +542,18 @@ Result<Sequence> FnSubsequence(std::vector<Sequence>& args, FnContext&) {
     }
     len = NumberOf(a2[0].atomic());
   }
+  // Same selection rule as fn:substring (F&O §15.1.10 defines it with
+  // fn:round, i.e. floor(x + 0.5) — not std::round, which breaks ties away
+  // from zero): round(start) <= p < round(start) + round(length).
+  const auto xs_round = [](double x) { return std::floor(x + 0.5); };
+  const double from = xs_round(start);
+  const double to = args.size() == 3
+                        ? from + xs_round(len)
+                        : std::numeric_limits<double>::infinity();
   Sequence out;
   for (size_t i = 0; i < args[0].size(); ++i) {
-    double pos = static_cast<double>(i + 1);
-    if (pos >= std::round(start) && pos < std::round(start) + len) {
-      out.push_back(args[0][i]);
-    }
+    const double pos = static_cast<double>(i) + 1.0;
+    if (pos >= from && pos < to) out.push_back(args[0][i]);
   }
   return out;
 }

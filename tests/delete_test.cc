@@ -50,7 +50,7 @@ TEST_F(DeleteFixture, DeleteMaintainsXmlIndex) {
   auto before = db_.ExecuteXQuery(q);
   ASSERT_TRUE(before.ok());
   EXPECT_EQ(before->rows.size(), 4u);  // prices 600..900
-  EXPECT_EQ(before->stats.rows_prefiltered, 4);
+  EXPECT_EQ(before->stats.index_docs_returned, 4);
 
   Exec("DELETE FROM orders WHERE XMLEXISTS("
        "'$o//lineitem[@price > 700]' passing orddoc as \"o\")");
@@ -58,7 +58,7 @@ TEST_F(DeleteFixture, DeleteMaintainsXmlIndex) {
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->rows.size(), 2u);  // 600, 700 remain
   // The index was maintained: the probe itself admits only live rows.
-  EXPECT_EQ(after->stats.rows_prefiltered, 2);
+  EXPECT_EQ(after->stats.index_docs_returned, 2);
 
   auto table = db_.catalog().GetTable("ORDERS");
   ASSERT_TRUE(table.ok());

@@ -83,7 +83,7 @@ TEST_F(PaperFixture, Query1IndexEligibleAndCorrect) {
             std::string::npos);
   auto r = XQuery(q);
   EXPECT_EQ(r.rows.size(), 1u);  // Only order 1.
-  EXPECT_EQ(r.stats.rows_prefiltered, 1);  // Index admitted only order 1.
+  EXPECT_EQ(r.stats.index_docs_returned, 1);  // Index admitted only order 1.
 }
 
 TEST_F(PaperFixture, Query2WildcardIneligibleButCorrect) {

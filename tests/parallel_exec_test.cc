@@ -138,9 +138,9 @@ TEST_F(ParallelExecTest, ParallelIndexBuildMatchesSerial) {
       Sql(parallel_db.get(), kScanQuery, &parallel_stats);
 
   EXPECT_EQ(serial, parallel);
-  EXPECT_EQ(serial_stats.index_entries, parallel_stats.index_entries);
-  EXPECT_EQ(serial_stats.rows_prefiltered, parallel_stats.rows_prefiltered);
-  EXPECT_GT(serial_stats.index_entries, 0)
+  EXPECT_EQ(serial_stats.index_entries_probed, parallel_stats.index_entries_probed);
+  EXPECT_EQ(serial_stats.index_docs_returned, parallel_stats.index_docs_returned);
+  EXPECT_GT(serial_stats.index_entries_probed, 0)
       << "probe should have used the index";
 }
 
@@ -173,7 +173,7 @@ TEST_F(ParallelExecTest, DdlInvalidatesCachedPlans) {
   ExecStats stats;
   const std::string replanned = Sql(db.get(), kScanQuery, &stats);
   EXPECT_EQ(stats.plan_cache_hits, 0) << "stale plan must not be reused";
-  EXPECT_GT(stats.index_entries, 0) << "re-planned query should probe index";
+  EXPECT_GT(stats.index_entries_probed, 0) << "re-planned query should probe index";
   EXPECT_GE(db->query_cache_stats().invalidated, 1u);
 
   // And the re-planned entry is itself cacheable.

@@ -1,0 +1,295 @@
+// EXPLAIN ANALYZE / tracing subsystem tests: the per-query ExecStats
+// counters audit the paper's Definition 1 at execution time (an eligible
+// probe touches only matching documents; the ineligible formulation visits
+// the whole collection), the trace sink captures JSON records, and the
+// metrics registry interns process-wide counters.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/database.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
+
+namespace xqdb {
+namespace {
+
+constexpr int kCollectionSize = 10;
+
+/// orders with prices 100, 200, ..., 1000: predicates over @price have an
+/// exactly countable matching set.
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Exec("CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+    for (int i = 1; i <= kCollectionSize; ++i) {
+      Exec("INSERT INTO orders VALUES (" + std::to_string(i) +
+           ", '<order><custid>" + std::to_string(i) +
+           "</custid><lineitem price=\"" + std::to_string(i * 100) +
+           "\"/></order>')");
+    }
+    Exec("CREATE INDEX li_price ON orders(orddoc) "
+         "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE");
+  }
+
+  void Exec(const std::string& sql) {
+    auto rs = db_.ExecuteSql(sql);
+    ASSERT_TRUE(rs.ok()) << sql << ": " << rs.status().ToString();
+  }
+
+  Database db_;
+};
+
+// ----- Eligibility vs counters (Definition 1, by numbers) -------------------
+
+TEST_F(TraceFixture, EligibleProbeTouchesOnlyMatchingDocs) {
+  // @price > 750 matches exactly {800, 900, 1000} — three documents.
+  auto xr = db_.ExecuteXQuery(
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "//order[lineitem/@price > 750] return $o/custid");
+  ASSERT_TRUE(xr.ok()) << xr.status().ToString();
+  EXPECT_EQ(xr->rows.size(), 3u);
+  EXPECT_EQ(xr->stats.index_docs_returned, 3);
+  EXPECT_GE(xr->stats.index_entries_probed, 3);
+  // The index pre-filter means no document was visited blind.
+  EXPECT_EQ(xr->stats.docs_scanned, 0);
+}
+
+TEST_F(TraceFixture, IneligiblePredicateScansWholeCollection) {
+  // '!=' is ineligible on a DOUBLE index (it selects NaN and uncastable
+  // values the index omits), so the same collection is scanned in full.
+  auto xr = db_.ExecuteXQuery(
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "//order[lineitem/@price != 750] return $o/custid");
+  ASSERT_TRUE(xr.ok()) << xr.status().ToString();
+  EXPECT_EQ(xr->rows.size(), static_cast<size_t>(kCollectionSize));
+  EXPECT_EQ(xr->stats.docs_scanned, kCollectionSize);
+  EXPECT_EQ(xr->stats.index_docs_returned, 0);
+  EXPECT_EQ(xr->stats.index_entries_probed, 0);
+}
+
+TEST_F(TraceFixture, ForcedScanReportsCollectionScan) {
+  ExecOptions scan;
+  scan.force_scan = true;
+  auto xr = db_.ExecuteXQuery(
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "//order[lineitem/@price > 750] return $o/custid",
+      scan);
+  ASSERT_TRUE(xr.ok()) << xr.status().ToString();
+  EXPECT_EQ(xr->rows.size(), 3u);
+  EXPECT_EQ(xr->stats.docs_scanned, kCollectionSize);
+  EXPECT_EQ(xr->stats.index_docs_returned, 0);
+}
+
+// ----- EXPLAIN ANALYZE rendering --------------------------------------------
+
+TEST_F(TraceFixture, ExplainAnalyzeXQueryAnnotatesPlanWithCounters) {
+  auto r = db_.ExplainAnalyzeXQuery(
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "//order[lineitem/@price > 750] return $o/custid");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->find("XML INDEX RANGE SCAN LI_PRICE"), std::string::npos) << *r;
+  EXPECT_NE(r->find("runtime:"), std::string::npos) << *r;
+  EXPECT_NE(r->find("index_docs_returned = 3"), std::string::npos) << *r;
+  EXPECT_NE(r->find("time: parse"), std::string::npos) << *r;
+}
+
+TEST_F(TraceFixture, ExplainAnalyzeSqlAnnotatesPlanWithCounters) {
+  auto r = db_.ExplainAnalyzeSql(
+      "SELECT ordid FROM orders WHERE XMLEXISTS("
+      "'$o//lineitem[@price > 750]' passing orddoc as \"o\")");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->find("runtime:"), std::string::npos) << *r;
+  EXPECT_NE(r->find("index_entries_probed"), std::string::npos) << *r;
+  EXPECT_NE(r->find("time: parse"), std::string::npos) << *r;
+}
+
+TEST_F(TraceFixture, ExplainAnalyzeSqlOnDdlReportsNoPlan) {
+  Database fresh;
+  auto r = fresh.ExplainAnalyzeSql(
+      "CREATE TABLE t2 (id INTEGER, doc XML)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->find("no access plan"), std::string::npos) << *r;
+  EXPECT_NE(r->find("runtime:"), std::string::npos) << *r;
+}
+
+// ----- Phase timings and the plan cache -------------------------------------
+
+TEST_F(TraceFixture, ColdExecutionTimesEveryPhase) {
+  ExecOptions cold;
+  cold.disable_cache = true;
+  auto rs = db_.ExecuteSql(
+      "SELECT ordid FROM orders WHERE XMLEXISTS("
+      "'$o//lineitem[@price > 350]' passing orddoc as \"o\")",
+      cold);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_GT(rs->stats.parse_ns, 0);
+  EXPECT_GT(rs->stats.exec_ns, 0);
+  EXPECT_GE(rs->stats.total_ns,
+            rs->stats.parse_ns + rs->stats.plan_ns + rs->stats.exec_ns);
+}
+
+TEST_F(TraceFixture, CacheHitSkipsParseAndPlanPhases) {
+  const std::string q =
+      "SELECT ordid FROM orders WHERE XMLEXISTS("
+      "'$o//lineitem[@price > 450]' passing orddoc as \"o\")";
+  ASSERT_TRUE(db_.ExecuteSql(q).ok());  // compile into the cache
+  auto hit = db_.ExecuteSql(q);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->stats.plan_cache_hits, 1);
+  EXPECT_EQ(hit->stats.parse_ns, 0);
+  EXPECT_EQ(hit->stats.plan_ns, 0);
+  EXPECT_GT(hit->stats.total_ns, 0);
+}
+
+TEST(TracePoolTest, PoolTasksMeteredOnParallelScan) {
+  // Needs a collection above the executor's parallel-row threshold (64)
+  // for the scan to fan out at all.
+  Database db;
+  ASSERT_TRUE(
+      db.ExecuteSql("CREATE TABLE orders (ordid INTEGER, orddoc XML)").ok());
+  for (int i = 1; i <= 200; ++i) {
+    ASSERT_TRUE(db.ExecuteSql("INSERT INTO orders VALUES (" +
+                              std::to_string(i) +
+                              ", '<order><lineitem price=\"" +
+                              std::to_string(i) + "\"/></order>')")
+                    .ok());
+  }
+  ThreadPool::SetGlobalThreads(4);
+  ExecOptions scan;
+  scan.force_scan = true;
+  auto rs = db.ExecuteSql(
+      "SELECT ordid FROM orders WHERE XMLEXISTS("
+      "'$o//lineitem[@price > 150]' passing orddoc as \"o\")",
+      scan);
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // The forced scan fans its row chunks out on the pool; the per-query
+  // delta of the dispatch counter must have seen them.
+  EXPECT_GT(rs->stats.pool_tasks, 0);
+}
+
+// ----- Index build counters (DDL-side observability) ------------------------
+
+TEST(TraceBuildTest, CreateIndexReportsNfaMatchesAndCastSkips) {
+  Database db;
+  ASSERT_TRUE(
+      db.ExecuteSql("CREATE TABLE orders (ordid INTEGER, orddoc XML)").ok());
+  ASSERT_TRUE(db.ExecuteSql("INSERT INTO orders VALUES (1, "
+                            "'<order><lineitem price=\"10\"/></order>')")
+                  .ok());
+  ASSERT_TRUE(db.ExecuteSql("INSERT INTO orders VALUES (2, "
+                            "'<order><lineitem price=\"20 USD\"/></order>')")
+                  .ok());
+  ASSERT_TRUE(db.ExecuteSql("INSERT INTO orders VALUES (3, "
+                            "'<order><lineitem price=\"30\"/></order>')")
+                  .ok());
+  auto rs = db.ExecuteSql(
+      "CREATE INDEX li_price ON orders(orddoc) "
+      "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // Three @price nodes matched the pattern; '20 USD' was tolerantly
+  // skipped (the paper's §2.2 behaviour), so two entries were built.
+  EXPECT_EQ(rs->stats.nfa_matches, 3);
+  EXPECT_EQ(rs->stats.cast_failures, 1);
+}
+
+// ----- Trace sink -----------------------------------------------------------
+
+TEST_F(TraceFixture, TraceSinkReceivesJsonRecord) {
+  std::vector<std::string> records;
+  SetTraceSinkForTesting(
+      [&records](const std::string& line) { records.push_back(line); });
+  ExecOptions traced;
+  traced.trace = true;
+  auto xr = db_.ExecuteXQuery(
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "//order[lineitem/@price > 750] return $o/custid",
+      traced);
+  SetTraceSinkForTesting(nullptr);
+  ASSERT_TRUE(xr.ok()) << xr.status().ToString();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(records[0].find("\"kind\": \"xquery\""), std::string::npos)
+      << records[0];
+  EXPECT_NE(records[0].find("\"ok\": true"), std::string::npos) << records[0];
+  EXPECT_NE(records[0].find("\"index_docs_returned\": 3"), std::string::npos)
+      << records[0];
+  EXPECT_NE(records[0].find("\"plan\""), std::string::npos) << records[0];
+}
+
+TEST_F(TraceFixture, TraceSinkRecordsFailuresWithError) {
+  std::vector<std::string> records;
+  SetTraceSinkForTesting(
+      [&records](const std::string& line) { records.push_back(line); });
+  ExecOptions traced;
+  traced.trace = true;
+  auto rs = db_.ExecuteSql("SELECT nonsense FROM nowhere??", traced);
+  SetTraceSinkForTesting(nullptr);
+  ASSERT_FALSE(rs.ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(records[0].find("\"ok\": false"), std::string::npos) << records[0];
+  EXPECT_NE(records[0].find("\"error\""), std::string::npos) << records[0];
+}
+
+TEST_F(TraceFixture, UntracedExecutionEmitsNothing) {
+  std::vector<std::string> records;
+  SetTraceSinkForTesting(
+      [&records](const std::string& line) { records.push_back(line); });
+  auto rs = db_.ExecuteSql("SELECT ordid FROM orders");
+  SetTraceSinkForTesting(nullptr);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(records.empty());
+}
+
+// ----- Metrics registry -----------------------------------------------------
+
+TEST(MetricsTest, CountersInternByName) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.interned");
+  Counter* b = MetricsRegistry::Global().GetCounter("test.interned");
+  EXPECT_EQ(a, b);
+  long long before = a->value();
+  b->Add(5);
+  b->Increment();
+  EXPECT_EQ(a->value(), before + 6);
+}
+
+TEST(MetricsTest, HistogramBucketsAndQuantiles) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.histo");
+  for (int i = 0; i < 100; ++i) h->Record(1);
+  h->Record(1000);
+  EXPECT_EQ(h->count(), 101);
+  EXPECT_EQ(h->sum(), 100 + 1000);
+  // p50 lands in the ones bucket; p99+ must reach the 1000 sample's
+  // power-of-two ceiling.
+  EXPECT_LE(h->ApproxQuantile(0.5), 1);
+  EXPECT_GE(h->ApproxQuantile(0.999), 1000);
+}
+
+TEST(MetricsTest, SnapshotJsonListsMetrics) {
+  MetricsRegistry::Global().GetCounter("test.snapshot")->Add(3);
+  std::string json = MetricsRegistry::Global().SnapshotJson();
+  EXPECT_NE(json.find("test.snapshot"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+}
+
+TEST(MetricsTest, QueryExecutionFeedsGlobalIndexMetrics) {
+  Counter* probes = MetricsRegistry::Global().GetCounter("index.nfa_matches");
+  long long before = probes->value();
+  Database db;
+  ASSERT_TRUE(
+      db.ExecuteSql("CREATE TABLE orders (ordid INTEGER, orddoc XML)").ok());
+  ASSERT_TRUE(db.ExecuteSql("INSERT INTO orders VALUES (1, "
+                            "'<order><lineitem price=\"10\"/></order>')")
+                  .ok());
+  ASSERT_TRUE(db.ExecuteSql("CREATE INDEX li_price ON orders(orddoc) "
+                            "USING XMLPATTERN '//lineitem/@price' "
+                            "AS SQL DOUBLE")
+                  .ok());
+  EXPECT_GE(probes->value(), before + 1);
+}
+
+}  // namespace
+}  // namespace xqdb

@@ -44,6 +44,41 @@ TEST(DateTimeTest, DateTimeRoundTrip) {
   EXPECT_EQ(FormatXsDateTime(secs), "2006-09-12T15:30:45Z");
 }
 
+TEST(DateTimeTest, EndOfDayForm) {
+  // XSD's 24:00:00 end-of-day form denotes midnight of the NEXT day.
+  EXPECT_EQ(*ParseXsDateTime("1970-01-01T24:00:00"), 86400);
+  EXPECT_EQ(*ParseXsDateTime("2006-03-15T24:00:00Z"),
+            *ParseXsDateTime("2006-03-16T00:00:00Z"));
+  EXPECT_EQ(*ParseXsDateTime("2006-12-31T24:00:00Z"),
+            *ParseXsDateTime("2007-01-01T00:00:00Z"));
+  // An all-zero fraction is still zero; anything else with hour 24 is not
+  // a legal instant.
+  EXPECT_TRUE(ParseXsDateTime("1970-01-01T24:00:00.000").has_value());
+  EXPECT_FALSE(ParseXsDateTime("1970-01-01T24:00:00.5").has_value());
+  EXPECT_FALSE(ParseXsDateTime("1970-01-01T24:00:01").has_value());
+  EXPECT_FALSE(ParseXsDateTime("1970-01-01T24:01:00").has_value());
+  EXPECT_FALSE(ParseXsDateTime("1970-01-01T25:00:00").has_value());
+  // Normalized values format in canonical (00:00:00-of-next-day) form.
+  EXPECT_EQ(FormatXsDateTime(*ParseXsDateTime("2006-03-15T24:00:00Z")),
+            "2006-03-16T00:00:00Z");
+}
+
+TEST(DateTimeTest, NegativeYearCanonicalForm) {
+  // XSD canonical form pads the year to four digits AFTER the sign:
+  // -0044-03-15, never -044-03-15.
+  auto days = ParseXsDate("-0044-03-15");
+  ASSERT_TRUE(days.has_value());
+  EXPECT_EQ(FormatXsDate(*days), "-0044-03-15");
+  auto secs = ParseXsDateTime("-0044-03-15T12:00:00Z");
+  ASSERT_TRUE(secs.has_value());
+  EXPECT_EQ(FormatXsDateTime(*secs), "-0044-03-15T12:00:00Z");
+  // Round-trips survive re-parsing the canonical output.
+  EXPECT_EQ(*ParseXsDate(FormatXsDate(*days)), *days);
+  EXPECT_EQ(*ParseXsDateTime(FormatXsDateTime(*secs)), *secs);
+  // Positive years are unchanged.
+  EXPECT_EQ(FormatXsDate(*ParseXsDate("0044-03-15")), "0044-03-15");
+}
+
 TEST(AtomicTest, LexicalForms) {
   EXPECT_EQ(AtomicValue::Double(100).Lexical(), "100");
   EXPECT_EQ(AtomicValue::Double(99.5).Lexical(), "99.5");

@@ -167,6 +167,33 @@ TEST_F(XQueryFixture, FlworOrderBy) {
   EXPECT_EQ(rows, (std::vector<std::string>{"25", "15", "5"}));
 }
 
+TEST_F(XQueryFixture, FlworOrderByNanKeySortsLeast) {
+  // XQuery §3.8.3: for order by, NaN equals itself and is less than every
+  // other non-empty value — it must form its own equivalence class, not
+  // compare "equal" to everything (which breaks strict weak ordering and
+  // is UB for the underlying stable sort).
+  Bind("d", "<o><li p=\"15\"/><li p=\"NaN\"/><li p=\"5\"/><li p=\"NaN\"/>"
+            "<li p=\"25\"/></o>");
+  auto rows = EvalStrings(
+      "for $x in $d/o/li order by $x/@p/xs:double(.) return "
+      "$x/@p/data(.)");
+  EXPECT_EQ(rows,
+            (std::vector<std::string>{"NaN", "NaN", "5", "15", "25"}));
+  rows = EvalStrings(
+      "for $x in $d/o/li order by $x/@p/xs:double(.) descending return "
+      "$x/@p/data(.)");
+  EXPECT_EQ(rows,
+            (std::vector<std::string>{"25", "15", "5", "NaN", "NaN"}));
+}
+
+TEST_F(XQueryFixture, FlworOrderByEmptyLessThanNan) {
+  // Empty-least ordering places the empty key below even NaN.
+  Bind("d", "<o><li p=\"NaN\"/><li/><li p=\"10\"/></o>");
+  auto rows = EvalStrings(
+      "for $x in $d/o/li order by $x/@p/xs:double(.) return fn:count($x/@p)");
+  EXPECT_EQ(rows, (std::vector<std::string>{"0", "1", "1"}));
+}
+
 TEST_F(XQueryFixture, QuantifiedExpressions) {
   Bind("d", "<o><li p=\"5\"/><li p=\"15\"/></o>");
   EXPECT_EQ(EvalOne("some $x in $d/o/li satisfies $x/@p > 10"), "true");
@@ -245,6 +272,32 @@ TEST_F(XQueryFixture, BuiltinFunctions) {
   EXPECT_EQ(EvalOne("fn:number(\"1e2\")"), "100");
   // 1 and "1" are incomparable types, hence distinct values.
   EXPECT_EQ(EvalStrings("fn:distinct-values((1, 2, 1, \"1\"))").size(), 3u);
+}
+
+TEST_F(XQueryFixture, SubstringFollowsSpecRounding) {
+  // F&O §5.4.3: characters at positions p with
+  // round(start) <= p < round(start) + round(length); round is half-up.
+  EXPECT_EQ(EvalOne("fn:substring(\"motor car\", 6)"), " car");
+  EXPECT_EQ(EvalOne("fn:substring(\"metadata\", 4, 7)"), "adata");
+  EXPECT_EQ(EvalOne("fn:substring(\"12345\", 1.5, 2.6)"), "234");
+  EXPECT_EQ(EvalOne("fn:substring(\"12345\", 0, 3)"), "12");
+  EXPECT_EQ(EvalOne("fn:substring(\"12345\", 5, -3)"), "");
+  EXPECT_EQ(EvalOne("fn:substring(\"12345\", -3, 5)"), "1");
+}
+
+TEST_F(XQueryFixture, SubstringNanAndInfinityArgs) {
+  // The spec's own special-value examples. A NaN bound fails every
+  // positional comparison (never UB: the old code fed NaN to llround).
+  EXPECT_EQ(EvalOne("fn:substring(\"12345\", xs:double(\"NaN\"))"), "");
+  EXPECT_EQ(EvalOne("fn:substring(\"12345\", 1, xs:double(\"NaN\"))"), "");
+  EXPECT_EQ(EvalOne("fn:substring(\"12345\", -42, xs:double(\"INF\"))"),
+            "12345");
+  // -INF + INF = NaN, so the unbounded-looking pair selects nothing.
+  EXPECT_EQ(EvalOne("fn:substring(\"12345\", xs:double(\"-INF\"), "
+                    "xs:double(\"INF\"))"),
+            "");
+  EXPECT_EQ(EvalOne("fn:substring(\"12345\", xs:double(\"-INF\"))"), "12345");
+  EXPECT_EQ(EvalOne("fn:substring(\"12345\", xs:double(\"INF\"))"), "");
 }
 
 TEST_F(XQueryFixture, CastFunctionsAndCastAs) {
@@ -329,6 +382,18 @@ TEST_F(XQueryFixture, SequenceFunctions) {
   EXPECT_EQ(rows, (std::vector<std::string>{"3", "2", "1"}));
   rows = EvalStrings("fn:subsequence((1, 2, 3, 4), 2, 2)");
   EXPECT_EQ(rows, (std::vector<std::string>{"2", "3"}));
+  // fn:subsequence rounds both arguments with fn:round (half toward +inf):
+  // round(1.5)=2, round(2.6)=3 selects positions 2..4.
+  rows = EvalStrings("fn:subsequence((1, 2, 3, 4, 5), 1.5, 2.6)");
+  EXPECT_EQ(rows, (std::vector<std::string>{"2", "3", "4"}));
+  // round(-0.5) = 0 under half-up (std::round would give -1 and admit one
+  // fewer item): positions p with 0 <= p < 4.
+  rows = EvalStrings("fn:subsequence((1, 2, 3, 4), -0.5, 4)");
+  EXPECT_EQ(rows, (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_TRUE(
+      EvalStrings("fn:subsequence((1, 2, 3), xs:double(\"NaN\"))").empty());
+  EXPECT_TRUE(
+      EvalStrings("fn:subsequence((1, 2, 3), 1, xs:double(\"NaN\"))").empty());
   rows = EvalStrings("fn:remove((1, 2, 3), 2)");
   EXPECT_EQ(rows, (std::vector<std::string>{"1", "3"}));
   rows = EvalStrings("fn:index-of((10, 20, 10), 10)");
