@@ -95,17 +95,37 @@ struct Row {
   double speedup_vs_1;
   std::string note;
   std::string counters;  // ExecStats::ToJson() of a representative run
+  std::string lint;      // JSON array of xqlint finding codes for the query
 };
+
+/// The xqlint finding codes for one benchmarked SQL query, as a JSON array
+/// ("[]" when the query lints clean). A pitfall creeping into a benchmark
+/// query shows up in the report next to the timings it distorts.
+std::string LintCodesJson(Database* db, const std::string& sql) {
+  std::string out = "[";
+  auto report = db->LintSql(sql);
+  if (report.ok()) {
+    bool first = true;
+    for (const auto& d : report->diagnostics) {
+      if (!first) out += ", ";
+      first = false;
+      out += std::string("\"") + xqdb::DiagCodeName(d.code) + "\"";
+    }
+  }
+  out += "]";
+  return out;
+}
 
 void AppendJson(std::string* out, const Row& r, bool last) {
   char buf[1024];
   std::snprintf(buf, sizeof(buf),
                 "    {\"name\": \"%s\", \"threads\": %zu, "
                 "\"ns_per_op\": %.0f, \"speedup_vs_1_thread\": %.3f, "
-                "\"note\": \"%s\", \"counters\": %s}%s\n",
+                "\"note\": \"%s\", \"counters\": %s, \"lint\": %s}%s\n",
                 r.name.c_str(), r.threads, r.ns_per_op, r.speedup_vs_1,
                 r.note.c_str(),
                 r.counters.empty() ? "{}" : r.counters.c_str(),
+                r.lint.empty() ? "[]" : r.lint.c_str(),
                 last ? "" : ",");
   *out += buf;
 }
@@ -129,6 +149,7 @@ int main(int argc, char** argv) {
   // --- Scan sweep: unindexed XMLEXISTS over the whole collection. -------
   {
     auto db = LoadDb();
+    const std::string scan_lint = LintCodesJson(db.get(), kScanSql);
     const std::vector<size_t> ladder = {1, 2, 4, 8};
     double base_ns = 0;
     std::string base_result;
@@ -157,7 +178,7 @@ int main(int argc, char** argv) {
       }
       rows.push_back({"scan_xmlexists", t, ns, base_ns / ns,
                       "identical results verified vs 1 thread",
-                      stats.ToJson()});
+                      stats.ToJson(), scan_lint});
       std::printf("scan   threads=%zu  %10.0f ns/op  speedup %.2fx\n", t, ns,
                   base_ns / ns);
     }
@@ -179,7 +200,7 @@ int main(int argc, char** argv) {
       if (t == 1) base_ns = ns;
       rows.push_back({"index_build", t, ns, base_ns / ns,
                       "includes workload load; build is the delta",
-                      stats.ToJson()});
+                      stats.ToJson(), "[]"});
       std::printf("build  threads=%zu  %10.0f ns/op  speedup %.2fx\n", t, ns,
                   base_ns / ns);
     }
@@ -210,12 +231,13 @@ int main(int argc, char** argv) {
       }
       warm_stats = rs->stats;
     });
+    const std::string cache_lint = LintCodesJson(db.get(), q);
     rows.push_back({"query_cold_parse_plan", 1, cold_ns, 1.0,
                     "first execution: parse + plan + run",
-                    cold_stats.ToJson()});
+                    cold_stats.ToJson(), cache_lint});
     rows.push_back({"query_cached_plan", 1, warm_ns, cold_ns / warm_ns,
                     "plan-cache hit verified via ExecStats",
-                    warm_stats.ToJson()});
+                    warm_stats.ToJson(), cache_lint});
     std::printf("cache  cold %10.0f ns  warm %10.0f ns  (%.2fx)\n", cold_ns,
                 warm_ns, cold_ns / warm_ns);
   }

@@ -1,0 +1,30 @@
+#ifndef XQDB_ANALYSIS_ANALYZER_H_
+#define XQDB_ANALYSIS_ANALYZER_H_
+
+#include <string_view>
+
+#include "analysis/diag.h"
+#include "sql/sql_ast.h"
+#include "storage/catalog.h"
+#include "xquery/parser.h"
+
+namespace xqdb {
+
+/// Lints a standalone XQuery against the paper's pitfall catalog (Tips
+/// 1–12) and, when `catalog` is non-null, explains per index which
+/// Definition 1 clause keeps it from serving each extracted predicate.
+/// Spans in the report index into `text`. Fix-its are *candidates*: the
+/// caller (Database::Lint*, xqlint) verifies result equivalence before
+/// surfacing them as applied.
+LintReport AnalyzeXQuery(const ParsedQuery& parsed, std::string_view text,
+                         const Catalog* catalog);
+
+/// Lints one SQL statement including every embedded XQuery (XMLEXISTS,
+/// XMLQUERY, XMLTABLE row and column paths). Spans point into `sql`;
+/// embedded-query spans are shifted by the string literal's offset.
+LintReport AnalyzeSqlStatement(const SqlStatement& stmt, std::string_view sql,
+                               const Catalog* catalog);
+
+}  // namespace xqdb
+
+#endif  // XQDB_ANALYSIS_ANALYZER_H_

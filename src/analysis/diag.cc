@@ -1,0 +1,230 @@
+#include "analysis/diag.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xqdb {
+
+namespace {
+
+constexpr DiagCodeInfo kTable[] = {
+    {DiagCode::kNone, "", Severity::kNote, "", ""},
+    {DiagCode::kXQL001_UntypedComparison, "XQL001", Severity::kWarning,
+     "untyped comparison cannot use the typed index",
+     "Tip 1, §3.1, Queries 3/4"},
+    {DiagCode::kXQL002_PredicateInSelect, "XQL002", Severity::kWarning,
+     "XMLQUERY in the SELECT list does not eliminate rows",
+     "Tip 2, §3.2, Query 5"},
+    {DiagCode::kXQL003_BooleanExistsBody, "XQL003", Severity::kError,
+     "XMLEXISTS over a boolean query is constant true",
+     "Tip 3, §3.2, Query 9"},
+    {DiagCode::kXQL004_XmlTableColumnPred, "XQL004", Severity::kWarning,
+     "predicate in an XMLTABLE column path never removes rows",
+     "Tip 4, §3.2, Query 12"},
+    {DiagCode::kXQL005_XQuerySideJoin, "XQL005", Severity::kWarning,
+     "cross-document join inside XQuery",
+     "Tips 5/6, §3.3, Queries 13–16"},
+    {DiagCode::kXQL006_JoinOrderUnavailable, "XQL006", Severity::kWarning,
+     "join probe impossible: outer side not available in join order",
+     "Tips 5/6, §3.3"},
+    {DiagCode::kXQL007_LetPreservesEmpty, "XQL007", Severity::kWarning,
+     "let preserves empty sequences; predicate does not filter",
+     "Tip 7, §3.4, Queries 18/21"},
+    {DiagCode::kXQL008_DocumentVsElement, "XQL008", Severity::kError,
+     "absolute path over a constructed element raises XPDY0050",
+     "Tip 8, §3.5, Queries 23–25"},
+    {DiagCode::kXQL009_ConstructionBarrier, "XQL009", Severity::kWarning,
+     "constructed view blocks index eligibility",
+     "Tip 9, §3.6, Queries 26/27"},
+    {DiagCode::kXQL010_NamespaceMismatch, "XQL010", Severity::kWarning,
+     "namespace mismatch between query path and index pattern",
+     "Tip 10, §3.7"},
+    {DiagCode::kXQL011_TextStepAlignment, "XQL011", Severity::kWarning,
+     "text() step misalignment between query path and index pattern",
+     "Tip 11, §3.8, Query 29"},
+    {DiagCode::kXQL012_AttributeAxis, "XQL012", Severity::kWarning,
+     "attribute step not reachable by the index pattern",
+     "Tip 12, §3.9"},
+    {DiagCode::kXQL013_NeIsExistential, "XQL013", Severity::kWarning,
+     "general '!=' is existential, not the negation of '='",
+     "§3.1; compare fn:not(... = ...)"},
+    {DiagCode::kXQL014_DateTimeLexical, "XQL014", Severity::kError,
+     "constant is not in the XML Schema date/dateTime lexical space",
+     "§3.1; xs:date/xs:dateTime lexical rules"},
+    {DiagCode::kXQL101_PatternMismatch, "XQL101", Severity::kNote,
+     "Definition 1: index pattern does not contain the query path",
+     "Def. 1 clause 1, §2.2"},
+    {DiagCode::kXQL102_TypeMismatch, "XQL102", Severity::kNote,
+     "Definition 1: index value type incompatible with the comparison",
+     "Def. 1 clause 2, §3.1"},
+    {DiagCode::kXQL103_OperatorUnbounded, "XQL103", Severity::kNote,
+     "Definition 1: operator cannot be bounded to an index range",
+     "Def. 1 clause 3"},
+    {DiagCode::kXQL104_NotDocumentEliminating, "XQL104", Severity::kNote,
+     "Definition 1: predicate is not document-eliminating",
+     "Def. 1 clause 4, §3.4"},
+};
+
+}  // namespace
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const DiagCodeInfo& DiagInfo(DiagCode code) {
+  for (const DiagCodeInfo& info : kTable) {
+    if (info.code == code) return info;
+  }
+  return kTable[0];
+}
+
+const char* DiagCodeName(DiagCode code) { return DiagInfo(code).name; }
+
+std::string DiagTag(DiagCode code) {
+  const char* name = DiagCodeName(code);
+  if (name[0] == '\0') return "";
+  return std::string("[") + name + "] ";
+}
+
+DiagCode DiagCodeOfNote(const std::string& note) {
+  if (note.size() < 8 || note[0] != '[' || note.compare(1, 3, "XQL") != 0 ||
+      note[7] != ']') {
+    return DiagCode::kNone;
+  }
+  const std::string name = note.substr(1, 6);
+  for (const DiagCodeInfo& info : kTable) {
+    if (info.code != DiagCode::kNone && name == info.name) return info.code;
+  }
+  return DiagCode::kNone;
+}
+
+bool LintReport::has_errors() const {
+  return CountAtLeast(Severity::kError) > 0;
+}
+
+size_t LintReport::CountAtLeast(Severity s) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (static_cast<int>(d.severity) >= static_cast<int>(s)) ++n;
+  }
+  return n;
+}
+
+std::string LintReport::Render(std::string_view query_text) const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += "  lint: ";
+    out += DiagCodeName(d.code);
+    out += " ";
+    out += SeverityName(d.severity);
+    if (d.span.IsValid() || d.span.begin > 0) {
+      out += " at " + LineColString(query_text, d.span.begin);
+    }
+    out += ": " + d.message;
+    const DiagCodeInfo& info = DiagInfo(d.code);
+    if (info.cite[0] != '\0') {
+      out += " (";
+      out += info.cite;
+      out += ")";
+    }
+    out += "\n";
+    if (!d.suggestion.empty()) {
+      out += "        suggestion: " + d.suggestion + "\n";
+    }
+    if (!d.fixed_query.empty()) {
+      out += "        fix (verified equivalent): " + d.fixed_query + "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string LintReport::ToJson(std::string_view query_text) const {
+  std::string out = "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i > 0) out += ", ";
+    LineCol lc = OffsetToLineCol(query_text, d.span.begin);
+    out += "{\"code\": \"";
+    out += DiagCodeName(d.code);
+    out += "\", \"severity\": \"";
+    out += SeverityName(d.severity);
+    out += "\", \"line\": " + std::to_string(lc.line);
+    out += ", \"column\": " + std::to_string(lc.column);
+    out += ", \"message\": \"";
+    AppendJsonEscaped(&out, d.message);
+    out += "\"";
+    if (!d.suggestion.empty()) {
+      out += ", \"suggestion\": \"";
+      AppendJsonEscaped(&out, d.suggestion);
+      out += "\"";
+    }
+    if (!d.fixed_query.empty()) {
+      out += ", \"fix\": \"";
+      AppendJsonEscaped(&out, d.fixed_query);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string ApplyFixEdits(const std::string& text,
+                          const std::vector<FixEdit>& edits) {
+  std::vector<FixEdit> sorted = edits;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FixEdit& a, const FixEdit& b) {
+              return a.span.begin > b.span.begin;
+            });
+  std::string out = text;
+  for (const FixEdit& e : sorted) {
+    size_t begin = std::min(e.span.begin, out.size());
+    size_t end = e.is_insert ? begin : std::min(e.span.end, out.size());
+    out.replace(begin, end - begin, e.replacement);
+  }
+  return out;
+}
+
+}  // namespace xqdb

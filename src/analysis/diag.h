@@ -1,0 +1,123 @@
+#ifndef XQDB_ANALYSIS_DIAG_H_
+#define XQDB_ANALYSIS_DIAG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/source_span.h"
+
+namespace xqdb {
+
+/// Stable diagnostic codes for the paper's pitfall catalog. XQL001–XQL012
+/// map one-to-one to Tips 1–12; XQL013/XQL014 cover pitfalls the paper
+/// discusses without a numbered tip. XQL101–XQL104 are the Definition 1
+/// clause taxonomy — the four reasons an XML value index can fail to
+/// pre-filter a predicate — shared by the planner, EXPLAIN, and the linter
+/// so all three name the same clause for the same rejection.
+enum class DiagCode {
+  kNone = 0,
+  // -- Pitfall rules (one per Tip) ----------------------------------------
+  kXQL001_UntypedComparison,     // Tip 1, §3.1: string-vs-double idiom
+  kXQL002_PredicateInSelect,     // Tip 2, §3.2, Query 5
+  kXQL003_BooleanExistsBody,     // Tip 3, §3.2, Query 9: constant-true trap
+  kXQL004_XmlTableColumnPred,    // Tip 4, §3.2, Query 12: NULL row survives
+  kXQL005_XQuerySideJoin,        // Tip 5, §3.3: cross-document join
+  kXQL006_JoinOrderUnavailable,  // Tip 6, §3.3: outer side not computable
+  kXQL007_LetPreservesEmpty,     // Tip 7, §3.4, Queries 18/21
+  kXQL008_DocumentVsElement,     // Tip 8, §3.5, Queries 23–25: XPDY0050
+  kXQL009_ConstructionBarrier,   // Tip 9, §3.6, Queries 26/27
+  kXQL010_NamespaceMismatch,     // Tip 10, §3.7
+  kXQL011_TextStepAlignment,     // Tip 11, §3.8, Query 29
+  kXQL012_AttributeAxis,         // Tip 12, §3.9: // never reaches attributes
+  kXQL013_NeIsExistential,       // '!=' vs fn:not(=) semantics
+  kXQL014_DateTimeLexical,       // bad date/dateTime lexical form
+  // -- Definition 1 clause taxonomy (eligibility explainer) ---------------
+  kXQL101_PatternMismatch,       // index pattern does not contain the path
+  kXQL102_TypeMismatch,          // index value type vs comparison type
+  kXQL103_OperatorUnbounded,     // '!=' probe cannot be bounded
+  kXQL104_NotDocumentEliminating,  // empty-preserving context
+};
+
+enum class Severity {
+  kNote,     // explainer output: why an index was rejected
+  kWarning,  // performance pitfall: query is correct but index-ineligible
+  kError,    // correctness pitfall: silently wrong results or runtime error
+};
+
+const char* SeverityName(Severity s);
+
+/// Static registry entry for one diagnostic code.
+struct DiagCodeInfo {
+  DiagCode code = DiagCode::kNone;
+  const char* name = "";   // "XQL001"
+  Severity severity = Severity::kWarning;
+  const char* title = "";  // short human title
+  const char* cite = "";   // paper citation: tip / section / query
+};
+
+/// Lookup in the static code table (kNone returns an empty entry).
+const DiagCodeInfo& DiagInfo(DiagCode code);
+
+/// "XQL001" for kXQL001_...; "" for kNone.
+const char* DiagCodeName(DiagCode code);
+
+/// "[XQL101] " — the tag prepended to planner/EXPLAIN notes so every
+/// surface (EXPLAIN, planner trace, xqlint) emits the identical code for
+/// the identical rejection. Empty string for kNone.
+std::string DiagTag(DiagCode code);
+
+/// Parses a "[XQLnnn]" tag at the front of a note; kNone if absent.
+DiagCode DiagCodeOfNote(const std::string& note);
+
+/// A machine-applicable textual edit: replace [span.begin, span.end) of the
+/// original query text with `replacement`. An insertion has an empty span
+/// (begin == end at the insertion point, still IsValid()==false — use
+/// `is_insert`).
+struct FixEdit {
+  SourceSpan span;
+  bool is_insert = false;  // insert at span.begin, replace nothing
+  std::string replacement;
+};
+
+/// One finding. `fix_edits` non-empty means the fix is machine-applicable
+/// and equivalence-preserving (verified by the caller before surfacing);
+/// `suggestion` is free-text advice for semantics-changing repairs that
+/// must stay human-applied (fixing them *changes results* — that is the
+/// bug being reported).
+struct Diagnostic {
+  DiagCode code = DiagCode::kNone;
+  Severity severity = Severity::kWarning;
+  SourceSpan span;     // into the linted query text ({0,0} = whole query)
+  std::string message;
+  std::string suggestion;
+  std::vector<FixEdit> fix_edits;
+  /// When the verified fix rewrites the whole query, the rewritten text.
+  std::string fixed_query;
+
+  bool has_fix() const { return !fix_edits.empty() || !fixed_query.empty(); }
+};
+
+/// The result of linting one query.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool has_errors() const;
+  size_t CountAtLeast(Severity s) const;
+
+  /// Multi-line human rendering: one "  lint: XQLnnn severity line:col
+  /// message (cite)" block per diagnostic, against the original text for
+  /// line/col resolution.
+  std::string Render(std::string_view query_text) const;
+
+  /// JSON array of diagnostic objects (xqlint --json, bench wiring).
+  std::string ToJson(std::string_view query_text) const;
+};
+
+/// Applies fix edits to `text` (edits must not overlap; applied back to
+/// front so offsets stay valid). Used by --fix and the fix round-trip test.
+std::string ApplyFixEdits(const std::string& text,
+                          const std::vector<FixEdit>& edits);
+
+}  // namespace xqdb
+
+#endif  // XQDB_ANALYSIS_DIAG_H_

@@ -1,0 +1,33 @@
+#ifndef XQDB_ANALYSIS_REWRITER_H_
+#define XQDB_ANALYSIS_REWRITER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "xquery/ast.h"
+
+namespace xqdb {
+
+/// The paper's Query 26→27 view-composition rewrite. Matches a path that
+/// navigates into a constructed view, selecting the content copies by the
+/// name the content path provably produces (E ends in child::c):
+///
+///   (for $b in SRC return <w>{E}</w>)/c[preds]/REST
+///
+/// and composes the navigation with the view definition:
+///
+///   for $b in SRC return (E)[preds]/REST
+///
+/// which exposes REST's predicates directly over the stored documents,
+/// restoring index eligibility (§3.6). Returns the replacement text for
+/// `path`'s span, or nullopt when the expression does not match the shape.
+/// `text` is the query text the AST's spans index into. The caller is
+/// responsible for verifying the rewrite is result-equivalent before
+/// surfacing it (node identity of the constructed copies is not preserved).
+std::optional<std::string> ComposeConstructedView(const Expr& path,
+                                                  std::string_view text);
+
+}  // namespace xqdb
+
+#endif  // XQDB_ANALYSIS_REWRITER_H_

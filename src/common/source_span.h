@@ -1,0 +1,59 @@
+#ifndef XQDB_COMMON_SOURCE_SPAN_H_
+#define XQDB_COMMON_SOURCE_SPAN_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace xqdb {
+
+/// A half-open byte range [begin, end) into the source text an AST node was
+/// parsed from. Spans are stored on the AST itself so they survive the
+/// compiled-query cache: the cache key is the exact query text, so a cached
+/// plan's spans always index into the text the caller just presented.
+///
+/// begin == end means "no span recorded" (the zero-initialized state);
+/// every real expression is at least one character wide.
+struct SourceSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool IsValid() const { return end > begin; }
+
+  /// Shifts the span by `delta` bytes (used to map a span inside an
+  /// embedded XQuery string literal into the enclosing SQL statement).
+  SourceSpan Offset(size_t delta) const {
+    if (!IsValid()) return *this;
+    return SourceSpan{begin + delta, end + delta};
+  }
+};
+
+/// 1-based line/column of a byte offset in `text` (columns count bytes).
+struct LineCol {
+  size_t line = 1;
+  size_t column = 1;
+};
+
+inline LineCol OffsetToLineCol(std::string_view text, size_t offset) {
+  LineCol lc;
+  if (offset > text.size()) offset = text.size();
+  for (size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') {
+      ++lc.line;
+      lc.column = 1;
+    } else {
+      ++lc.column;
+    }
+  }
+  return lc;
+}
+
+/// "line:col" rendering for diagnostics.
+inline std::string LineColString(std::string_view text, size_t offset) {
+  LineCol lc = OffsetToLineCol(text, offset);
+  return std::to_string(lc.line) + ":" + std::to_string(lc.column);
+}
+
+}  // namespace xqdb
+
+#endif  // XQDB_COMMON_SOURCE_SPAN_H_

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analysis/analyzer.h"
 #include "common/thread_pool.h"
 #include "core/planner.h"
 #include "observability/trace.h"
@@ -57,6 +58,36 @@ void FinishStats(ExecStats* stats, long long t0, long long parse_end,
 }
 
 constexpr char kNoPlanText[] = "  (DDL/DML statement — no access plan)\n";
+
+/// Per-cell display form of a result set, the equality the fix verifier
+/// uses (the same canonicalization the differential harness compares on).
+std::vector<std::vector<std::string>> DisplayRows(const ResultSet& rs) {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(rs.rows.size());
+  for (const auto& row : rs.rows) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (const SqlValue& v : row) r.push_back(v.ToDisplayString());
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void AppendLint(std::string* out, const std::string& lint) {
+  if (lint.empty()) return;
+  if (!out->empty() && out->back() != '\n') *out += '\n';
+  *out += lint;
+}
+
+/// Drops a diagnostic's candidate fix, leaving advice in its place.
+void DemoteFix(Diagnostic* d) {
+  d->fix_edits.clear();
+  if (d->suggestion.empty()) {
+    d->suggestion =
+        "a mechanical rewrite was considered but did not verify as "
+        "result-equivalent on the current data, so it is not offered";
+  }
+}
 
 }  // namespace
 
@@ -177,7 +208,9 @@ Result<std::string> Database::ExplainSql(const std::string& sql) {
   }
   Planner planner(&catalog_);
   XQDB_ASSIGN_OR_RETURN(SelectPlan plan, planner.PlanSelect(*stmt.select));
-  return plan.Explain(*stmt.select);
+  std::string out = plan.Explain(*stmt.select);
+  AppendLint(&out, AnalyzeSqlStatement(stmt, sql, &catalog_).Render(sql));
+  return out;
 }
 
 Result<std::string> Database::ExplainAnalyzeSql(const std::string& sql,
@@ -190,6 +223,7 @@ Result<std::string> Database::ExplainAnalyzeSql(const std::string& sql,
   if (!out.empty() && out.back() != '\n') out += '\n';
   out += "  runtime:\n";
   out += rs->stats.Render();
+  AppendLint(&out, RenderSqlLint(sql));
   return out;
 }
 
@@ -203,6 +237,7 @@ Result<std::string> Database::ExplainAnalyzeXQuery(const std::string& query,
   if (!out.empty() && out.back() != '\n') out += '\n';
   out += "  runtime:\n";
   out += res->stats.Render();
+  AppendLint(&out, RenderXQueryLint(query));
   return out;
 }
 
@@ -315,7 +350,72 @@ Result<std::string> Database::ExplainXQuery(const std::string& query) {
   XQDB_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseXQuery(query));
   Planner planner(&catalog_);
   XQDB_ASSIGN_OR_RETURN(XQueryPlan plan, planner.PlanXQuery(*parsed.body));
-  return plan.Explain();
+  std::string out = plan.Explain();
+  AppendLint(&out, AnalyzeXQuery(parsed, query, &catalog_).Render(query));
+  return out;
+}
+
+Result<LintReport> Database::LintSql(const std::string& sql) {
+  LintReport report;
+  if (auto cached = query_cache_.LookupSql(sql, catalog_.version())) {
+    report = AnalyzeSqlStatement(cached->stmt, sql, &catalog_);
+  } else {
+    XQDB_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
+    report = AnalyzeSqlStatement(stmt, sql, &catalog_);
+  }
+  for (Diagnostic& d : report.diagnostics) {
+    if (d.fix_edits.empty()) continue;
+    std::string fixed = ApplyFixEdits(sql, d.fix_edits);
+    auto orig = ExecuteSqlInternal(sql, {}, nullptr);
+    auto alt = ExecuteSqlInternal(fixed, {}, nullptr);
+    if (orig.ok() && alt.ok() && orig->columns == alt->columns &&
+        DisplayRows(*orig) == DisplayRows(*alt)) {
+      d.fixed_query = std::move(fixed);
+    } else {
+      DemoteFix(&d);
+    }
+  }
+  return report;
+}
+
+Result<LintReport> Database::LintXQuery(const std::string& query) {
+  LintReport report;
+  if (auto cached = query_cache_.LookupXQuery(query, catalog_.version())) {
+    report = AnalyzeXQuery(cached->parsed, query, &catalog_);
+  } else {
+    XQDB_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseXQuery(query));
+    report = AnalyzeXQuery(parsed, query, &catalog_);
+  }
+  for (Diagnostic& d : report.diagnostics) {
+    if (d.fix_edits.empty()) continue;
+    std::string fixed = ApplyFixEdits(query, d.fix_edits);
+    auto orig = ExecuteXQueryInternal(query, {});
+    auto alt = ExecuteXQueryInternal(fixed, {});
+    if (orig.ok() && alt.ok() && orig->rows == alt->rows) {
+      d.fixed_query = std::move(fixed);
+    } else {
+      DemoteFix(&d);
+    }
+  }
+  return report;
+}
+
+std::string Database::RenderSqlLint(const std::string& sql) {
+  if (auto cached = query_cache_.LookupSql(sql, catalog_.version())) {
+    return AnalyzeSqlStatement(cached->stmt, sql, &catalog_).Render(sql);
+  }
+  auto stmt = ParseSql(sql);
+  if (!stmt.ok()) return "";
+  return AnalyzeSqlStatement(*stmt, sql, &catalog_).Render(sql);
+}
+
+std::string Database::RenderXQueryLint(const std::string& query) {
+  if (auto cached = query_cache_.LookupXQuery(query, catalog_.version())) {
+    return AnalyzeXQuery(cached->parsed, query, &catalog_).Render(query);
+  }
+  auto parsed = ParseXQuery(query);
+  if (!parsed.ok()) return "";
+  return AnalyzeXQuery(*parsed, query, &catalog_).Render(query);
 }
 
 Result<ResultSet> Database::RunCreateTable(const CreateTableStmt& stmt) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diag.h"
 #include "common/result.h"
 #include "core/exec_options.h"
 #include "core/query_cache.h"
@@ -71,6 +72,16 @@ class Database {
                                      const ExecOptions& options = {});
   Result<std::string> ExplainXQuery(const std::string& query);
 
+  /// Lints one statement against the paper's pitfall catalog (Tips 1–12)
+  /// and explains, per candidate index, which Definition 1 clause keeps it
+  /// from serving each extracted predicate. Reuses the compiled-query
+  /// cache's AST when the query was executed before. Fix-its are verified
+  /// by differential execution — a candidate rewrite survives (as
+  /// Diagnostic::fixed_query) only if running both forms yields identical
+  /// results; non-equivalent candidates are dropped to a suggestion.
+  Result<LintReport> LintSql(const std::string& sql);
+  Result<LintReport> LintXQuery(const std::string& query);
+
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
@@ -104,6 +115,11 @@ class Database {
   Result<ResultSet> RunSelect(const SelectStmt& stmt, const SelectPlan& plan);
   Result<XQueryResult> RunXQuery(const ParsedQuery& parsed,
                                  const XQueryPlan& plan);
+
+  /// Unverified lint (no fix execution) rendered for EXPLAIN output;
+  /// empty string when there is nothing to report or the text won't parse.
+  std::string RenderSqlLint(const std::string& sql);
+  std::string RenderXQueryLint(const std::string& query);
 
   Catalog catalog_;
   QueryCache query_cache_;

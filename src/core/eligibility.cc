@@ -9,10 +9,13 @@ namespace xqdb {
 namespace {
 
 /// Index type required for a comparison type, or kVarchar for structural.
+/// On failure, fills the verdict's reason and Definition 1 clause code.
 bool TypeCompatible(IndexValueType index_type, const ExtractedPredicate& pred,
-                    std::string* why_not) {
+                    EligibilityVerdict* verdict) {
+  std::string* why_not = &verdict->reason;
   if (!pred.has_value) {
     if (index_type != IndexValueType::kVarchar) {
+      verdict->code = DiagCode::kXQL102_TypeMismatch;
       *why_not =
           "structural predicate needs a VARCHAR index (only it contains all "
           "matching nodes regardless of value, §2.2)";
@@ -26,12 +29,14 @@ bool TypeCompatible(IndexValueType index_type, const ExtractedPredicate& pred,
     // the nodes that fail the tolerant cast (nor NaN, which '!=' *does*
     // select: NaN != x is true). Only a VARCHAR index holds every matching
     // node (§2.2), so only it can pre-filter '!=' without dropping rows.
+    verdict->code = DiagCode::kXQL103_OperatorUnbounded;
     *why_not =
         "'!=' predicate: a " + std::string(IndexValueTypeName(index_type)) +
         " index omits non-castable and NaN values, which '!=' selects — "
         "only a VARCHAR index contains every matching node (Def. 1)";
     return false;
   }
+  verdict->code = DiagCode::kXQL102_TypeMismatch;
   switch (pred.comparison_type) {
     case AtomicType::kDouble:
       if (index_type != IndexValueType::kDouble) {
@@ -42,7 +47,7 @@ bool TypeCompatible(IndexValueType index_type, const ExtractedPredicate& pred,
             "1000) and may order values differently (§3.1)";
         return false;
       }
-      return true;
+      break;
     case AtomicType::kString:
       if (index_type != IndexValueType::kVarchar) {
         *why_not =
@@ -52,23 +57,25 @@ bool TypeCompatible(IndexValueType index_type, const ExtractedPredicate& pred,
             "(§3.1, Query 3)";
         return false;
       }
-      return true;
+      break;
     case AtomicType::kDate:
       if (index_type != IndexValueType::kDate) {
         *why_not = "date comparison requires a DATE index";
         return false;
       }
-      return true;
+      break;
     case AtomicType::kDateTime:
       if (index_type != IndexValueType::kTimestamp) {
         *why_not = "dateTime comparison requires a TIMESTAMP index";
         return false;
       }
-      return true;
+      break;
     default:
       *why_not = "unsupported comparison type";
       return false;
   }
+  verdict->code = DiagCode::kNone;
+  return true;
 }
 
 /// Converts one comparison op + constant into probe bounds.
@@ -104,20 +111,20 @@ EligibilityVerdict CheckEligibility(const XmlIndex& index,
   EligibilityVerdict verdict;
   auto contains = PatternContains(index.pattern(), pred.path);
   if (!contains.ok()) {
+    verdict.code = DiagCode::kXQL101_PatternMismatch;
     verdict.reason = "containment check failed: " +
                      contains.status().ToString();
     return verdict;
   }
   if (!contains.value()) {
+    verdict.code = DiagCode::kXQL101_PatternMismatch;
     verdict.reason =
         "index pattern '" + index.pattern().source_text +
         "' does not contain the query path " + pred.path_text +
         " — some qualifying nodes would be missing from the index (Def. 1)";
     return verdict;
   }
-  std::string why_not;
-  if (!TypeCompatible(index.type(), pred, &why_not)) {
-    verdict.reason = why_not;
+  if (!TypeCompatible(index.type(), pred, &verdict)) {
     return verdict;
   }
   verdict.eligible = true;
@@ -177,8 +184,9 @@ AccessPath ChooseAccessPathImpl(const std::vector<const XmlIndex*>& indexes,
                              pred.description);
         break;
       }
-      path.notes.push_back("ineligible: " + index->name() + " for " +
-                           pred.description + " — " + verdict.reason);
+      path.notes.push_back(DiagTag(verdict.code) + "ineligible: " +
+                           index->name() + " for " + pred.description +
+                           " — " + verdict.reason);
     }
     (void)matched;
   }
@@ -273,8 +281,9 @@ AccessPath ChooseAccessPathImpl(const std::vector<const XmlIndex*>& indexes,
       as_pred.comparison_type = join.comparison_type;
       EligibilityVerdict verdict = CheckEligibility(*index, as_pred);
       if (!verdict.eligible) {
-        path.notes.push_back("ineligible (join): " + index->name() + " for " +
-                             join.description + " — " + verdict.reason);
+        path.notes.push_back(DiagTag(verdict.code) + "ineligible (join): " +
+                             index->name() + " for " + join.description +
+                             " — " + verdict.reason);
         continue;
       }
       path.kind = AccessPath::Kind::kIndexJoinProbe;

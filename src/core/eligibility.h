@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diag.h"
 #include "core/predicate_extract.h"
 #include "index/xml_index.h"
 #include "sql/plan.h"
@@ -11,9 +12,14 @@
 namespace xqdb {
 
 /// The verdict for one (index, predicate) pair, with the reason — the
-/// paper's Definition 1 made executable.
+/// paper's Definition 1 made executable. An ineligible verdict carries the
+/// Definition 1 clause that rejected it as a stable diagnostic code
+/// (XQL101 pattern containment, XQL102 type compatibility, XQL103
+/// unbounded operator) so the planner trace, EXPLAIN, and xqlint all name
+/// the same clause for the same rejection.
 struct EligibilityVerdict {
   bool eligible = false;
+  DiagCode code = DiagCode::kNone;
   std::string reason;
 };
 

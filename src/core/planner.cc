@@ -143,6 +143,7 @@ Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) const {
         if (!col.has_value()) continue;
         if (!filtering) {
           merged.notes.push_back(
+              DiagTag(DiagCode::kXQL002_PredicateInSelect) +
               std::string(context_desc) +
               " does not eliminate rows — its predicates on " + ref.alias +
               "." + *col + " are not index eligible");
@@ -163,6 +164,7 @@ Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) const {
           int outer_ref = var != nullptr ? passing_ref_index(q, *var) : -1;
           if (outer_ref < 0 || outer_ref >= static_cast<int>(i)) {
             merged.notes.push_back(
+                DiagTag(DiagCode::kXQL006_JoinOrderUnavailable) +
                 "join candidate " + jc.description +
                 " skipped: the outer side is not available before this "
                 "table in the join order");
@@ -194,6 +196,7 @@ Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) const {
           if (!col.for_ordinality && col.path_text.find('[') !=
                                          std::string::npos) {
             merged.notes.push_back(
+                DiagTag(DiagCode::kXQL004_XmlTableColumnPred) +
                 "XMLTABLE column '" + col.name + "' PATH '" + col.path_text +
                 "': an empty column result becomes NULL, the row survives — "
                 "column predicates are not index eligible (Tip 4, Query 12)");

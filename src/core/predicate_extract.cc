@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/diag.h"
 #include "xdm/cast.h"
 
 namespace xqdb {
@@ -80,7 +81,7 @@ class Extractor {
             const std::vector<std::string>& column_vars)
       : table_(std::move(table)), column_(std::move(column)) {
     for (const std::string& var : column_vars) {
-      env_[var] = Steps{};
+      env_[var] = BoundVar{Steps{}, nullptr};
     }
   }
 
@@ -213,7 +214,17 @@ class Extractor {
     if (e.kind == ExprKind::kVarRef) {
       auto it = env_.find(e.var);
       if (it == env_.end()) return std::nullopt;
-      return ResolvedPath{it->second, false, std::nullopt};
+      if (filtering && it->second.def != nullptr &&
+          resolving_.insert(e.var).second) {
+        // A filtering use of the variable (`where exists($v)`, a for-clause
+        // source) eliminates the empty sequence the binding preserved, so
+        // predicates written inside the binding's path become
+        // document-eliminating after all (Tip 7, Query 21): re-resolve the
+        // definition in filtering mode to extract them.
+        ResolveExpr(*it->second.def, nullptr, /*filtering=*/true);
+        resolving_.erase(e.var);
+      }
+      return ResolvedPath{it->second.steps, false, std::nullopt};
     }
     if (e.kind == ExprKind::kXmlColumn) {
       if (e.table_name != table_ || e.column_name != column_) {
@@ -388,6 +399,7 @@ class Extractor {
     }
     if (lpath.has_value() && rpath.has_value()) {
       out_.notes.push_back(
+          DiagTag(DiagCode::kXQL005_XQuerySideJoin) +
           "join predicate between two XML paths (" +
           PatternToString(MakePattern({lpath->steps})) + " vs other side); "
           "no constant to probe with — index-nested-loop is the planner's "
@@ -494,7 +506,7 @@ class Extractor {
         // some $v in rel-path satisfies pred: existential, filtering.
         auto domain = ResolveExpr(*e.children[0], &ctx, /*filtering=*/true);
         if (domain.has_value() && !e.quantifier_every) {
-          env_[e.var] = domain->steps;
+          env_[e.var] = BoundVar{domain->steps, nullptr};
           AnalyzePredicateInner(*e.children[1], domain->steps, sink);
           env_.erase(e.var);
         }
@@ -545,7 +557,7 @@ class Extractor {
         auto domain =
             ResolveExpr(*e.children[0], nullptr, /*filtering=*/true);
         if (domain.has_value() && !e.quantifier_every) {
-          env_[e.var] = domain->steps;
+          env_[e.var] = BoundVar{domain->steps, nullptr};
           AnalyzePredicateInner(*e.children[1], domain->steps, sink);
           env_.erase(e.var);
         }
@@ -574,12 +586,13 @@ class Extractor {
       }
       case ExprKind::kFlwor: {
         std::vector<std::string> bound_here;
+        std::vector<std::string> unchecked_lets;
         for (const FlworClause& clause : e.clauses) {
           auto p = ResolveExpr(*clause.expr, nullptr,
                                clause.kind == FlworClause::Kind::kFor);
           if (!p.has_value()) continue;
           if (clause.kind == FlworClause::Kind::kFor) {
-            env_[clause.var] = p->steps;
+            env_[clause.var] = BoundVar{p->steps, clause.expr.get()};
             bound_here.push_back(clause.var);
             if (!p->steps.empty()) {
               std::vector<ExtractedPredicate> sink;
@@ -592,16 +605,21 @@ class Extractor {
             // A let binding preserves empty sequences: its predicates do
             // not filter documents unless a where clause eliminates the
             // empty case (§3.4, Q18 vs Q21).
-            env_[clause.var] = p->steps;
+            env_[clause.var] = BoundVar{p->steps, clause.expr.get()};
             bound_here.push_back(clause.var);
-            if (PathHasPredicates(*clause.expr)) {
-              out_.notes.push_back(
-                  "let $" + clause.var +
-                  " binds a predicated path but let preserves empty "
-                  "sequences — predicate not index eligible unless checked "
-                  "in a where clause (Tip 7, §3.4)");
+            if (PathHasPredicates(*clause.expr) &&
+                (e.where == nullptr || !ReferencesVar(*e.where, clause.var))) {
+              unchecked_lets.push_back(clause.var);
             }
           }
+        }
+        for (const std::string& var : unchecked_lets) {
+          out_.notes.push_back(
+              DiagTag(DiagCode::kXQL104_NotDocumentEliminating) + "let $" +
+              var +
+              " binds a predicated path but let preserves empty "
+              "sequences — predicate not index eligible unless checked "
+              "in a where clause (Tip 7, §3.4)");
         }
         if (e.where != nullptr) AnalyzeWhere(*e.where);
         AnalyzeReturn(*e.children[0]);
@@ -615,6 +633,7 @@ class Extractor {
       case ExprKind::kValueCompare:
       case ExprKind::kQuantified:
         out_.notes.push_back(
+            DiagTag(DiagCode::kXQL003_BooleanExistsBody) +
             "query result is a boolean value — a boolean is one item, so "
             "XMLEXISTS over it never filters (always true); wrap the "
             "predicate in a path or FLWOR instead (Tip 3, Query 9)");
@@ -628,6 +647,7 @@ class Extractor {
     if (e.kind == ExprKind::kDirectElement || ContainsConstructor(e)) {
       if (PathHasPredicates(e)) {
         out_.notes.push_back(
+            DiagTag(DiagCode::kXQL104_NotDocumentEliminating) +
             "predicates inside element constructors in the return clause "
             "have outer-join semantics (an empty result still constructs an "
             "element) — not index eligible (Tip 7, Query 19)");
@@ -644,6 +664,37 @@ class Extractor {
     if (e.kind == ExprKind::kFlwor || e.kind == ExprKind::kSequence) {
       AnalyzeFiltering(e);
     }
+  }
+
+  /// True when `e` references $var (FLWOR clause/where subtrees included;
+  /// shadowing inner rebindings are rare enough to ignore conservatively).
+  static bool ReferencesVar(const Expr& e, const std::string& var) {
+    if (e.kind == ExprKind::kVarRef && e.var == var) return true;
+    for (const auto& c : e.children) {
+      if (c != nullptr && ReferencesVar(*c, var)) return true;
+    }
+    if (e.kind == ExprKind::kFlwor) {
+      for (const auto& clause : e.clauses) {
+        if (clause.expr != nullptr && ReferencesVar(*clause.expr, var)) {
+          return true;
+        }
+      }
+      if (e.where != nullptr && ReferencesVar(*e.where, var)) return true;
+    }
+    if (e.kind == ExprKind::kPath) {
+      if (e.path_source != nullptr && ReferencesVar(*e.path_source, var)) {
+        return true;
+      }
+      for (const PathStep& step : e.steps) {
+        if (step.expr != nullptr && ReferencesVar(*step.expr, var)) {
+          return true;
+        }
+        for (const auto& pred : step.predicates) {
+          if (pred != nullptr && ReferencesVar(*pred, var)) return true;
+        }
+      }
+    }
+    return false;
   }
 
   static bool PathHasPredicates(const Expr& e) {
@@ -675,9 +726,18 @@ class Extractor {
     return false;
   }
 
+  /// One in-scope variable: the steps it denotes plus (for FLWOR-bound
+  /// vars) the defining expression, kept so a later *filtering* use can
+  /// re-resolve the definition and extract its predicates (Tip 7).
+  struct BoundVar {
+    Steps steps;
+    const Expr* def = nullptr;
+  };
+
   std::string table_;
   std::string column_;
-  std::map<std::string, Steps> env_;
+  std::map<std::string, BoundVar> env_;
+  std::set<std::string> resolving_;  // re-resolution recursion guard
   ExtractionResult out_;
 };
 

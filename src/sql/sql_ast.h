@@ -28,6 +28,11 @@ struct EmbeddedXQuery {
   std::string text;
   ParsedQuery parsed;
   std::vector<PassingArg> passing;
+  /// Byte offset of the string literal's *contents* in the enclosing SQL
+  /// statement: spans inside `parsed` (relative to `text`) shift by this to
+  /// point into the SQL source. Exact as long as the literal contains no
+  /// doubled-quote escapes before the span (rare in embedded XQuery).
+  size_t text_offset = 0;
 };
 
 enum class SqlExprKind {
@@ -49,6 +54,9 @@ struct SqlExpr {
   SqlExpr& operator=(const SqlExpr&) = delete;
 
   SqlExprKind kind;
+
+  /// Byte range of this expression in the SQL statement text.
+  SourceSpan span;
 
   // kLiteral
   SqlValue literal;
@@ -89,6 +97,7 @@ struct XmlTableColumn {
   int dec_scale = 0;
   std::string path_text;
   std::unique_ptr<Expr> path_expr;  // parsed with the row expr's context
+  size_t path_offset = 0;  // offset of path_text in the SQL statement
 };
 
 /// A FROM item: a base table or an XMLTABLE call (implicitly lateral —

@@ -63,6 +63,26 @@ class SqlParser {
   }
 
  private:
+  // ----- Span stamping ----------------------------------------------------
+
+  /// Records [start, here-sans-trailing-ws) as `e`'s span unless a narrower
+  /// span was already stamped lower in the expression tree.
+  void Stamp(SqlExpr* e, size_t start) {
+    if (e == nullptr || e->span.IsValid()) return;
+    size_t end = cur_.pos();
+    std::string_view in = cur_.input();
+    while (end > start &&
+           std::isspace(static_cast<unsigned char>(in[end - 1]))) {
+      --end;
+    }
+    if (end > start) e->span = SourceSpan{start, end};
+  }
+
+  size_t SpanStart() {
+    cur_.SkipWs();
+    return cur_.pos();
+  }
+
   // ----- Lexical helpers (SQL is case-insensitive) -----------------------
 
   bool PeekKw(std::string_view kw) {
@@ -121,14 +141,18 @@ class SqlParser {
   }
 
   /// SQL string literal: single quotes, doubled-quote escape, no entity
-  /// processing (the contents are often XQuery or XML text).
-  Result<std::string> ParseSqlString() {
+  /// processing (the contents are often XQuery or XML text). When
+  /// `content_start` is non-null it receives the offset of the literal's
+  /// first content character — exact for the embedded-XQuery case as long
+  /// as no doubled-quote escape precedes a span of interest.
+  Result<std::string> ParseSqlString(size_t* content_start = nullptr) {
     cur_.SkipWs();
     if (cur_.Peek() != '\'') {
       return Status::ParseError("expected string literal at " +
                                 cur_.Location());
     }
     cur_.Bump();
+    if (content_start != nullptr) *content_start = cur_.pos();
     std::string out;
     while (!cur_.AtEnd()) {
       char c = cur_.Peek();
@@ -462,7 +486,7 @@ class SqlParser {
     if (!ConsumeKw("PATH")) {
       return Status::ParseError("expected PATH in XMLTABLE column");
     }
-    XQDB_ASSIGN_OR_RETURN(col.path_text, ParseSqlString());
+    XQDB_ASSIGN_OR_RETURN(col.path_text, ParseSqlString(&col.path_offset));
     // Column paths share the row query's static context (namespaces).
     StaticContext sctx = row_query.parsed.static_context;
     XQDB_ASSIGN_OR_RETURN(col.path_expr,
@@ -472,7 +496,7 @@ class SqlParser {
 
   Result<std::unique_ptr<EmbeddedXQuery>> ParseEmbeddedXQuery() {
     auto q = std::make_unique<EmbeddedXQuery>();
-    XQDB_ASSIGN_OR_RETURN(q->text, ParseSqlString());
+    XQDB_ASSIGN_OR_RETURN(q->text, ParseSqlString(&q->text_offset));
     XQDB_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseXQuery(q->text));
     q->parsed = std::move(parsed);
     if (ConsumeKw("PASSING")) {
@@ -546,6 +570,13 @@ class SqlParser {
   }
 
   Result<std::unique_ptr<SqlExpr>> ParseComparison() {
+    size_t start = SpanStart();
+    XQDB_ASSIGN_OR_RETURN(std::unique_ptr<SqlExpr> e, ParseComparisonInner());
+    Stamp(e.get(), start);
+    return e;
+  }
+
+  Result<std::unique_ptr<SqlExpr>> ParseComparisonInner() {
     XQDB_ASSIGN_OR_RETURN(std::unique_ptr<SqlExpr> lhs, ParseExpr());
     cur_.SkipWs();
     if (ConsumeKw("IS")) {
@@ -584,6 +615,13 @@ class SqlParser {
   }
 
   Result<std::unique_ptr<SqlExpr>> ParseExpr() {
+    size_t start = SpanStart();
+    XQDB_ASSIGN_OR_RETURN(std::unique_ptr<SqlExpr> e, ParseExprInner());
+    Stamp(e.get(), start);
+    return e;
+  }
+
+  Result<std::unique_ptr<SqlExpr>> ParseExprInner() {
     cur_.SkipWs();
     char c = cur_.Peek();
     if (c == '(') {

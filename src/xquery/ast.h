@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/source_span.h"
 #include "xdm/atomic.h"
 #include "xdm/compare.h"
 #include "xml/qname.h"
@@ -117,6 +118,10 @@ struct Expr {
 
   ExprKind kind;
 
+  /// Byte range of this expression in the query text it was parsed from
+  /// (diagnostics; {0,0} when the producing parser predates span stamping).
+  SourceSpan span;
+
   // kLiteral
   AtomicValue literal;
 
@@ -140,6 +145,9 @@ struct Expr {
   std::vector<FlworClause> clauses;
   std::unique_ptr<Expr> where;
   std::vector<OrderSpec> order_by;
+  /// Offset of the 'return' keyword — the insertion point for the linter's
+  /// "where exists($v) " fix-it (Tip 7). 0 when unknown.
+  size_t return_kw_pos = 0;
 
   // kQuantified
   bool quantifier_every = false;

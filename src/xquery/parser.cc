@@ -59,6 +59,29 @@ class Parser {
   }
 
  private:
+  // ----- Span stamping --------------------------------------------------
+
+  /// Records [start, here-sans-trailing-ws) as `e`'s span unless a narrower
+  /// span is already present (sub-expressions stamp bottom-up; an already
+  /// stamped node passed through a wrapper keeps its tighter range).
+  void Stamp(Expr* e, size_t start) {
+    if (e == nullptr || e->span.IsValid()) return;
+    size_t end = cur_.pos();
+    std::string_view in = cur_.input();
+    while (end > start &&
+           std::isspace(static_cast<unsigned char>(in[end - 1]))) {
+      --end;
+    }
+    if (end > start) e->span = SourceSpan{start, end};
+  }
+
+  /// Skips whitespace and returns the position — the span start for the
+  /// expression about to be parsed.
+  size_t SpanStart() {
+    cur_.SkipWs();
+    return cur_.pos();
+  }
+
   // ----- Prolog ---------------------------------------------------------
 
   Status ParseProlog() {
@@ -173,6 +196,13 @@ class Parser {
   }
 
   Result<std::unique_ptr<Expr>> ParseExprSingle() {
+    size_t start = SpanStart();
+    XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExprSingleInner());
+    Stamp(e.get(), start);
+    return e;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseExprSingleInner() {
     cur_.SkipWs();
     if (PeekVarBindingKeyword("for") || PeekVarBindingKeyword("let")) {
       return ParseFlwor();
@@ -255,6 +285,8 @@ class Parser {
         flwor->order_by.push_back(std::move(spec));
       } while (cur_.ConsumeToken(","));
     }
+    cur_.SkipWs();
+    flwor->return_kw_pos = cur_.pos();
     if (!cur_.ConsumeKeyword("return")) {
       return Status::ParseError("expected 'return' in FLWOR at " +
                                 cur_.Location());
@@ -340,6 +372,13 @@ class Parser {
   }
 
   Result<std::unique_ptr<Expr>> ParseComparisonExpr() {
+    size_t start = SpanStart();
+    XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseComparisonInner());
+    Stamp(e.get(), start);
+    return e;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparisonInner() {
     XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseRangeExpr());
     cur_.SkipWs();
 
@@ -387,6 +426,13 @@ class Parser {
   }
 
   Result<std::unique_ptr<Expr>> ParseRangeExpr() {
+    size_t start = SpanStart();
+    XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseRangeInner());
+    Stamp(e.get(), start);
+    return e;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseRangeInner() {
     XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAdditiveExpr());
     if (cur_.ConsumeKeyword("to")) {
       auto e = MakeExpr(ExprKind::kRange);
@@ -480,6 +526,13 @@ class Parser {
   }
 
   Result<std::unique_ptr<Expr>> ParseCastExpr() {
+    size_t start = SpanStart();
+    XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseCastInner());
+    Stamp(e.get(), start);
+    return e;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseCastInner() {
     XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnaryExpr());
     bool castable = false;
     if (cur_.PeekKeyword("castable")) {
@@ -542,6 +595,13 @@ class Parser {
   // ----- Paths ----------------------------------------------------------
 
   Result<std::unique_ptr<Expr>> ParsePathExpr() {
+    size_t start = SpanStart();
+    XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParsePathInner());
+    Stamp(e.get(), start);
+    return e;
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePathInner() {
     cur_.SkipWs();
     auto path = MakeExpr(ExprKind::kPath);
     if (cur_.LookingAt("//")) {
@@ -858,6 +918,13 @@ class Parser {
   }
 
   Result<std::unique_ptr<Expr>> ParsePrimaryExpr() {
+    size_t start = SpanStart();
+    XQDB_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParsePrimaryInner());
+    Stamp(e.get(), start);
+    return e;
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimaryInner() {
     cur_.SkipWs();
     char c = cur_.Peek();
     if (c == '$') {

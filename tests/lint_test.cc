@@ -1,0 +1,563 @@
+// xqlint rule tests: one firing and one clean-negative case per pitfall
+// rule (Tips 1-12 plus XQL013/XQL014), span accuracy, the Definition 1
+// eligibility explainer, and the fix-it round trip (rewrites re-lint
+// clean, produce identical results, and restore index eligibility).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diag.h"
+#include "core/database.h"
+#include "sql/sql_parser.h"
+#include "xquery/parser.h"
+
+namespace xqdb {
+namespace {
+
+// ----- Catalog-free helpers -------------------------------------------------
+
+LintReport LintXq(const std::string& query) {
+  auto parsed = ParseXQuery(query);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (!parsed.ok()) return {};
+  return AnalyzeXQuery(*parsed, query, nullptr);
+}
+
+LintReport LintSqlText(const std::string& sql) {
+  auto stmt = ParseSql(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  if (!stmt.ok()) return {};
+  return AnalyzeSqlStatement(*stmt, sql, nullptr);
+}
+
+int Count(const LintReport& report, DiagCode code) {
+  int n = 0;
+  for (const auto& d : report.diagnostics) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+const Diagnostic* Find(const LintReport& report, DiagCode code) {
+  for (const auto& d : report.diagnostics) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+std::string Spanned(const std::string& text, SourceSpan span) {
+  if (!span.IsValid() || span.end > text.size()) return "";
+  return text.substr(span.begin, span.end - span.begin);
+}
+
+// ----- Tip 1 (XQL001): untyped values compared as strings -------------------
+
+TEST(LintTest, Xql001FiresOnQuotedNumericLiteral) {
+  const std::string q =
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid = \"1001\"]";
+  auto report = LintXq(q);
+  const Diagnostic* d = Find(report, DiagCode::kXQL001_UntypedComparison);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  // Span covers the comparison; the fix edit replaces exactly the quoted
+  // literal with its unquoted content.
+  EXPECT_NE(Spanned(q, d->span).find("custid"), std::string::npos);
+  ASSERT_EQ(d->fix_edits.size(), 1u);
+  EXPECT_EQ(Spanned(q, d->fix_edits[0].span), "\"1001\"");
+  EXPECT_EQ(d->fix_edits[0].replacement, "1001");
+  std::string fixed = ApplyFixEdits(q, d->fix_edits);
+  EXPECT_NE(fixed.find("[custid = 1001]"), std::string::npos);
+  EXPECT_EQ(Count(LintXq(fixed), DiagCode::kXQL001_UntypedComparison), 0);
+}
+
+TEST(LintTest, Xql001CleanOnNumericLiteral) {
+  auto report =
+      LintXq("db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid = 1001]");
+  EXPECT_EQ(Count(report, DiagCode::kXQL001_UntypedComparison), 0);
+}
+
+TEST(LintTest, Xql001CleanOnNonNumericString) {
+  // "CANADA" has no double interpretation: string comparison is intended.
+  auto report = LintXq(
+      "db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer[nation = \"CANADA\"]");
+  EXPECT_EQ(Count(report, DiagCode::kXQL001_UntypedComparison), 0);
+}
+
+// ----- Tip 2 (XQL002): predicate buried in the SELECT list ------------------
+
+TEST(LintTest, Xql002FiresOnSelectListPredicate) {
+  auto report = LintSqlText(
+      "SELECT XMLQUERY('$d/order[custid = 1001]' PASSING orddoc AS \"d\") "
+      "FROM orders");
+  const Diagnostic* d = Find(report, DiagCode::kXQL002_PredicateInSelect);
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(d->suggestion.empty());
+}
+
+TEST(LintTest, Xql002CleanWhenWhereHasXmlExists) {
+  auto report = LintSqlText(
+      "SELECT XMLQUERY('$d/order[custid = 1001]' PASSING orddoc AS \"d\") "
+      "FROM orders WHERE XMLEXISTS('$d/order[custid = 1001]' "
+      "PASSING orddoc AS \"d\")");
+  EXPECT_EQ(Count(report, DiagCode::kXQL002_PredicateInSelect), 0);
+}
+
+// ----- Tip 3 (XQL003): boolean XMLEXISTS body is constant true --------------
+
+TEST(LintTest, Xql003FiresOnBooleanBody) {
+  const std::string sql =
+      "SELECT ordid FROM orders WHERE "
+      "XMLEXISTS('$d/order/custid = 1001' PASSING orddoc AS \"d\")";
+  auto report = LintSqlText(sql);
+  const Diagnostic* d = Find(report, DiagCode::kXQL003_BooleanExistsBody);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_TRUE(report.has_errors());
+  // The span points into the embedded body, at the comparison.
+  EXPECT_NE(Spanned(sql, d->span).find("="), std::string::npos);
+  // No machine fix: repairing this changes results, which is the bug.
+  EXPECT_TRUE(d->fix_edits.empty());
+  EXPECT_FALSE(d->suggestion.empty());
+}
+
+TEST(LintTest, Xql003CleanOnPathPredicateBody) {
+  auto report = LintSqlText(
+      "SELECT ordid FROM orders WHERE "
+      "XMLEXISTS('$d/order[custid = 1001]' PASSING orddoc AS \"d\")");
+  EXPECT_EQ(Count(report, DiagCode::kXQL003_BooleanExistsBody), 0);
+}
+
+// ----- Tip 4 (XQL004): predicate in an XMLTABLE column path -----------------
+
+TEST(LintTest, Xql004FiresOnColumnPathPredicate) {
+  const std::string sql =
+      "SELECT t.price FROM orders o, "
+      "XMLTABLE('$order//lineitem' passing o.orddoc as \"order\" "
+      "COLUMNS \"price\" DOUBLE PATH '@price[. > 100]') as t(price)";
+  auto report = LintSqlText(sql);
+  const Diagnostic* d = Find(report, DiagCode::kXQL004_XmlTableColumnPred);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(Spanned(sql, d->span), "@price[. > 100]");
+  EXPECT_FALSE(d->suggestion.empty());
+}
+
+TEST(LintTest, Xql004CleanOnPlainColumnPath) {
+  auto report = LintSqlText(
+      "SELECT t.price FROM orders o, "
+      "XMLTABLE('$order//lineitem[@price > 100]' "
+      "passing o.orddoc as \"order\" "
+      "COLUMNS \"price\" DOUBLE PATH '@price') as t(price)");
+  EXPECT_EQ(Count(report, DiagCode::kXQL004_XmlTableColumnPred), 0);
+}
+
+// ----- Tip 5 (XQL005): cross-document join inside XQuery --------------------
+
+TEST(LintTest, Xql005FiresOnTwoColumnSources) {
+  auto report = LintXq(
+      "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "for $cust in db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer "
+      "where $ord/custid = $cust/id return $ord");
+  EXPECT_GE(Count(report, DiagCode::kXQL005_XQuerySideJoin), 1);
+}
+
+TEST(LintTest, Xql005CleanOnSingleSource) {
+  auto report = LintXq(
+      "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "return $ord/custid");
+  EXPECT_EQ(Count(report, DiagCode::kXQL005_XQuerySideJoin), 0);
+}
+
+// ----- Tip 7 (XQL007): let preserves empty sequences ------------------------
+
+TEST(LintTest, Xql007FiresOnUncheckedLet) {
+  const std::string q =
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "let $p := $o/lineitem[@price > 100] return $p";
+  auto report = LintXq(q);
+  const Diagnostic* d = Find(report, DiagCode::kXQL007_LetPreservesEmpty);
+  ASSERT_NE(d, nullptr);
+  // Span covers the bound path expression.
+  EXPECT_NE(Spanned(q, d->span).find("$o/lineitem"), std::string::npos);
+  // The fix inserts a where clause before 'return'.
+  ASSERT_EQ(d->fix_edits.size(), 1u);
+  EXPECT_TRUE(d->fix_edits[0].is_insert);
+  std::string fixed = ApplyFixEdits(q, d->fix_edits);
+  EXPECT_NE(fixed.find("where exists($p) return"), std::string::npos);
+  EXPECT_EQ(Count(LintXq(fixed), DiagCode::kXQL007_LetPreservesEmpty), 0);
+}
+
+TEST(LintTest, Xql007CleanWhenWhereChecksVariable) {
+  auto report = LintXq(
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "let $p := $o/lineitem[@price > 100] "
+      "where exists($p) return $p");
+  EXPECT_EQ(Count(report, DiagCode::kXQL007_LetPreservesEmpty), 0);
+}
+
+// ----- Tip 8 (XQL008): document vs element navigation -----------------------
+
+TEST(LintTest, Xql008FiresOnAbsolutePathOverConstructed) {
+  const std::string q =
+      "for $w in <wrap>{db2-fn:xmlcolumn('ORDERS.ORDDOC')/order}</wrap> "
+      "return /wrap/custid";
+  auto report = LintXq(q);
+  const Diagnostic* d = Find(report, DiagCode::kXQL008_DocumentVsElement);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(Spanned(q, d->span).substr(0, 5), "/wrap");
+}
+
+TEST(LintTest, Xql008CleanWhenNavigatingFromVariable) {
+  auto report = LintXq(
+      "for $w in <wrap>{db2-fn:xmlcolumn('ORDERS.ORDDOC')/order}</wrap> "
+      "return $w/order/custid");
+  EXPECT_EQ(Count(report, DiagCode::kXQL008_DocumentVsElement), 0);
+}
+
+// ----- Tip 9 (XQL009): navigation into constructed nodes --------------------
+
+TEST(LintTest, Xql009FiresAndComposesTheView) {
+  const std::string q =
+      "(for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "return <w>{$o/lineitem}</w>)/lineitem[@price > 100]/@price";
+  auto report = LintXq(q);
+  const Diagnostic* d = Find(report, DiagCode::kXQL009_ConstructionBarrier);
+  ASSERT_NE(d, nullptr);
+  ASSERT_EQ(d->fix_edits.size(), 1u);
+  EXPECT_EQ(d->fix_edits[0].replacement,
+            "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+            "return ($o/lineitem)[@price > 100]/@price");
+  std::string fixed = ApplyFixEdits(q, d->fix_edits);
+  EXPECT_EQ(Count(LintXq(fixed), DiagCode::kXQL009_ConstructionBarrier), 0);
+}
+
+TEST(LintTest, Xql009SuggestsWhenViewCannotBeComposed) {
+  // Selecting the wrapper element's name reaches nothing the content
+  // produced — the rewriter must not offer a fix, only advice.
+  auto report = LintXq(
+      "(for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "return <w>{$o/lineitem}</w>)/w/lineitem");
+  const Diagnostic* d = Find(report, DiagCode::kXQL009_ConstructionBarrier);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->fix_edits.empty());
+  EXPECT_FALSE(d->suggestion.empty());
+}
+
+TEST(LintTest, Xql009CleanOnComposedForm) {
+  auto report = LintXq(
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "return ($o/lineitem)[@price > 100]/@price");
+  EXPECT_EQ(Count(report, DiagCode::kXQL009_ConstructionBarrier), 0);
+}
+
+// ----- XQL013: '!=' is existential ------------------------------------------
+
+TEST(LintTest, Xql013FiresOnGeneralNe) {
+  const std::string q =
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid != 1001]";
+  auto report = LintXq(q);
+  const Diagnostic* d = Find(report, DiagCode::kXQL013_NeIsExistential);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(Spanned(q, d->span).find("!="), std::string::npos);
+  EXPECT_NE(d->suggestion.find("fn:not"), std::string::npos);
+}
+
+TEST(LintTest, Xql013CleanOnEquality) {
+  auto report =
+      LintXq("db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid = 1001]");
+  EXPECT_EQ(Count(report, DiagCode::kXQL013_NeIsExistential), 0);
+}
+
+// ----- XQL014: date/dateTime lexical form -----------------------------------
+
+TEST(LintTest, Xql014FiresOnBadDateLiteral) {
+  auto report = LintXq(
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "/order[xs:date(date) = xs:date(\"2006-1-2\")]");
+  const Diagnostic* d = Find(report, DiagCode::kXQL014_DateTimeLexical);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("2006-1-2"), std::string::npos);
+}
+
+TEST(LintTest, Xql014CleanOnPaddedDate) {
+  auto report = LintXq(
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "/order[xs:date(date) = xs:date(\"2006-01-02\")]");
+  EXPECT_EQ(Count(report, DiagCode::kXQL014_DateTimeLexical), 0);
+}
+
+// ----- Catalog-aware fixture ------------------------------------------------
+
+class LintDbFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Exec("CREATE TABLE customer (cid INTEGER, cdoc XML)");
+    Exec("CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+    for (int c = 0; c < 5; ++c) {
+      Exec("INSERT INTO customer VALUES (" + std::to_string(c) +
+           ", '<c:customer xmlns:c=\"urn:c\"><c:id>" + std::to_string(c) +
+           "</c:id><c:nation>" + std::to_string(c % 3) +
+           "</c:nation></c:customer>')");
+    }
+    for (int o = 0; o < 20; ++o) {
+      Exec("INSERT INTO orders VALUES (" + std::to_string(o) +
+           ", '<order><custid>" + std::to_string(o % 5) + "</custid>"
+           "<lineitem price=\"" + std::to_string(10 * o) + "\">"
+           "<part>x</part></lineitem></order>')");
+    }
+  }
+  void Exec(const std::string& sql) {
+    auto rs = db_.ExecuteSql(sql);
+    ASSERT_TRUE(rs.ok()) << sql << " => " << rs.status().ToString();
+  }
+  LintReport Lint(const std::string& query) {
+    auto report = db_.LintXQuery(query);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? *report : LintReport{};
+  }
+  Database db_;
+};
+
+// ----- Tip 6 (XQL006): join order leaves the probe unavailable --------------
+
+TEST_F(LintDbFixture, Xql006FiresWhenOuterSideComesLater) {
+  auto report = db_.LintSql(
+      "SELECT c.cid FROM orders o, customer c "
+      "WHERE XMLEXISTS('declare namespace c=\"urn:c\"; "
+      "$o/order[custid/xs:double(.) = "
+      "$c/c:customer/c:id/xs:double(.)]' "
+      "passing o.orddoc as \"o\", c.cdoc as \"c\")");
+  ASSERT_TRUE(report.ok());
+  const Diagnostic* d =
+      Find(*report, DiagCode::kXQL006_JoinOrderUnavailable);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->suggestion.find("reorder"), std::string::npos);
+}
+
+TEST_F(LintDbFixture, Xql006CleanWhenOuterSideComesFirst) {
+  auto report = db_.LintSql(
+      "SELECT c.cid FROM customer c, orders o "
+      "WHERE XMLEXISTS('declare namespace c=\"urn:c\"; "
+      "$o/order[custid/xs:double(.) = "
+      "$c/c:customer/c:id/xs:double(.)]' "
+      "passing o.orddoc as \"o\", c.cdoc as \"c\")");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(Count(*report, DiagCode::kXQL006_JoinOrderUnavailable), 0);
+}
+
+// ----- Definition 1 explainer: XQL101..XQL104 -------------------------------
+
+TEST_F(LintDbFixture, Xql101NamesThePatternClause) {
+  Exec("CREATE INDEX li_price ON orders(orddoc) "
+       "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE");
+  auto report =
+      Lint("db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid = 3]");
+  const Diagnostic* d = Find(report, DiagCode::kXQL101_PatternMismatch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_NE(d->message.find("LI_PRICE"), std::string::npos);
+  EXPECT_NE(d->message.find("does not contain"), std::string::npos);
+}
+
+TEST_F(LintDbFixture, Xql102NamesTheTypeClause) {
+  Exec("CREATE INDEX o_custid_s ON orders(orddoc) "
+       "USING XMLPATTERN '//custid' AS SQL VARCHAR(20)");
+  auto report =
+      Lint("db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid = 3]");
+  const Diagnostic* d = Find(report, DiagCode::kXQL102_TypeMismatch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("O_CUSTID_S"), std::string::npos);
+}
+
+TEST_F(LintDbFixture, Xql103NamesTheOperatorClause) {
+  Exec("CREATE INDEX o_custid ON orders(orddoc) "
+       "USING XMLPATTERN '//custid' AS SQL DOUBLE");
+  auto report =
+      Lint("db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid != 3]");
+  EXPECT_GE(Count(report, DiagCode::kXQL103_OperatorUnbounded), 1);
+  // The AST rule fires alongside the clause note.
+  EXPECT_GE(Count(report, DiagCode::kXQL013_NeIsExistential), 1);
+}
+
+TEST_F(LintDbFixture, Xql104FiresOnEmptyPreservingLet) {
+  Exec("CREATE INDEX li_price ON orders(orddoc) "
+       "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE");
+  auto report = Lint(
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "let $p := $o/lineitem[@price > 100] return $p");
+  EXPECT_GE(Count(report, DiagCode::kXQL104_NotDocumentEliminating), 1);
+  EXPECT_GE(Count(report, DiagCode::kXQL007_LetPreservesEmpty), 1);
+}
+
+TEST_F(LintDbFixture, ExplainerSilentWhenIndexEligible) {
+  Exec("CREATE INDEX o_custid ON orders(orddoc) "
+       "USING XMLPATTERN '//custid' AS SQL DOUBLE");
+  auto report =
+      Lint("db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid = 3]");
+  EXPECT_EQ(report.CountAtLeast(Severity::kNote), 0u);
+}
+
+// ----- Tips 10/11/12: refined containment failures --------------------------
+
+TEST_F(LintDbFixture, Xql010FiresOnNamespaceOnlyMismatch) {
+  Exec("CREATE INDEX c_nation ON customer(cdoc) "
+       "USING XMLPATTERN '//nation' AS SQL DOUBLE");
+  auto report = Lint(
+      "declare namespace c=\"urn:c\"; "
+      "db2-fn:xmlcolumn('CUSTOMER.CDOC')/c:customer[c:nation = 1]");
+  const Diagnostic* d = Find(report, DiagCode::kXQL010_NamespaceMismatch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("namespace"), std::string::npos);
+}
+
+TEST_F(LintDbFixture, Xql010CleanWhenNamespacesMatch) {
+  Exec("CREATE INDEX c_nation_ns ON customer(cdoc) USING XMLPATTERN "
+       "'declare namespace c=\"urn:c\"; //c:nation' AS SQL DOUBLE");
+  auto report = Lint(
+      "declare namespace c=\"urn:c\"; "
+      "db2-fn:xmlcolumn('CUSTOMER.CDOC')/c:customer[c:nation = 1]");
+  EXPECT_EQ(Count(report, DiagCode::kXQL010_NamespaceMismatch), 0);
+  EXPECT_EQ(Count(report, DiagCode::kXQL101_PatternMismatch), 0);
+}
+
+TEST_F(LintDbFixture, Xql011FiresOnTextStepMisalignment) {
+  Exec("CREATE INDEX o_custid_t ON orders(orddoc) "
+       "USING XMLPATTERN '//custid/text()' AS SQL DOUBLE");
+  auto report =
+      Lint("db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid = 3]");
+  const Diagnostic* d = Find(report, DiagCode::kXQL011_TextStepAlignment);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("text()"), std::string::npos);
+}
+
+TEST_F(LintDbFixture, Xql011CleanWhenTextStepsAlign) {
+  Exec("CREATE INDEX o_custid_t ON orders(orddoc) "
+       "USING XMLPATTERN '//custid/text()' AS SQL DOUBLE");
+  auto report = Lint(
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid/text() = 3]");
+  EXPECT_EQ(Count(report, DiagCode::kXQL011_TextStepAlignment), 0);
+  EXPECT_EQ(Count(report, DiagCode::kXQL101_PatternMismatch), 0);
+}
+
+TEST_F(LintDbFixture, Xql012FiresOnAttributeAxisDisagreement) {
+  Exec("CREATE INDEX li_price_e ON orders(orddoc) "
+       "USING XMLPATTERN '//price' AS SQL DOUBLE");
+  auto report = Lint(
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]");
+  const Diagnostic* d = Find(report, DiagCode::kXQL012_AttributeAxis);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("attribute"), std::string::npos);
+}
+
+TEST_F(LintDbFixture, Xql012CleanOnAttributePattern) {
+  Exec("CREATE INDEX li_price ON orders(orddoc) "
+       "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE");
+  auto report = Lint(
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]");
+  EXPECT_EQ(Count(report, DiagCode::kXQL012_AttributeAxis), 0);
+  EXPECT_EQ(Count(report, DiagCode::kXQL101_PatternMismatch), 0);
+}
+
+// ----- Fix round trip: verified equivalence + restored eligibility ----------
+
+TEST_F(LintDbFixture, ConstructionBarrierFixVerifiesAndUsesIndex) {
+  Exec("CREATE INDEX li_price ON orders(orddoc) "
+       "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE");
+  const std::string q =
+      "(for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "return <w>{$o/lineitem}</w>)/lineitem[@price > 100]/@price";
+  auto report = Lint(q);
+  const Diagnostic* d = Find(report, DiagCode::kXQL009_ConstructionBarrier);
+  ASSERT_NE(d, nullptr);
+  ASSERT_FALSE(d->fixed_query.empty()) << "fix did not verify";
+
+  auto orig = db_.ExecuteXQuery(q);
+  auto fixed = db_.ExecuteXQuery(d->fixed_query);
+  ASSERT_TRUE(orig.ok());
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(orig->rows, fixed->rows);
+  EXPECT_FALSE(fixed->rows.empty());
+  // The original scans every document; the rewrite probes the index.
+  EXPECT_EQ(orig->stats.docs_scanned, 20);
+  EXPECT_EQ(fixed->stats.docs_scanned, 0);
+  EXPECT_GT(fixed->stats.index_docs_returned, 0);
+  // The rewrite re-lints clean.
+  EXPECT_EQ(Count(Lint(d->fixed_query),
+                  DiagCode::kXQL009_ConstructionBarrier), 0);
+}
+
+TEST_F(LintDbFixture, LetExistsFixVerifiesAndUsesIndex) {
+  Exec("CREATE INDEX li_price ON orders(orddoc) "
+       "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE");
+  const std::string q =
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "let $p := $o/lineitem[@price > 100] return $p";
+  auto report = Lint(q);
+  const Diagnostic* d = Find(report, DiagCode::kXQL007_LetPreservesEmpty);
+  ASSERT_NE(d, nullptr);
+  ASSERT_FALSE(d->fixed_query.empty()) << "fix did not verify";
+  EXPECT_NE(d->fixed_query.find("where exists($p)"), std::string::npos);
+
+  auto orig = db_.ExecuteXQuery(q);
+  auto fixed = db_.ExecuteXQuery(d->fixed_query);
+  ASSERT_TRUE(orig.ok());
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(orig->rows, fixed->rows);
+  EXPECT_EQ(fixed->stats.docs_scanned, 0);
+  EXPECT_EQ(Count(Lint(d->fixed_query),
+                  DiagCode::kXQL007_LetPreservesEmpty), 0);
+}
+
+TEST_F(LintDbFixture, NonEquivalentFixIsDemotedToSuggestion) {
+  // The return clause does not depend on $p, so 'where exists($p)' drops
+  // custids the original query keeps: differential verification must
+  // refuse the rewrite and demote it to a suggestion.
+  const std::string q =
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "let $p := $o/lineitem[@price > 100] return $o/custid";
+  auto report = Lint(q);
+  const Diagnostic* d = Find(report, DiagCode::kXQL007_LetPreservesEmpty);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->fixed_query.empty());
+  EXPECT_FALSE(d->suggestion.empty());
+}
+
+// ----- Surfaces: spans survive the query cache; EXPLAIN carries lint --------
+
+TEST_F(LintDbFixture, LintAfterExecutionReusesCachedAstWithSpans) {
+  const std::string q =
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid = \"3\"]";
+  auto before = Lint(q);
+  auto rs = db_.ExecuteXQuery(q);
+  ASSERT_TRUE(rs.ok());
+  auto after = Lint(q);  // served from the compiled-query cache
+  ASSERT_EQ(after.diagnostics.size(), before.diagnostics.size());
+  const Diagnostic* d = Find(after, DiagCode::kXQL001_UntypedComparison);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->span.IsValid());
+  ASSERT_EQ(d->fix_edits.size(), 1u);
+  EXPECT_EQ(Spanned(q, d->fix_edits[0].span), "\"3\"");
+}
+
+TEST_F(LintDbFixture, ExplainCarriesLintBlock) {
+  auto plan = db_.ExplainXQuery(
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[custid != 3]");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("lint: XQL013"), std::string::npos) << *plan;
+}
+
+TEST_F(LintDbFixture, ExplainSqlCarriesLintBlock) {
+  auto plan = db_.ExplainSql(
+      "SELECT ordid FROM orders WHERE "
+      "XMLEXISTS('$d/order/custid = 3' PASSING orddoc AS \"d\")");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("lint: XQL003"), std::string::npos) << *plan;
+}
+
+}  // namespace
+}  // namespace xqdb

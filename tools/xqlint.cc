@@ -1,0 +1,283 @@
+// xqlint — static pitfall analyzer for xqdb queries.
+//
+// Two input modes:
+//
+//   xqlint [--sql | --xq] [--json] [--fix] [file | -]
+//     Raw query text (one query per file, '-' or no argument = stdin).
+//     Lints without a catalog: every Tip 1–12 pitfall rule runs, but index
+//     eligibility cannot be explained and fixes are applied UNVERIFIED
+//     (there is no data to verify against).
+//
+//   xqlint [--json] [--fix] [--expect CODES] scenario.xqd ...
+//     Differential-corpus scenarios (tests/corpus/*.xqd): each file's
+//     workload, DDL and documents are loaded into a fresh database, then
+//     every query is linted catalog-aware — ineligibility findings name
+//     the Definition 1 clause per index, and fix-its are verified by
+//     executing original and rewritten query against the loaded data.
+//
+// --expect XQL001,XQL013 requires every listed code to fire somewhere in
+// the sweep (the ctest lint gate pins corpus findings this way).
+//
+// Exit status: 0 = no error-severity findings and --expect satisfied,
+//              1 = error findings or a missing expected code,
+//              2 = usage / load failure.
+
+#include <strings.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "core/database.h"
+#include "sql/sql_parser.h"
+#include "testing/differential.h"
+#include "workload/generator.h"
+#include "xquery/parser.h"
+
+namespace {
+
+struct Args {
+  bool json = false;
+  bool fix = false;
+  int lang = 0;  // 0 = auto-detect, 1 = SQL, 2 = XQuery
+  std::vector<std::string> expect_codes;
+  std::vector<std::string> inputs;
+};
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool LooksLikeSql(const std::string& text) {
+  size_t i = text.find_first_not_of(" \t\r\n");
+  if (i == std::string::npos) return false;
+  const char* p = text.c_str() + i;
+  return strncasecmp(p, "SELECT", 6) == 0 || strncasecmp(p, "VALUES", 6) == 0 ||
+         strncasecmp(p, "CREATE", 6) == 0 || strncasecmp(p, "INSERT", 6) == 0 ||
+         strncasecmp(p, "DELETE", 6) == 0;
+}
+
+void JsonEscape(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else if (c == '\t') {
+      *out += "\\t";
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      *out += c;
+    }
+  }
+}
+
+/// Lints raw query text with no catalog. Returns the report, or prints the
+/// parse failure and returns nullopt.
+std::optional<xqdb::LintReport> LintRaw(const std::string& text,
+                                        bool is_sql) {
+  if (is_sql) {
+    auto stmt = xqdb::ParseSql(text);
+    if (!stmt.ok()) {
+      fprintf(stderr, "xqlint: SQL parse error: %s\n",
+              stmt.status().ToString().c_str());
+      return std::nullopt;
+    }
+    return xqdb::AnalyzeSqlStatement(*stmt, text, nullptr);
+  }
+  auto parsed = xqdb::ParseXQuery(text);
+  if (!parsed.ok()) {
+    fprintf(stderr, "xqlint: XQuery parse error: %s\n",
+            parsed.status().ToString().c_str());
+    return std::nullopt;
+  }
+  return xqdb::AnalyzeXQuery(*parsed, text, nullptr);
+}
+
+int RunRawMode(const std::string& text, const Args& args) {
+  bool is_sql = args.lang == 1 || (args.lang == 0 && LooksLikeSql(text));
+  auto report = LintRaw(text, is_sql);
+  if (!report.has_value()) return 2;
+  if (args.fix) {
+    std::vector<xqdb::FixEdit> edits;
+    for (const xqdb::Diagnostic& d : report->diagnostics) {
+      for (const xqdb::FixEdit& e : d.fix_edits) edits.push_back(e);
+    }
+    std::string fixed = xqdb::ApplyFixEdits(text, edits);
+    fputs(fixed.c_str(), stdout);
+    if (fixed.empty() || fixed.back() != '\n') fputc('\n', stdout);
+  } else if (args.json) {
+    printf("%s\n", report->ToJson(text).c_str());
+  } else {
+    fputs(report->Render(text).c_str(), stdout);
+  }
+  return report->has_errors() ? 1 : 0;
+}
+
+/// Loads one scenario's workload, DDL and documents into `db` (the same
+/// sequence the differential harness uses; bad_docs are skipped — they are
+/// parser-rejection cases, not lintable queries).
+bool LoadScenarioIntoDb(const xqdb::testing::DiffScenario& scenario,
+                        xqdb::Database* db) {
+  if (!xqdb::LoadPaperWorkload(db, scenario.workload).ok()) return false;
+  for (const std::string& stmt : scenario.ddl) {
+    if (!db->ExecuteSql(stmt).ok()) return false;
+  }
+  for (size_t i = 0; i < scenario.extra_docs.size(); ++i) {
+    std::string ins = "INSERT INTO orders VALUES (" +
+                      std::to_string(800000 + i) + ", '" +
+                      scenario.extra_docs[i] + "')";
+    if (!db->ExecuteSql(ins).ok()) return false;
+  }
+  return true;
+}
+
+int RunCorpusMode(const Args& args) {
+  bool any_error = false;
+  std::set<std::string> fired;
+  std::string json = "[";
+  bool first_json = true;
+  for (const std::string& path : args.inputs) {
+    auto scenario = xqdb::testing::LoadScenarioFile(path);
+    if (!scenario.ok()) {
+      fprintf(stderr, "xqlint: cannot load %s: %s\n", path.c_str(),
+              scenario.status().ToString().c_str());
+      return 2;
+    }
+    xqdb::Database db;
+    if (!LoadScenarioIntoDb(*scenario, &db)) {
+      fprintf(stderr, "xqlint: scenario setup failed for %s\n", path.c_str());
+      return 2;
+    }
+    for (const xqdb::testing::GenQuery& q : scenario->queries) {
+      auto report = q.is_sql ? db.LintSql(q.text) : db.LintXQuery(q.text);
+      if (!report.ok()) {
+        fprintf(stderr, "xqlint: %s: query does not parse: %s\n",
+                path.c_str(), report.status().ToString().c_str());
+        any_error = true;
+        continue;
+      }
+      any_error = any_error || report->has_errors();
+      for (const xqdb::Diagnostic& d : report->diagnostics) {
+        fired.insert(xqdb::DiagCodeName(d.code));
+      }
+      if (args.json) {
+        if (!first_json) json += ", ";
+        first_json = false;
+        json += "{\"file\": \"";
+        JsonEscape(&json, path);
+        json += "\", \"lang\": \"";
+        json += q.is_sql ? "sql" : "xquery";
+        json += "\", \"query\": \"";
+        JsonEscape(&json, q.text);
+        json += "\", \"diagnostics\": " + report->ToJson(q.text) + "}";
+      } else {
+        printf("%s: %s query:\n  %s\n", path.c_str(),
+               q.is_sql ? "SQL" : "XQuery", q.text.c_str());
+        if (report->diagnostics.empty()) {
+          printf("  (clean)\n");
+        } else {
+          fputs(report->Render(q.text).c_str(), stdout);
+        }
+        if (args.fix) {
+          for (const xqdb::Diagnostic& d : report->diagnostics) {
+            if (!d.fixed_query.empty()) {
+              printf("  fixed (verified equivalent): %s\n",
+                     d.fixed_query.c_str());
+            }
+          }
+        }
+      }
+    }
+  }
+  if (args.json) printf("%s]\n", json.c_str());
+  int rc = any_error ? 1 : 0;
+  for (const std::string& code : args.expect_codes) {
+    if (fired.count(code) == 0) {
+      fprintf(stderr, "xqlint: expected code %s did not fire\n",
+              code.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--json") {
+      args.json = true;
+    } else if (a == "--fix") {
+      args.fix = true;
+    } else if (a == "--sql") {
+      args.lang = 1;
+    } else if (a == "--xq" || a == "--xquery") {
+      args.lang = 2;
+    } else if (a == "--expect") {
+      if (++i >= argc) {
+        fprintf(stderr, "xqlint: --expect needs a code list\n");
+        return 2;
+      }
+      std::string codes = argv[i];
+      size_t pos = 0;
+      while (pos < codes.size()) {
+        size_t comma = codes.find(',', pos);
+        if (comma == std::string::npos) comma = codes.size();
+        if (comma > pos) {
+          args.expect_codes.push_back(codes.substr(pos, comma - pos));
+        }
+        pos = comma + 1;
+      }
+    } else if (a == "--help" || a == "-h") {
+      fprintf(stderr,
+              "usage: xqlint [--sql|--xq] [--json] [--fix] [file|-]\n"
+              "       xqlint [--json] [--fix] [--expect CODES] *.xqd\n");
+      return 2;
+    } else if (!a.empty() && a[0] == '-' && a != "-") {
+      fprintf(stderr, "xqlint: unknown flag %s\n", a.c_str());
+      return 2;
+    } else {
+      args.inputs.push_back(a);
+    }
+  }
+
+  bool corpus = !args.inputs.empty() &&
+                std::all_of(args.inputs.begin(), args.inputs.end(),
+                            [](const std::string& p) {
+                              return EndsWith(p, ".xqd");
+                            });
+  if (corpus) return RunCorpusMode(args);
+  if (args.inputs.size() > 1) {
+    fprintf(stderr, "xqlint: raw mode lints one query at a time\n");
+    return 2;
+  }
+
+  std::string text;
+  if (args.inputs.empty() || args.inputs[0] == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream in(args.inputs[0]);
+    if (!in) {
+      fprintf(stderr, "xqlint: cannot open %s\n", args.inputs[0].c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+  return RunRawMode(text, args);
+}
