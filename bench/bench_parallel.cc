@@ -3,7 +3,12 @@
 // compiled-query cache, then writes BENCH_parallel.json with ns/op and
 // speedup-vs-1-thread for each configuration.
 //
-//   ./bench_parallel [output.json] [--assert-counters]
+//   ./bench_parallel [--out output.json] [--assert-counters]
+//
+// --out names the JSON report path (default BENCH_parallel.json in the
+// working directory; a bare positional path is accepted for backwards
+// compatibility). The report is generated output — it is gitignored, and
+// EXPERIMENTS.md documents the refresh step.
 //
 // --assert-counters re-runs the indexed workload and exits non-zero if the
 // ExecStats counters show the index was never probed — the regression that
@@ -139,6 +144,12 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--assert-counters") {
       assert_counters = true;
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--out requires a path\n");
+        return 2;
+      }
+      out_path = argv[++i];
     } else {
       out_path = arg;
     }

@@ -1,0 +1,93 @@
+#ifndef XQDB_COMMON_THREAD_ANNOTATIONS_H_
+#define XQDB_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Portable wrappers for clang's thread-safety capability attributes
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under
+/// -DXQDB_ANALYZE=ON (clang only) the build adds -Werror=thread-safety and
+/// these annotations become compile-time proofs: every access to a
+/// XQDB_GUARDED_BY member must happen with its capability held, lock/unlock
+/// pairing is checked on every path, and the declared lock order
+/// (XQDB_ACQUIRED_BEFORE/AFTER) is enforced. On every other compiler the
+/// macros expand to nothing, so annotated code builds everywhere.
+///
+/// xqdb's discipline: every mutex-protected member in shared-state
+/// components carries XQDB_GUARDED_BY; private *Locked() helpers carry
+/// XQDB_REQUIRES; public entry points that take the lock themselves carry
+/// XQDB_EXCLUDES so re-entrant acquisition (self-deadlock) is a compile
+/// error. std::mutex/std::shared_mutex are not annotated types in
+/// libstdc++, so shared state locks through the annotated wrappers in
+/// common/mutex.h instead of bare std::lock_guard/std::unique_lock.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define XQDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define XQDB_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability ("mutex", "shared_mutex", ...). The name
+/// appears in diagnostics: "acquiring mutex 'mu_' requires ...".
+#define XQDB_CAPABILITY(x) XQDB_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (MutexLock and friends).
+#define XQDB_SCOPED_CAPABILITY XQDB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define XQDB_GUARDED_BY(x) XQDB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define XQDB_PT_GUARDED_BY(x) XQDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held (exclusively / shared) on
+/// entry and does not release it.
+#define XQDB_REQUIRES(...) \
+  XQDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define XQDB_REQUIRES_SHARED(...) \
+  XQDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds it on
+/// return.
+#define XQDB_ACQUIRE(...) \
+  XQDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define XQDB_ACQUIRE_SHARED(...) \
+  XQDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (generic release covers both modes).
+#define XQDB_RELEASE(...) \
+  XQDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define XQDB_RELEASE_SHARED(...) \
+  XQDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the capability; holds it iff the return value equals
+/// the first macro argument.
+#define XQDB_TRY_ACQUIRE(...) \
+  XQDB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called with the capability NOT held — it acquires the
+/// lock itself, so calling it while holding would self-deadlock.
+#define XQDB_EXCLUDES(...) XQDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declared lock order between two capabilities; the analysis rejects any
+/// acquisition sequence that inverts it. The process-wide order is
+/// documented in DESIGN.md §9.
+#define XQDB_ACQUIRED_BEFORE(...) \
+  XQDB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define XQDB_ACQUIRED_AFTER(...) \
+  XQDB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held; teaches the analysis
+/// about invariants it cannot see (e.g. callbacks invoked under a lock).
+#define XQDB_ASSERT_CAPABILITY(x) \
+  XQDB_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability (mutex accessors).
+#define XQDB_RETURN_CAPABILITY(x) XQDB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (e.g. adopting a native
+/// handle inside CondVar::Wait). Every use must carry a comment saying why
+/// the code is nevertheless correct.
+#define XQDB_NO_THREAD_SAFETY_ANALYSIS \
+  XQDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // XQDB_COMMON_THREAD_ANNOTATIONS_H_

@@ -25,10 +25,10 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -36,8 +36,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [this]() XQDB_REQUIRES(mu_) {
+        return shutdown_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // shutdown and drained
       task = std::move(queue_.back());
       queue_.pop_back();
@@ -76,19 +78,22 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     return;
   }
 
+  // Completion state shared with the queued chunks. error_mu is a leaf
+  // acquired strictly after the pool's mu_ has been released (chunks run
+  // unlocked), so no ordering edge with mu_ exists.
   struct ForState {
     std::atomic<size_t> remaining;
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    std::mutex error_mu;
-    std::exception_ptr first_error;
+    Mutex done_mu;
+    CondVar done_cv;
+    Mutex error_mu;
+    std::exception_ptr first_error XQDB_GUARDED_BY(error_mu);
   };
   auto state = std::make_shared<ForState>();
   size_t chunks = (n + grain - 1) / grain;
   state->remaining.store(chunks, std::memory_order_relaxed);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t c = 0; c < chunks; ++c) {
       size_t lo = begin + c * grain;
       size_t hi = std::min(end, lo + grain);
@@ -97,26 +102,26 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
           fn(lo, hi);
           g_tasks_executed.fetch_add(1, std::memory_order_relaxed);
         } catch (...) {
-          std::lock_guard<std::mutex> elock(state->error_mu);
+          MutexLock elock(state->error_mu);
           if (!state->first_error) {
             state->first_error = std::current_exception();
           }
         }
         if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> dlock(state->done_mu);
-          state->done_cv.notify_all();
+          MutexLock dlock(state->done_mu);
+          state->done_cv.NotifyAll();
         }
       });
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The calling thread participates: steal queued chunks (ours or another
   // ParallelFor's — tasks are self-contained) instead of blocking idle.
   for (;;) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!queue_.empty()) {
         task = std::move(queue_.back());
         queue_.pop_back();
@@ -127,11 +132,12 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     if (state->remaining.load(std::memory_order_acquire) == 0) break;
   }
   {
-    std::unique_lock<std::mutex> lock(state->done_mu);
-    state->done_cv.wait(lock, [&] {
+    MutexLock lock(state->done_mu);
+    state->done_cv.Wait(state->done_mu, [&] {
       return state->remaining.load(std::memory_order_acquire) == 0;
     });
   }
+  MutexLock elock(state->error_mu);
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
@@ -140,13 +146,15 @@ std::unique_ptr<ThreadPool>* GlobalSlot() {
   static auto* slot = new std::unique_ptr<ThreadPool>;
   return slot;
 }
-std::mutex* GlobalMu() {
-  static auto* mu = new std::mutex;
+Mutex* GlobalMu() {
+  static auto* mu = new Mutex;
   return mu;
 }
 }  // namespace
 
 size_t ThreadPool::DefaultThreads() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv; xqdb never
+  // calls setenv/putenv, so there is no writer to race with.
   if (const char* env = std::getenv("XQDB_THREADS")) {
     char* end = nullptr;
     long v = std::strtol(env, &end, 10);
@@ -157,14 +165,14 @@ size_t ThreadPool::DefaultThreads() {
 }
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(*GlobalMu());
+  MutexLock lock(*GlobalMu());
   auto* slot = GlobalSlot();
   if (*slot == nullptr) *slot = std::make_unique<ThreadPool>(DefaultThreads());
   return **slot;
 }
 
 void ThreadPool::SetGlobalThreads(size_t threads) {
-  std::lock_guard<std::mutex> lock(*GlobalMu());
+  MutexLock lock(*GlobalMu());
   *GlobalSlot() = std::make_unique<ThreadPool>(threads);
 }
 

@@ -1,13 +1,14 @@
 #ifndef XQDB_COMMON_THREAD_POOL_H_
 #define XQDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xqdb {
 
@@ -22,6 +23,10 @@ namespace xqdb {
 /// Exceptions thrown by chunk functions are captured and the first one is
 /// rethrown on the calling thread after every chunk has finished, so a
 /// ParallelFor never leaks work into the background.
+///
+/// Lock order: mu_ is a leaf — no other engine lock is ever acquired while
+/// holding it (chunk functions run with mu_ released), so ParallelFor can
+/// be called from under any caller-side lock without inversion.
 class ThreadPool {
  public:
   /// `threads` = number of worker threads (0 → run inline).
@@ -39,7 +44,8 @@ class ThreadPool {
   /// per-chunk slots (chunk index = (chunk_begin - begin) / grain).
   /// `grain` == 0 picks a grain that yields ~4 chunks per worker.
   void ParallelFor(size_t begin, size_t end, size_t grain,
-                   const std::function<void(size_t, size_t)>& fn);
+                   const std::function<void(size_t, size_t)>& fn)
+      XQDB_EXCLUDES(mu_);
 
   /// The number of chunks ParallelFor will use for a given range/grain —
   /// callers preallocate per-chunk result slots with this.
@@ -68,13 +74,17 @@ class ThreadPool {
   static long long TasksExecuted();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() XQDB_EXCLUDES(mu_);
 
+  // workers_ is written only by the constructor, before any worker (or
+  // other thread) can observe the pool — immutable thereafter, so
+  // thread_count() reads it without the lock.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::vector<std::function<void()>> queue_;  // LIFO; tasks are symmetric
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::vector<std::function<void()>> queue_
+      XQDB_GUARDED_BY(mu_);  // LIFO; tasks are symmetric
+  bool shutdown_ XQDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace xqdb

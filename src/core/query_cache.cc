@@ -47,7 +47,7 @@ void QueryCache::InsertLocked(std::string key, Slot slot) {
 
 std::shared_ptr<const CachedSqlQuery> QueryCache::LookupSql(
     const std::string& text, uint64_t catalog_version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Slot* slot = LookupLocked(SqlKey(text), catalog_version);
   return slot == nullptr ? nullptr : slot->sql;
 }
@@ -57,13 +57,13 @@ void QueryCache::InsertSql(const std::string& text,
   Slot slot;
   slot.catalog_version = entry->catalog_version;
   slot.sql = std::move(entry);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   InsertLocked(SqlKey(text), std::move(slot));
 }
 
 std::shared_ptr<const CachedXQuery> QueryCache::LookupXQuery(
     const std::string& text, uint64_t catalog_version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Slot* slot = LookupLocked(XQueryKey(text), catalog_version);
   return slot == nullptr ? nullptr : slot->xquery;
 }
@@ -73,17 +73,17 @@ void QueryCache::InsertXQuery(const std::string& text,
   Slot slot;
   slot.catalog_version = entry->catalog_version;
   slot.xquery = std::move(entry);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   InsertLocked(XQueryKey(text), std::move(slot));
 }
 
 QueryCache::Stats QueryCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 size_t QueryCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "sql/plan.h"
 #include "sql/sql_ast.h"
 #include "xquery/parser.h"
@@ -45,14 +46,18 @@ class QueryCache {
   QueryCache& operator=(const QueryCache&) = delete;
 
   std::shared_ptr<const CachedSqlQuery> LookupSql(const std::string& text,
-                                                  uint64_t catalog_version);
+                                                  uint64_t catalog_version)
+      XQDB_EXCLUDES(mu_);
   void InsertSql(const std::string& text,
-                 std::shared_ptr<const CachedSqlQuery> entry);
+                 std::shared_ptr<const CachedSqlQuery> entry)
+      XQDB_EXCLUDES(mu_);
 
   std::shared_ptr<const CachedXQuery> LookupXQuery(const std::string& text,
-                                                   uint64_t catalog_version);
+                                                   uint64_t catalog_version)
+      XQDB_EXCLUDES(mu_);
   void InsertXQuery(const std::string& text,
-                    std::shared_ptr<const CachedXQuery> entry);
+                    std::shared_ptr<const CachedXQuery> entry)
+      XQDB_EXCLUDES(mu_);
 
   struct Stats {
     long long hits = 0;
@@ -60,8 +65,8 @@ class QueryCache {
     long long invalidated = 0;  // entries discarded for version mismatch
     long long evictions = 0;    // capacity evictions
   };
-  Stats stats() const;
-  size_t size() const;
+  Stats stats() const XQDB_EXCLUDES(mu_);
+  size_t size() const XQDB_EXCLUDES(mu_);
 
  private:
   // One slot holds either statement kind; the text key is prefixed with
@@ -74,15 +79,18 @@ class QueryCache {
   };
 
   /// Returns the slot for `key` if present and current; erases stale
-  /// entries. Caller holds mu_.
-  Slot* LookupLocked(const std::string& key, uint64_t catalog_version);
-  void InsertLocked(std::string key, Slot slot);
+  /// entries. The returned pointer aliases the guarded map — it must not
+  /// outlive the caller's critical section (callers copy the shared_ptr
+  /// out before unlocking).
+  Slot* LookupLocked(const std::string& key, uint64_t catalog_version)
+      XQDB_REQUIRES(mu_);
+  void InsertLocked(std::string key, Slot slot) XQDB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::list<std::string> lru_;  // front = most recent
-  std::unordered_map<std::string, Slot> entries_;
-  Stats stats_;
+  mutable Mutex mu_;
+  const size_t capacity_;  // set once at construction, read lock-free
+  std::list<std::string> lru_ XQDB_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, Slot> entries_ XQDB_GUARDED_BY(mu_);
+  Stats stats_ XQDB_GUARDED_BY(mu_);
 };
 
 }  // namespace xqdb

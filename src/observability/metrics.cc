@@ -1,8 +1,18 @@
 #include "observability/metrics.h"
 
 #include <cmath>
+#include <limits>
 
 namespace xqdb {
+
+namespace {
+/// Upper bound of bucket b. Bucket 63 is open-ended: 1LL << 63 would be
+/// signed-overflow UB, so its bound reports as LLONG_MAX.
+long long BucketBound(size_t b) {
+  if (b >= 63) return std::numeric_limits<long long>::max();
+  return 1LL << b;
+}
+}  // namespace
 
 long long Histogram::ApproxQuantile(double q) const {
   long long total = count();
@@ -17,9 +27,9 @@ long long Histogram::ApproxQuantile(double q) const {
   long long cum = 0;
   for (size_t b = 0; b < kBuckets; ++b) {
     cum += bucket(b);
-    if (cum >= target) return 1LL << b;
+    if (cum >= target) return BucketBound(b);
   }
-  return 1LL << (kBuckets - 1);
+  return BucketBound(kBuckets - 1);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -30,7 +40,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (Counter* c : counters_) {
     if (c->name_ == name) return c;
   }
@@ -39,7 +49,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (Histogram* h : histograms_) {
     if (h->name_ == name) return h;
   }
@@ -48,7 +58,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"counters\": {";
   for (size_t i = 0; i < counters_.size(); ++i) {
     if (i) out += ", ";

@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xqdb {
 
@@ -38,8 +40,11 @@ class Histogram {
 
   void Record(long long sample) {
     if (sample < 0) sample = 0;
+    // The shift is evaluated only for b < 63: 1LL << 63 would overflow the
+    // signed type (UB, and a UBSan abort). Samples above 2^62 land in the
+    // open-ended top bucket.
     size_t b = 0;
-    while ((1LL << b) < sample && b + 1 < kBuckets) ++b;
+    while (b + 1 < kBuckets && b < 63 && (1LL << b) < sample) ++b;
     buckets_[b].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(sample, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
@@ -53,6 +58,7 @@ class Histogram {
 
   /// The upper bound of the smallest bucket whose cumulative count reaches
   /// `q` (0..1) of the total — a coarse quantile, exact to a factor of 2.
+  /// The top bucket is open-ended; its reported bound is LLONG_MAX.
   long long ApproxQuantile(double q) const;
 
  private:
@@ -72,17 +78,20 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  /// The returned pointers are stable for the process lifetime (metrics
+  /// are never deleted), so handing them out of the lock is safe; all
+  /// mutation on them is lock-free atomics.
+  Counter* GetCounter(const std::string& name) XQDB_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) XQDB_EXCLUDES(mu_);
 
   /// JSON object {"counters": {...}, "histograms": {...}} of every metric.
-  std::string SnapshotJson() const;
+  std::string SnapshotJson() const XQDB_EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
-  mutable std::mutex mu_;
-  std::vector<Counter*> counters_;
-  std::vector<Histogram*> histograms_;
+  mutable Mutex mu_;
+  std::vector<Counter*> counters_ XQDB_GUARDED_BY(mu_);
+  std::vector<Histogram*> histograms_ XQDB_GUARDED_BY(mu_);
 };
 
 }  // namespace xqdb

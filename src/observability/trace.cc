@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xqdb {
 
@@ -42,19 +44,36 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-std::mutex* SinkMutex() {
-  static auto* mu = new std::mutex;
+/// Guards the installed test sink and serializes whole-record writes to the
+/// stderr/file sinks. A leaf lock: nothing else is acquired under it, and —
+/// enforced by the annotations — no user callback runs under it either.
+Mutex* SinkMutex() {
+  static auto* mu = new Mutex;
   return mu;
 }
 
-std::function<void(const std::string&)>* TestSink() {
+std::function<void(const std::string&)>* TestSink()
+    XQDB_REQUIRES(*SinkMutex()) {
   static auto* sink = new std::function<void(const std::string&)>;
   return sink;
+}
+
+/// Copies the installed test sink out under the lock so callers can invoke
+/// it unlocked. EmitTrace used to call the sink while holding SinkMutex —
+/// a guarded-state escape the annotation pass flagged: a sink that itself
+/// traces (or re-installs a sink) re-entered the non-recursive mutex,
+/// which is undefined behavior (deadlock in practice). See
+/// trace_test.cc TraceSinkReentrancy for the revert detector.
+std::function<void(const std::string&)> SnapshotTestSink()
+    XQDB_EXCLUDES(*SinkMutex()) {
+  MutexLock lock(*SinkMutex());
+  return *TestSink();
 }
 
 /// The env-selected sink target, resolved once. Empty = stderr.
 const std::string& TraceFileFromEnv() {
   static const std::string* path = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv, no setenv
     const char* env = std::getenv("XQDB_TRACE");
     if (env == nullptr || *env == '\0' || std::strcmp(env, "stderr") == 0 ||
         std::strcmp(env, "1") == 0) {
@@ -69,6 +88,7 @@ const std::string& TraceFileFromEnv() {
 
 bool TraceEnabledByEnv() {
   static const bool enabled = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv, no setenv
     const char* env = std::getenv("XQDB_TRACE");
     return env != nullptr && *env != '\0';
   }();
@@ -77,6 +97,7 @@ bool TraceEnabledByEnv() {
 
 long long SlowQueryThresholdNs() {
   static const long long threshold = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv, no setenv
     const char* env = std::getenv("XQDB_SLOW_QUERY_MS");
     if (env == nullptr) return 0LL;
     char* end = nullptr;
@@ -99,17 +120,22 @@ std::string QueryTrace::ToJson() const {
 }
 
 void SetTraceSinkForTesting(std::function<void(const std::string&)> sink) {
-  std::lock_guard<std::mutex> lock(*SinkMutex());
+  MutexLock lock(*SinkMutex());
   *TestSink() = std::move(sink);
 }
 
 void EmitTrace(const QueryTrace& trace) {
   std::string line = trace.ToJson();
-  std::lock_guard<std::mutex> lock(*SinkMutex());
-  if (*TestSink()) {
-    (*TestSink())(line);
+  // The sink callback runs with SinkMutex released: a sink may trace, or
+  // install another sink, without self-deadlocking. The copied std::function
+  // keeps the callable alive even if a concurrent SetTraceSinkForTesting
+  // replaces it mid-call; a sink shared by concurrent emitters must be
+  // internally thread-safe (the test sinks serialize with their own mutex).
+  if (auto sink = SnapshotTestSink()) {
+    sink(line);
     return;
   }
+  MutexLock lock(*SinkMutex());
   const std::string& path = TraceFileFromEnv();
   if (path.empty()) {
     std::fprintf(stderr, "%s\n", line.c_str());
@@ -125,7 +151,7 @@ void EmitTrace(const QueryTrace& trace) {
 void MaybeLogSlowQuery(const QueryTrace& trace) {
   long long threshold = SlowQueryThresholdNs();
   if (threshold == 0 || trace.stats.total_ns < threshold) return;
-  std::lock_guard<std::mutex> lock(*SinkMutex());
+  MutexLock lock(*SinkMutex());
   std::fprintf(stderr, "[xqdb slow query %.1f ms] %s\n",
                trace.stats.total_ns / 1e6, trace.ToJson().c_str());
 }

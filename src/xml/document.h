@@ -109,6 +109,11 @@ class Document {
   int64_t instance_id_;
   std::vector<Node> nodes_;
 
+  // The only cross-thread state in Document: a lock-free id allocator
+  // (concurrent constructions — parallel scans build result fragments —
+  // must still get process-unique ids, DESIGN.md §9 capability table).
+  // Everything else in a Document is confined to its building thread until
+  // publication, after which it is immutable and read freely.
   static std::atomic<int64_t> next_instance_id_;
 };
 

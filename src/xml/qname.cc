@@ -1,7 +1,5 @@
 #include "xml/qname.h"
 
-#include <mutex>
-
 namespace xqdb {
 
 namespace {
@@ -23,11 +21,11 @@ NamePool* NamePool::Global() {
 NameId NamePool::Intern(std::string_view ns_uri, std::string_view local) {
   std::string key = MakeKey(ns_uri, local);
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = lookup_.find(key);
     if (it != lookup_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = lookup_.find(key);  // re-check: raced with another Intern
   if (it != lookup_.end()) return it->second;
   NameId id = static_cast<NameId>(entries_.size());
@@ -37,24 +35,24 @@ NameId NamePool::Intern(std::string_view ns_uri, std::string_view local) {
 }
 
 NameId NamePool::Find(std::string_view ns_uri, std::string_view local) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = lookup_.find(MakeKey(ns_uri, local));
   return it == lookup_.end() ? kInvalidName : it->second;
 }
 
 std::string_view NamePool::NamespaceOf(NameId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return entries_[static_cast<size_t>(id)].ns_uri;
 }
 
 std::string_view NamePool::LocalOf(NameId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return entries_[static_cast<size_t>(id)].local;
 }
 
 std::string NamePool::ToString(NameId id) const {
   if (id == kInvalidName) return "<invalid>";
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   const Entry& e = entries_[static_cast<size_t>(id)];
   if (e.ns_uri.empty()) return e.local;
   return "{" + e.ns_uri + "}" + e.local;

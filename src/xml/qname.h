@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xqdb {
 
@@ -34,19 +36,26 @@ class NamePool {
   static NamePool* Global();
 
   /// Interns a QName. The empty URI denotes "no namespace".
-  NameId Intern(std::string_view ns_uri, std::string_view local);
+  NameId Intern(std::string_view ns_uri, std::string_view local)
+      XQDB_EXCLUDES(mu_);
 
   /// Looks up a QName without interning; returns kInvalidName if absent.
-  NameId Find(std::string_view ns_uri, std::string_view local) const;
+  NameId Find(std::string_view ns_uri, std::string_view local) const
+      XQDB_EXCLUDES(mu_);
 
-  std::string_view NamespaceOf(NameId id) const;
-  std::string_view LocalOf(NameId id) const;
+  /// The returned views point into the pool's append-only deque: entries
+  /// are never erased or mutated after Intern, and deques never relocate
+  /// elements, so the views stay valid for the process lifetime even
+  /// though they escape the lock (the sanctioned GUARDED_BY escape — see
+  /// DESIGN.md §9).
+  std::string_view NamespaceOf(NameId id) const XQDB_EXCLUDES(mu_);
+  std::string_view LocalOf(NameId id) const XQDB_EXCLUDES(mu_);
 
   /// "{uri}local" for diagnostics, or plain "local" when URI is empty.
-  std::string ToString(NameId id) const;
+  std::string ToString(NameId id) const XQDB_EXCLUDES(mu_);
 
-  size_t size() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t size() const XQDB_EXCLUDES(mu_) {
+    ReaderMutexLock lock(mu_);
     return entries_.size();
   }
 
@@ -55,9 +64,10 @@ class NamePool {
     std::string ns_uri;
     std::string local;
   };
-  mutable std::shared_mutex mu_;
-  std::deque<Entry> entries_;
-  std::unordered_map<std::string, NameId> lookup_;  // key: uri + '\x01' + local
+  mutable SharedMutex mu_;
+  std::deque<Entry> entries_ XQDB_GUARDED_BY(mu_);
+  std::unordered_map<std::string, NameId> lookup_
+      XQDB_GUARDED_BY(mu_);  // key: uri + '\x01' + local
 };
 
 }  // namespace xqdb

@@ -1,18 +1,23 @@
 #include "xpath/pattern_cache.h"
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xqdb {
 
 namespace {
 
 struct PatternCache {
-  std::mutex mu;
+  Mutex mu;
+  // Values are shared_ptr on purpose: lookups copy the handle out under
+  // the lock, so the compiled pattern itself (immutable after compile) is
+  // safely shared outside the critical section.
   std::unordered_map<std::string, std::shared_ptr<const CompiledPattern>>
-      by_text;
-  PatternCacheStats stats;
+      by_text XQDB_GUARDED_BY(mu);
+  PatternCacheStats stats XQDB_GUARDED_BY(mu);
 };
 
 PatternCache* Cache() {
@@ -27,7 +32,7 @@ Result<std::shared_ptr<const CompiledPattern>> GetCompiledPattern(
   PatternCache* cache = Cache();
   std::string key(text);
   {
-    std::lock_guard<std::mutex> lock(cache->mu);
+    MutexLock lock(cache->mu);
     auto it = cache->by_text.find(key);
     if (it != cache->by_text.end()) {
       ++cache->stats.hits;
@@ -39,7 +44,7 @@ Result<std::shared_ptr<const CompiledPattern>> GetCompiledPattern(
   auto compiled = std::make_shared<CompiledPattern>();
   XQDB_ASSIGN_OR_RETURN(compiled->pattern, ParsePattern(text));
   XQDB_ASSIGN_OR_RETURN(compiled->nfa, PatternNfa::Compile(compiled->pattern));
-  std::lock_guard<std::mutex> lock(cache->mu);
+  MutexLock lock(cache->mu);
   auto [it, inserted] = cache->by_text.emplace(std::move(key), compiled);
   if (inserted) {
     ++cache->stats.misses;
@@ -51,7 +56,7 @@ Result<std::shared_ptr<const CompiledPattern>> GetCompiledPattern(
 
 PatternCacheStats GetPatternCacheStats() {
   PatternCache* cache = Cache();
-  std::lock_guard<std::mutex> lock(cache->mu);
+  MutexLock lock(cache->mu);
   return cache->stats;
 }
 

@@ -1,0 +1,221 @@
+// Concurrency contention tests (ctest label `concurrency`): hammer every
+// process-wide shared-state component from N threads at once, with
+// DDL-driven cache invalidation interleaved between query rounds. The
+// suite is the TSan matrix's main course (tools/xqcheck.sh `thread` mode
+// builds with -DXQDB_SANITIZE=thread and runs this label): assertions
+// check the *logical* contracts (interning returns one object, counters
+// add up, invalidated plans are re-planned), while the sanitizer checks
+// the memory ordering underneath.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "observability/metrics.h"
+#include "workload/generator.h"
+#include "xml/qname.h"
+#include "xpath/pattern_cache.h"
+
+namespace xqdb {
+namespace {
+
+constexpr int kThreads = 8;
+
+void RunThreads(int n, const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int t = 0; t < n; ++t) threads.emplace_back([&body, t] { body(t); });
+  for (auto& th : threads) th.join();
+}
+
+// --- Query-cache eviction + DDL invalidation --------------------------------
+
+// N threads execute a working set of distinct query texts larger than the
+// cache capacity (default 128), forcing concurrent insert/evict/lookup on
+// the LRU. Between rounds the main thread runs DDL (CREATE INDEX), which
+// bumps the catalog version: every cached plan from the previous round is
+// stale, and round N+1's lookups must discard-and-replan rather than serve
+// a plan compiled against the old catalog. Queries stay read-only while
+// worker threads run — DDL is not thread-safe against concurrent queries
+// (documented single-writer contract), but cache invalidation is.
+TEST(ContentionTest, QueryCacheEvictionWithDdlInvalidation) {
+  Database db;
+  {
+    auto rs = db.ExecuteSql("CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  }
+  for (int i = 1; i <= 8; ++i) {
+    auto rs = db.ExecuteSql(
+        "INSERT INTO orders VALUES (" + std::to_string(i) +
+        ", '<order><lineitem price=\"" + std::to_string(i * 100) +
+        "\"/></order>')");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  }
+
+  // 25 texts/thread * 8 threads = 200 distinct texts > 128 slots.
+  constexpr int kTextsPerThread = 25;
+  auto query_text = [](int t, int i) {
+    return "SELECT ordid FROM orders WHERE ordid = " +
+           std::to_string(t * kTextsPerThread + i);
+  };
+
+  std::atomic<int> failures{0};
+  for (int round = 0; round < 3; ++round) {
+    RunThreads(kThreads, [&](int t) {
+      for (int rep = 0; rep < 2; ++rep) {
+        for (int i = 0; i < kTextsPerThread; ++i) {
+          auto rs = db.ExecuteSql(query_text(t, i));
+          if (!rs.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          // ordid values 1..8 exist exactly once; everything else is empty.
+          int id = t * kTextsPerThread + i;
+          size_t want = (id >= 1 && id <= 8) ? 1u : 0u;
+          if (rs->rows.size() != want) failures.fetch_add(1);
+        }
+      }
+    });
+    // DDL between rounds: bumps the catalog version, invalidating every
+    // plan the round above cached. The sentinel query brackets the DDL —
+    // cached as most-recent just before (so eviction cannot race it away),
+    // its post-DDL re-execution MUST take the stale-discard path.
+    const std::string sentinel = "SELECT ordid FROM orders WHERE ordid = 1";
+    ASSERT_TRUE(db.ExecuteSql(sentinel).ok());
+    long long invalidated_before = db.query_cache_stats().invalidated;
+    auto rs = db.ExecuteSql(
+        "CREATE INDEX li_round" + std::to_string(round) +
+        " ON orders(orddoc) USING XMLPATTERN '//lineitem/@price' "
+        "AS SQL DOUBLE");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ASSERT_TRUE(db.ExecuteSql(sentinel).ok());
+    EXPECT_GT(db.query_cache_stats().invalidated, invalidated_before)
+        << "DDL did not invalidate the sentinel's cached plan";
+  }
+
+  EXPECT_EQ(failures.load(), 0);
+  auto stats = db.query_cache_stats();
+  EXPECT_GT(stats.evictions, 0) << "working set never overflowed the cache";
+  EXPECT_GT(stats.hits, 0) << "repeat executions never hit the cache";
+}
+
+// --- Pattern-cache interning ------------------------------------------------
+
+// N threads compile an overlapping set of pattern texts. Interning contract:
+// every thread asking for the same text gets the *same* compiled object
+// (pointer equality), no matter who wins the compile race.
+TEST(ContentionTest, PatternCacheInterningContention) {
+  constexpr int kPatterns = 12;
+  std::vector<std::string> texts;
+  texts.reserve(kPatterns);
+  for (int i = 0; i < kPatterns; ++i) {
+    texts.push_back("//contention" + std::to_string(i) + "/@price");
+  }
+
+  std::vector<std::vector<std::shared_ptr<const CompiledPattern>>> seen(
+      kThreads);
+  std::atomic<int> failures{0};
+  RunThreads(kThreads, [&](int t) {
+    seen[t].resize(kPatterns);
+    for (int rep = 0; rep < 50; ++rep) {
+      for (int i = 0; i < kPatterns; ++i) {
+        auto r = GetCompiledPattern(texts[i]);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (seen[t][i] == nullptr) {
+          seen[t][i] = *r;
+        } else if (seen[t][i] != *r) {
+          failures.fetch_add(1);  // interning returned a second object
+        }
+      }
+    }
+  });
+  ASSERT_EQ(failures.load(), 0);
+  for (int t = 1; t < kThreads; ++t) {
+    for (int i = 0; i < kPatterns; ++i) {
+      EXPECT_EQ(seen[0][i], seen[t][i])
+          << "threads interned different objects for " << texts[i];
+    }
+  }
+}
+
+// --- Metrics registry -------------------------------------------------------
+
+// N threads hammer histogram writes and counter increments on shared
+// metrics (interned by name through the registry lock) while another reader
+// repeatedly snapshots JSON. Totals must be exact: relaxed atomics may
+// reorder, but no increment may be lost.
+TEST(ContentionTest, MetricsRegistryHistogramContention) {
+  constexpr int kWrites = 2000;
+  auto& registry = MetricsRegistry::Global();
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string json = registry.SnapshotJson();
+      ASSERT_FALSE(json.empty());
+    }
+  });
+
+  RunThreads(kThreads, [&](int t) {
+    // Every thread interns the same names — the registry must hand all of
+    // them the same objects.
+    Counter* c = registry.GetCounter("contention_test.ops");
+    Histogram* h = registry.GetHistogram("contention_test.latency");
+    for (int i = 0; i < kWrites; ++i) {
+      c->Increment();
+      h->Record((t + 1) * (i % 64));
+    }
+  });
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  Counter* c = registry.GetCounter("contention_test.ops");
+  Histogram* h = registry.GetHistogram("contention_test.latency");
+  EXPECT_EQ(c->value(), static_cast<long long>(kThreads) * kWrites);
+  EXPECT_EQ(h->count(), static_cast<long long>(kThreads) * kWrites);
+}
+
+// --- NamePool interning -----------------------------------------------------
+
+// Concurrent Intern/resolve on the global pool: same (uri, local) must get
+// one id everywhere, and the string_views handed out stay valid while other
+// threads keep interning (the append-only deque contract).
+TEST(ContentionTest, NamePoolInterningContention) {
+  NamePool* pool = NamePool::Global();
+  constexpr int kNames = 32;
+  std::vector<std::vector<NameId>> ids(kThreads);
+  RunThreads(kThreads, [&](int t) {
+    ids[t].resize(kNames);
+    for (int rep = 0; rep < 20; ++rep) {
+      for (int i = 0; i < kNames; ++i) {
+        std::string local = "contention_elem_" + std::to_string(i);
+        NameId id = pool->Intern("http://xqdb.test/contention", local);
+        ids[t][i] = id;
+        // Resolve through the pool while other threads grow it.
+        std::string_view back = pool->LocalOf(id);
+        if (back != local) {
+          ADD_FAILURE() << "LocalOf(" << id << ") = " << back;
+        }
+        // Churn: unique-per-thread-and-rep names force deque growth.
+        pool->Intern("", "churn_" + std::to_string(t) + "_" +
+                             std::to_string(rep) + "_" + std::to_string(i));
+      }
+    }
+  });
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[0], ids[t]) << "thread " << t << " saw different ids";
+  }
+}
+
+}  // namespace
+}  // namespace xqdb

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -234,6 +235,56 @@ TEST_F(TraceFixture, TraceSinkRecordsFailuresWithError) {
   EXPECT_NE(records[0].find("\"error\""), std::string::npos) << records[0];
 }
 
+// Revert detector for the guarded-state escape the -Wthread-safety pass
+// flagged in EmitTrace: the sink callback used to run while SinkMutex was
+// held, so a sink that itself traces (below) re-entered the non-recursive
+// mutex — undefined behavior, a deadlock in practice (this test hung, and
+// TSan reported a double lock). The fix snapshots the sink under the lock
+// and invokes it unlocked.
+TEST_F(TraceFixture, TraceSinkMayReenterTracing) {
+  std::vector<std::string> records;
+  SetTraceSinkForTesting([&records](const std::string& line) {
+    records.push_back(line);
+    if (records.size() == 1) {
+      // A sink that traces its own bookkeeping — e.g. an audit sink
+      // recording "trace emitted" events through the same machinery.
+      QueryTrace nested;
+      nested.kind = "sink-audit";
+      nested.text = "nested emit from inside the sink";
+      EmitTrace(nested);
+    }
+  });
+  QueryTrace outer;
+  outer.kind = "sql";
+  outer.text = "outer";
+  EmitTrace(outer);
+  SetTraceSinkForTesting(nullptr);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].find("\"query\": \"outer\""), std::string::npos);
+  EXPECT_NE(records[1].find("\"kind\": \"sink-audit\""), std::string::npos);
+}
+
+// Same class of escape, other direction: a sink swapping in a replacement
+// sink mid-emit (tests do this when chaining capture scopes) used to
+// self-deadlock in SetTraceSinkForTesting.
+TEST_F(TraceFixture, TraceSinkMayReplaceItself) {
+  std::vector<std::string> first, second;
+  SetTraceSinkForTesting([&](const std::string& line) {
+    first.push_back(line);
+    SetTraceSinkForTesting(
+        [&second](const std::string& l) { second.push_back(l); });
+  });
+  QueryTrace a;
+  a.kind = "sql";
+  EmitTrace(a);
+  QueryTrace b;
+  b.kind = "xquery";
+  EmitTrace(b);
+  SetTraceSinkForTesting(nullptr);
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 1u);
+}
+
 TEST_F(TraceFixture, UntracedExecutionEmitsNothing) {
   std::vector<std::string> records;
   SetTraceSinkForTesting(
@@ -266,6 +317,23 @@ TEST(MetricsTest, HistogramBucketsAndQuantiles) {
   // power-of-two ceiling.
   EXPECT_LE(h->ApproxQuantile(0.5), 1);
   EXPECT_GE(h->ApproxQuantile(0.999), 1000);
+}
+
+// Revert detector for the histogram shift overflow: samples above 2^62
+// used to drive `1LL << 63` in Record's bucket search (and in the
+// quantile's bucket bound) — signed-overflow UB that aborts a
+// -DXQDB_SANITIZE=undefined build. Huge samples are real inputs: the
+// histogram records durations and scan lengths supplied by callers.
+TEST(MetricsTest, HistogramAcceptsHugeSamplesWithoutShiftOverflow) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.huge");
+  h->Record(std::numeric_limits<long long>::max());
+  h->Record((1LL << 62) + 1);
+  h->Record(1LL << 62);
+  EXPECT_EQ(h->count(), 3);
+  // Everything above 2^62 lands in the open-ended top bucket, whose
+  // reported bound is LLONG_MAX rather than an overflowed shift.
+  EXPECT_EQ(h->ApproxQuantile(1.0), std::numeric_limits<long long>::max());
+  EXPECT_EQ(h->bucket(Histogram::kBuckets - 1), 2);
 }
 
 TEST(MetricsTest, SnapshotJsonListsMetrics) {

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# xqcheck — one-command static-analysis and sanitizer driver for xqdb.
+#
+# Runs, in order:
+#   analyze    clang -Werror=thread-safety capability-annotation build
+#              (-DXQDB_ANALYZE=ON; skipped when clang is not installed)
+#   tidy       the clang-tidy sweep over src/ and tools/ (skipped when
+#              clang-tidy is not installed)
+#   undefined  UBSan build (-fno-sanitize-recover) + the FULL ctest suite
+#   thread     TSan build + the `concurrency` ctest label (thread pool,
+#              parallel exec, cache/metrics contention)
+#   address    ASan build + the 30s `fuzz-smoke` ctest label
+#
+# Each mode writes <out>/xqcheck-<mode>.json and the run ends with an
+# aggregate <out>/xqcheck.json. Exit status 0 iff no mode failed (skips do
+# not fail the run — CI provides the clang toolchain; a gcc-only dev box
+# still gets the three sanitizer matrices).
+#
+# Usage: tools/xqcheck.sh [--out DIR] [--jobs N] [--modes a,b,...]
+set -u
+
+cd "$(dirname "$0")/.."
+REPO="$(pwd)"
+OUT="$REPO/build-check"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+MODES="analyze,tidy,undefined,thread,address"
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --out) OUT="$2"; shift 2 ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    --modes) MODES="$2"; shift 2 ;;
+    -h|--help) sed -n '2,20p' "$0"; exit 0 ;;
+    *) echo "xqcheck: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+mkdir -p "$OUT"
+FAILED=0
+SUMMARY_ROWS=""
+
+# record <mode> <status> <seconds> <detail>
+record() {
+  local mode="$1" status="$2" seconds="$3" detail="$4"
+  printf '{"mode": "%s", "status": "%s", "seconds": %s, "detail": "%s"}\n' \
+    "$mode" "$status" "$seconds" "$detail" > "$OUT/xqcheck-$mode.json"
+  SUMMARY_ROWS="$SUMMARY_ROWS    {\"mode\": \"$mode\", \"status\": \"$status\", \"seconds\": $seconds, \"detail\": \"$detail\"},\n"
+  case "$status" in
+    passed)  echo "xqcheck: $mode PASSED (${seconds}s)" ;;
+    skipped) echo "xqcheck: $mode SKIPPED ($detail)" ;;
+    *)       echo "xqcheck: $mode FAILED ($detail) — log: $OUT/$mode.log" >&2
+             FAILED=1 ;;
+  esac
+}
+
+# run_mode <mode> <cmake-extra-args...> -- <post-build command...>
+# Configures+builds into $OUT/<mode>; then runs the post-build command (if
+# any) inside the build dir. Logs everything to $OUT/<mode>.log.
+run_mode() {
+  local mode="$1"; shift
+  local cmake_args=()
+  while [ $# -gt 0 ] && [ "$1" != "--" ]; do cmake_args+=("$1"); shift; done
+  [ $# -gt 0 ] && shift  # drop --
+  local bdir="$OUT/$mode" log="$OUT/$mode.log" t0 t1
+  t0=$(date +%s)
+  if ! cmake -B "$bdir" -S "$REPO" "${cmake_args[@]}" > "$log" 2>&1; then
+    record "$mode" failed $(( $(date +%s) - t0 )) "cmake configure failed"
+    return
+  fi
+  if ! cmake --build "$bdir" -j "$JOBS" >> "$log" 2>&1; then
+    record "$mode" failed $(( $(date +%s) - t0 )) "build failed"
+    return
+  fi
+  if [ $# -gt 0 ]; then
+    if ! (cd "$bdir" && "$@") >> "$log" 2>&1; then
+      record "$mode" failed $(( $(date +%s) - t0 )) "$* failed"
+      return
+    fi
+  fi
+  t1=$(date +%s)
+  record "$mode" passed $((t1 - t0)) "clean"
+}
+
+for mode in $(echo "$MODES" | tr ',' ' '); do
+  case "$mode" in
+    analyze)
+      CLANGXX="$(command -v clang++ || true)"
+      if [ -z "$CLANGXX" ]; then
+        record analyze skipped 0 "clang++ not on PATH"
+      else
+        run_mode analyze -DXQDB_ANALYZE=ON -DXQDB_TIDY=OFF \
+          -DCMAKE_CXX_COMPILER="$CLANGXX" --
+      fi
+      ;;
+    tidy)
+      if ! command -v clang-tidy > /dev/null; then
+        record tidy skipped 0 "clang-tidy not on PATH"
+      else
+        # Build first so generated sources/compile DB exist, then sweep.
+        run_mode tidy -DXQDB_TIDY=OFF -- \
+          cmake --build . --target tidy
+      fi
+      ;;
+    undefined)
+      run_mode undefined -DXQDB_SANITIZE=undefined -DXQDB_TIDY=OFF -- \
+        ctest --output-on-failure -j "$JOBS"
+      ;;
+    thread)
+      run_mode thread -DXQDB_SANITIZE=thread -DXQDB_TIDY=OFF -- \
+        ctest --output-on-failure -L concurrency -j "$JOBS"
+      ;;
+    address)
+      run_mode address -DXQDB_SANITIZE=address -DXQDB_TIDY=OFF -- \
+        ctest --output-on-failure -L fuzz-smoke
+      ;;
+    *)
+      record "$mode" failed 0 "unknown mode"
+      ;;
+  esac
+done
+
+{
+  echo '{'
+  echo '  "tool": "xqcheck",'
+  echo "  \"failed\": $FAILED,"
+  echo '  "modes": ['
+  printf '%b' "$SUMMARY_ROWS" | sed '$s/,$//'
+  echo '  ]'
+  echo '}'
+} > "$OUT/xqcheck.json"
+
+echo "xqcheck: summary written to $OUT/xqcheck.json"
+exit $FAILED
