@@ -7,8 +7,8 @@
 //
 // --out names the JSON report path (default BENCH_parallel.json in the
 // working directory; a bare positional path is accepted for backwards
-// compatibility). The report is generated output — it is gitignored, and
-// EXPERIMENTS.md documents the refresh step.
+// compatibility). A pinned-seed reference report is committed at the repo
+// root as BENCH_parallel.json; EXPERIMENTS.md documents the refresh step.
 //
 // --assert-counters re-runs the indexed workload and exits non-zero if the
 // ExecStats counters show the index was never probed — the regression that

@@ -273,6 +273,39 @@ void ExplainEligibility(const ExtractionResult& extraction, const Source& src,
   }
 }
 
+/// XQL015: a purely structural '//' predicate over a summarized collection
+/// is answerable from the strong DataGuide without opening a document — the
+/// planner plans exactly this as a PATH SUMMARY EXISTENCE PROBE when no
+/// index is eligible, and this note names the same code on the same query.
+void NoteSummaryAnswerable(const ExtractionResult& extraction,
+                           const Source& src, const XqContext& ctx,
+                           LintReport* report) {
+  if (ctx.catalog == nullptr) return;
+  auto table_result = ctx.catalog->GetTable(src.table);
+  if (!table_result.ok()) return;
+  const PathSummary* summary =
+      table_result.value()->path_summary(src.column);
+  if (summary == nullptr) return;
+  for (const ExtractedPredicate& pred : extraction.predicates) {
+    if (pred.has_value) continue;
+    bool has_descendant_step = false;
+    for (const auto& alt : pred.path.alternatives) {
+      for (const NormStep& step : alt) {
+        if (step.skip) has_descendant_step = true;
+      }
+    }
+    if (!has_descendant_step) continue;
+    if (!PatternNfa::Compile(pred.path).ok()) continue;
+    AddDiag(report, DiagCode::kXQL015_SummaryAnswerable, SourceSpan{},
+            "existence of " + pred.path_text + " over " + src.table + "." +
+                src.column +
+                " is answerable from the collection's path summary alone: "
+                "the '//' probe reads the DataGuide, not the documents "
+                "(docs_scanned = 0 even with no index defined)");
+    return;  // one note per source is enough
+  }
+}
+
 // ---------------------------------------------------------------------------
 // The per-body rule pass.
 // ---------------------------------------------------------------------------
@@ -503,6 +536,7 @@ void AnalyzeBody(const Expr& body, const XqContext& ctx, LintReport* report) {
       AddDiag(report, code, SourceSpan{}, note.substr(DiagTag(code).size()));
     }
     ExplainEligibility(extraction, src, ctx, report);
+    NoteSummaryAnswerable(extraction, src, ctx, report);
   }
 }
 

@@ -51,6 +51,9 @@ constexpr DiagCodeInfo kTable[] = {
     {DiagCode::kXQL014_DateTimeLexical, "XQL014", Severity::kError,
      "constant is not in the XML Schema date/dateTime lexical space",
      "§3.1; xs:date/xs:dateTime lexical rules"},
+    {DiagCode::kXQL015_SummaryAnswerable, "XQL015", Severity::kNote,
+     "'//' existence is answerable from the path summary alone",
+     "strong DataGuide; §2.2 context filtering"},
     {DiagCode::kXQL101_PatternMismatch, "XQL101", Severity::kNote,
      "Definition 1: index pattern does not contain the query path",
      "Def. 1 clause 1, §2.2"},

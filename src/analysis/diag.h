@@ -31,6 +31,7 @@ enum class DiagCode {
   kXQL012_AttributeAxis,         // Tip 12, §3.9: // never reaches attributes
   kXQL013_NeIsExistential,       // '!=' vs fn:not(=) semantics
   kXQL014_DateTimeLexical,       // bad date/dateTime lexical form
+  kXQL015_SummaryAnswerable,     // '//' existence answerable from DataGuide
   // -- Definition 1 clause taxonomy (eligibility explainer) ---------------
   kXQL101_PatternMismatch,       // index pattern does not contain the path
   kXQL102_TypeMismatch,          // index value type vs comparison type

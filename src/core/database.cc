@@ -113,8 +113,10 @@ void Database::EmitQueryTrace(const char* kind, const std::string& text,
 }
 
 Result<ResultSet> Database::RunSelect(const SelectStmt& stmt,
-                                      const SelectPlan& plan) {
+                                      const SelectPlan& plan,
+                                      const ExecOptions& options) {
   SqlExecutor executor(&catalog_);
+  if (options.disable_structural) executor.set_structural_enabled(false);
   return executor.Run(stmt, plan);
 }
 
@@ -143,7 +145,7 @@ Result<ResultSet> Database::ExecuteSqlInternal(const std::string& sql,
       if (plan_text != nullptr) {
         *plan_text = cached->plan.Explain(*cached->stmt.select);
       }
-      auto rs = RunSelect(*cached->stmt.select, cached->plan);
+      auto rs = RunSelect(*cached->stmt.select, cached->plan, options);
       if (rs.ok()) {
         rs->stats.plan_cache_hits = 1;
         FinishStats(&rs->stats, t0, t0, t0, tasks0);
@@ -193,7 +195,7 @@ Result<ResultSet> Database::ExecuteSqlInternal(const std::string& sql,
       entry->plan = *std::move(plan);
       entry->catalog_version = catalog_version;
       if (use_cache) query_cache_.InsertSql(sql, entry);
-      rs = RunSelect(*entry->stmt.select, entry->plan);
+      rs = RunSelect(*entry->stmt.select, entry->plan, options);
       break;
     }
   }
@@ -257,7 +259,7 @@ Result<Database::XQueryResult> Database::ExecuteXQueryInternal(
   const uint64_t catalog_version = catalog_.version();
   if (use_cache) {
     if (auto cached = query_cache_.LookupXQuery(query, catalog_version)) {
-      auto out = RunXQuery(cached->parsed, cached->plan);
+      auto out = RunXQuery(cached->parsed, cached->plan, options);
       if (out.ok()) {
         out->stats.plan_cache_hits = 1;
         FinishStats(&out->stats, t0, t0, t0, tasks0);
@@ -276,20 +278,38 @@ Result<Database::XQueryResult> Database::ExecuteXQueryInternal(
   entry->plan = std::move(plan);
   entry->catalog_version = catalog_version;
   if (use_cache) query_cache_.InsertXQuery(query, entry);
-  auto out = RunXQuery(entry->parsed, entry->plan);
+  auto out = RunXQuery(entry->parsed, entry->plan, options);
   if (out.ok()) FinishStats(&out->stats, t0, parse_end, plan_end, tasks0);
   return out;
 }
 
 Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
-                                                   const XQueryPlan& plan) {
+                                                   const XQueryPlan& plan,
+                                                   const ExecOptions& options) {
   XQueryResult out;
   out.plan = plan.Explain();
   out.runtime = std::make_shared<QueryRuntime>();
 
   std::unique_ptr<FilteredProvider> filtered;
   const XmlColumnProvider* provider = &catalog_;
-  if (plan.use_index) {
+  auto summary_of = [&]() -> const PathSummary* {
+    auto table = catalog_.GetTable(plan.table);
+    return table.ok() ? table.value()->path_summary(plan.column) : nullptr;
+  };
+  bool use_index = plan.use_index;
+  if (use_index && plan.access.summary_containment) {
+    // This plan's eligibility rests on data-dependent containment: every
+    // stored path the query matched lay inside the index pattern *when it
+    // was planned*. Inserts since then may have grown the path set past
+    // the pattern, so re-verify against the live summary (a trie walk, not
+    // a data scan) and fall back to the collection scan when stale.
+    const PathSummary* summary = summary_of();
+    use_index = summary != nullptr && plan.access.summary_nfa != nullptr &&
+                plan.access.containment_nfa != nullptr &&
+                summary->MatchedPathsCoveredBy(*plan.access.summary_nfa,
+                                               *plan.access.containment_nfa);
+  }
+  if (use_index) {
     ProbeStats pstats;
     std::vector<uint32_t> rows;
     switch (plan.access.kind) {
@@ -298,6 +318,15 @@ Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
         XQDB_ASSIGN_OR_RETURN(
             rows, plan.access.index->ProbeRange(plan.access.lo,
                                                 plan.access.hi, &pstats));
+        break;
+      }
+      case AccessPath::Kind::kSummaryExistence: {
+        const PathSummary* summary = summary_of();
+        PathSummary::MatchStats mstats;
+        if (summary != nullptr && plan.access.summary_nfa != nullptr) {
+          rows = summary->MatchRows(*plan.access.summary_nfa, &mstats);
+        }
+        out.stats.summary_pruned_paths += mstats.pruned_paths;
         break;
       }
       case AccessPath::Kind::kIndexIntersect: {
@@ -326,13 +355,15 @@ Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
   }
 
   Evaluator eval(&parsed.static_context, provider, out.runtime.get());
+  if (options.disable_structural) eval.set_structural_enabled(false);
+  eval.set_stats(&out.stats);
   XQDB_ASSIGN_OR_RETURN(out.items, eval.Eval(*parsed.body));
   out.stats.rows_scanned = eval.docs_navigated();
   // Without an index pre-filter every navigated document was visited
   // blind — that is a collection scan, the ineligible shape of Definition
   // 1; with one, the documents the evaluator saw were index-admitted and
   // already counted in index_docs_returned.
-  if (!plan.use_index) out.stats.docs_scanned = eval.docs_navigated();
+  if (!use_index) out.stats.docs_scanned = eval.docs_navigated();
   out.stats.xquery_evals = 1;
 
   out.rows.reserve(out.items.size());

@@ -111,10 +111,13 @@ class Database {
   Result<ResultSet> RunInsert(const InsertStmt& stmt);
 
   /// Executes a compiled SELECT / XQuery (shared by the cache-hit and
-  /// freshly-compiled paths).
-  Result<ResultSet> RunSelect(const SelectStmt& stmt, const SelectPlan& plan);
+  /// freshly-compiled paths). `options` carries only runtime knobs here
+  /// (disable_structural); plan forcing happened at plan time.
+  Result<ResultSet> RunSelect(const SelectStmt& stmt, const SelectPlan& plan,
+                              const ExecOptions& options);
   Result<XQueryResult> RunXQuery(const ParsedQuery& parsed,
-                                 const XQueryPlan& plan);
+                                 const XQueryPlan& plan,
+                                 const ExecOptions& options);
 
   /// Unverified lint (no fix execution) rendered for EXPLAIN output;
   /// empty string when there is nothing to report or the text won't parse.

@@ -107,16 +107,33 @@ void OpToBounds(CompareOp op, const AtomicValue& constant, ProbeBound* lo,
 }  // namespace
 
 EligibilityVerdict CheckEligibility(const XmlIndex& index,
-                                    const ExtractedPredicate& pred) {
+                                    const ExtractedPredicate& pred,
+                                    const PathSummary* summary) {
   EligibilityVerdict verdict;
   auto contains = PatternContains(index.pattern(), pred.path);
-  if (!contains.ok()) {
+  bool contained = contains.ok() && contains.value();
+  if (!contained && summary != nullptr && !pred.has_value) {
+    // Static containment failed, but Definition 1 only needs the index to
+    // contain every *stored* node the query path reaches. The path summary
+    // knows the collection's exact path set: if each stored path matched
+    // by the query is inside the index pattern, the index is eligible on
+    // this data. Restricted to structural predicates so the only plan kind
+    // that must re-verify the claim at run time is the structural probe.
+    auto query_nfa = PatternNfa::Compile(pred.path);
+    auto index_nfa = PatternNfa::Compile(index.pattern());
+    if (query_nfa.ok() && index_nfa.ok() &&
+        summary->MatchedPathsCoveredBy(*query_nfa, *index_nfa)) {
+      contained = true;
+      verdict.summary_dependent = true;
+    }
+  }
+  if (!contains.ok() && !contained) {
     verdict.code = DiagCode::kXQL101_PatternMismatch;
     verdict.reason = "containment check failed: " +
                      contains.status().ToString();
     return verdict;
   }
-  if (!contains.value()) {
+  if (!contained) {
     verdict.code = DiagCode::kXQL101_PatternMismatch;
     verdict.reason =
         "index pattern '" + index.pattern().source_text +
@@ -128,9 +145,15 @@ EligibilityVerdict CheckEligibility(const XmlIndex& index,
     return verdict;
   }
   verdict.eligible = true;
-  verdict.reason = "pattern contains " + pred.path_text + "; " +
-                   std::string(IndexValueTypeName(index.type())) +
-                   " index matches the comparison type";
+  verdict.reason =
+      verdict.summary_dependent
+          ? "path summary shows every stored path matched by " +
+                pred.path_text + " lies inside '" +
+                index.pattern().source_text +
+                "' (data-dependent containment, re-verified at execution)"
+          : "pattern contains " + pred.path_text + "; " +
+                std::string(IndexValueTypeName(index.type())) +
+                " index matches the comparison type";
   return verdict;
 }
 
@@ -148,8 +171,44 @@ void DedupNotes(std::vector<std::string>* notes) {
 
 }  // namespace
 
+/// Last resort before a full scan when the collection has a path summary:
+/// answer "which rows contain this path" from the DataGuide. Works with
+/// zero indexes defined, scans zero documents, and — because the summary
+/// is maintained transactionally with DML — is consulted at execution
+/// time, so cached plans never go stale. Returns false if no extracted
+/// predicate's path compiles to an automaton.
+bool TrySummaryExistence(const ExtractionResult& extraction,
+                         const PathSummary* summary,
+                         const std::string& table, const std::string& column,
+                         AccessPath* path) {
+  if (summary == nullptr) return false;
+  for (const ExtractedPredicate& pred : extraction.predicates) {
+    auto nfa = PatternNfa::Compile(pred.path);
+    if (!nfa.ok()) continue;
+    path->kind = AccessPath::Kind::kSummaryExistence;
+    path->summary_nfa =
+        std::make_shared<const PatternNfa>(*std::move(nfa));
+    path->summary_table = table;
+    path->summary_column = column;
+    path->summary_path_text = pred.path_text;
+    path->summary = "path-summary existence probe for " + pred.description +
+                    " (no eligible index; rows from the DataGuide, "
+                    "docs_scanned = 0)";
+    path->notes.push_back(
+        DiagTag(DiagCode::kXQL015_SummaryAnswerable) + "existence of " +
+        pred.path_text +
+        " is answerable from the collection's path summary alone — no "
+        "document is opened to find the qualifying rows");
+    return true;
+  }
+  return false;
+}
+
 AccessPath ChooseAccessPathImpl(const std::vector<const XmlIndex*>& indexes,
-                                const ExtractionResult& extraction) {
+                                const ExtractionResult& extraction,
+                                const PathSummary* summary,
+                                const std::string& table,
+                                const std::string& column) {
   AccessPath path;
   path.notes = extraction.notes;
 
@@ -158,6 +217,9 @@ AccessPath ChooseAccessPathImpl(const std::vector<const XmlIndex*>& indexes,
     return path;
   }
   if (indexes.empty()) {
+    if (TrySummaryExistence(extraction, summary, table, column, &path)) {
+      return path;
+    }
     path.summary = "no XML indexes defined on this column";
     return path;
   }
@@ -165,6 +227,7 @@ AccessPath ChooseAccessPathImpl(const std::vector<const XmlIndex*>& indexes,
   struct Choice {
     const XmlIndex* index;
     const ExtractedPredicate* pred;
+    bool summary_dependent;
   };
   std::vector<Choice> value_choices;
   std::vector<Choice> structural_choices;
@@ -172,16 +235,21 @@ AccessPath ChooseAccessPathImpl(const std::vector<const XmlIndex*>& indexes,
   for (const ExtractedPredicate& pred : extraction.predicates) {
     bool matched = false;
     for (const XmlIndex* index : indexes) {
-      EligibilityVerdict verdict = CheckEligibility(*index, pred);
+      EligibilityVerdict verdict = CheckEligibility(*index, pred, summary);
       if (verdict.eligible) {
         matched = true;
         if (pred.has_value) {
-          value_choices.push_back(Choice{index, &pred});
+          value_choices.push_back(
+              Choice{index, &pred, verdict.summary_dependent});
         } else {
-          structural_choices.push_back(Choice{index, &pred});
+          structural_choices.push_back(
+              Choice{index, &pred, verdict.summary_dependent});
         }
         path.notes.push_back("eligible: " + index->name() + " for " +
-                             pred.description);
+                             pred.description +
+                             (verdict.summary_dependent
+                                  ? " — " + verdict.reason
+                                  : std::string()));
         break;
       }
       path.notes.push_back(DiagTag(verdict.code) + "ineligible: " +
@@ -298,10 +366,33 @@ AccessPath ChooseAccessPathImpl(const std::vector<const XmlIndex*>& indexes,
     }
   }
   if (!structural_choices.empty()) {
+    const Choice& choice = structural_choices[0];
     path.kind = AccessPath::Kind::kIndexStructural;
-    path.index = structural_choices[0].index;
+    path.index = choice.index;
     path.summary = "structural index scan on " + path.index->name() +
                    " (full value range, path existence only)";
+    if (choice.summary_dependent) {
+      // The eligibility claim is only as good as the collection's current
+      // path set: ship both automata so the executor can re-verify the
+      // coverage against the live summary and fall back to a scan when a
+      // later insert introduced a path the index misses.
+      auto query_nfa = PatternNfa::Compile(choice.pred->path);
+      auto index_nfa = PatternNfa::Compile(choice.index->pattern());
+      if (query_nfa.ok() && index_nfa.ok()) {
+        path.summary_containment = true;
+        path.summary_nfa =
+            std::make_shared<const PatternNfa>(*std::move(query_nfa));
+        path.containment_nfa =
+            std::make_shared<const PatternNfa>(*std::move(index_nfa));
+        path.summary_table = table;
+        path.summary_column = column;
+        path.summary_path_text = choice.pred->path_text;
+        path.summary += " — eligibility via summary-derived containment";
+      }
+    }
+    return path;
+  }
+  if (TrySummaryExistence(extraction, summary, table, column, &path)) {
     return path;
   }
   path.summary = "predicates found but no eligible index";
@@ -309,8 +400,12 @@ AccessPath ChooseAccessPathImpl(const std::vector<const XmlIndex*>& indexes,
 }
 
 AccessPath ChooseAccessPath(const std::vector<const XmlIndex*>& indexes,
-                            const ExtractionResult& extraction) {
-  AccessPath path = ChooseAccessPathImpl(indexes, extraction);
+                            const ExtractionResult& extraction,
+                            const PathSummary* summary,
+                            const std::string& table,
+                            const std::string& column) {
+  AccessPath path =
+      ChooseAccessPathImpl(indexes, extraction, summary, table, column);
   DedupNotes(&path.notes);
   return path;
 }

@@ -21,6 +21,13 @@ struct ExecOptions {
   /// Every execution is a cold compile.
   bool disable_cache = false;
 
+  /// Disables the structural-join (pre/post interval) axis evaluation for
+  /// this execution, falling back to the recursive tree walk. This is the
+  /// per-execution form of the XQDB_STRUCTURAL=off escape hatch and the
+  /// hook for the structural-vs-recursive differential oracle: both
+  /// evaluations must produce identical results on every query.
+  bool disable_structural = false;
+
   /// Emits a JSON QueryTrace record for this execution to the trace sink
   /// (observability/trace.h) even when the process-wide XQDB_TRACE switch
   /// is off. Counters and phase timings are collected either way; this only

@@ -225,7 +225,10 @@ Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) const {
     if (!used_column.empty()) {
       candidate_indexes = table->indexes().XmlIndexesOn(used_column);
     }
-    AccessPath chosen = ChooseAccessPath(candidate_indexes, merged);
+    const PathSummary* summary =
+        used_column.empty() ? nullptr : table->path_summary(used_column);
+    AccessPath chosen = ChooseAccessPath(candidate_indexes, merged, summary,
+                                         ref.table_name, used_column);
     chosen.notes.insert(chosen.notes.begin(),
                         std::make_move_iterator(merged.notes.begin()),
                         std::make_move_iterator(merged.notes.end()));
@@ -250,7 +253,8 @@ Result<XQueryPlan> Planner::PlanXQuery(const Expr& body) const {
         ExtractPredicates(body, table_name, column, {});
     std::vector<const XmlIndex*> indexes =
         table->indexes().XmlIndexesOn(column);
-    AccessPath access = ChooseAccessPath(indexes, extraction);
+    AccessPath access = ChooseAccessPath(
+        indexes, extraction, table->path_summary(column), table_name, column);
     if (access.kind != AccessPath::Kind::kFullScan) {
       plan.use_index = true;
       plan.table = table_name;

@@ -171,6 +171,10 @@ class Extractor {
         return step.test.kind == NodeTestSpec::Kind::kAnyNode &&
                !*pending_skip;
       case PathAxis::kParent:
+      case PathAxis::kAncestor:
+      case PathAxis::kAncestorOrSelf:
+        // Upward navigation has no linear-pattern form: extraction aborts
+        // and the predicate stays ineligible (Definition 1).
         return false;
     }
     return false;

@@ -1,0 +1,235 @@
+#include "index/path_summary.h"
+
+#include <algorithm>
+#include <set>
+
+#include "xml/qname.h"
+
+namespace xqdb {
+
+namespace {
+
+struct PathSymbol {
+  NodeRank rank;
+  std::string_view ns_uri;
+  std::string_view local;
+};
+
+PathSymbol SymbolOfNode(const Document& doc, NodeIdx idx) {
+  const Node& n = doc.node(idx);
+  NamePool* pool = NamePool::Global();
+  switch (n.kind) {
+    case NodeKind::kElement:
+      return {NodeRank::kElem, pool->NamespaceOf(n.name),
+              pool->LocalOf(n.name)};
+    case NodeKind::kAttribute:
+      return {NodeRank::kAttr, pool->NamespaceOf(n.name),
+              pool->LocalOf(n.name)};
+    case NodeKind::kText:
+      return {NodeRank::kText, "", ""};
+    case NodeKind::kComment:
+      return {NodeRank::kComment, "", ""};
+    case NodeKind::kProcessingInstruction:
+      return {NodeRank::kPi, "", pool->LocalOf(n.name)};
+    case NodeKind::kDocument:
+      break;
+  }
+  return {NodeRank::kElem, "", ""};
+}
+
+}  // namespace
+
+PathSummary::TrieNode* PathSummary::Child(TrieNode* parent, NodeRank rank,
+                                          std::string_view ns_uri,
+                                          std::string_view local,
+                                          bool create) {
+  for (const auto& c : parent->children) {
+    if (c->rank == rank && c->ns_uri == ns_uri && c->local == local) {
+      return c.get();
+    }
+  }
+  if (!create) return nullptr;
+  auto node = std::make_unique<TrieNode>();
+  node->rank = rank;
+  node->ns_uri = std::string(ns_uri);
+  node->local = std::string(local);
+  parent->children.push_back(std::move(node));
+  return parent->children.back().get();
+}
+
+void PathSummary::AddDocument(uint32_t row, const Document& doc) {
+  if (doc.root() == kNullNode) return;
+  ++doc_rows_[row];
+  // One pass over the node array: the array index is the pre rank, a frame
+  // covers one subtree's interval, and the trie cursor mirrors the
+  // document's path stack. O(nodes), no recursion, no rebuild.
+  struct Frame {
+    NodeIdx end;
+    TrieNode* node;
+  };
+  std::vector<Frame> stack;
+  const NodeIdx count = static_cast<NodeIdx>(doc.node_count());
+  NodeIdx idx = doc.root();
+  if (doc.node(idx).kind == NodeKind::kDocument) {
+    stack.push_back(Frame{doc.subtree_end(idx), &root_});
+    ++idx;
+  }
+  while (idx < count) {
+    while (!stack.empty() && stack.back().end <= idx) stack.pop_back();
+    TrieNode* parent = stack.empty() ? &root_ : stack.back().node;
+    PathSymbol sym = SymbolOfNode(doc, idx);
+    TrieNode* node =
+        Child(parent, sym.rank, sym.ns_uri, sym.local, /*create=*/true);
+    if (node->rows.empty()) ++path_count_;
+    ++node->rows[row];
+    const NodeIdx end = doc.subtree_end(idx);
+    if (end > idx + 1) stack.push_back(Frame{end, node});
+    ++idx;
+  }
+}
+
+void PathSummary::RemoveDocument(uint32_t row, const Document& doc) {
+  if (doc.root() == kNullNode) return;
+  auto docs = doc_rows_.find(row);
+  if (docs != doc_rows_.end() && --docs->second == 0) doc_rows_.erase(docs);
+  struct Frame {
+    NodeIdx end;
+    TrieNode* node;
+  };
+  std::vector<Frame> stack;
+  const NodeIdx count = static_cast<NodeIdx>(doc.node_count());
+  NodeIdx idx = doc.root();
+  if (doc.node(idx).kind == NodeKind::kDocument) {
+    stack.push_back(Frame{doc.subtree_end(idx), &root_});
+    ++idx;
+  }
+  while (idx < count) {
+    while (!stack.empty() && stack.back().end <= idx) stack.pop_back();
+    TrieNode* parent = stack.empty() ? &root_ : stack.back().node;
+    PathSymbol sym = SymbolOfNode(doc, idx);
+    TrieNode* node =
+        Child(parent, sym.rank, sym.ns_uri, sym.local, /*create=*/false);
+    if (node == nullptr) {
+      // Unknown path: the caller is removing a document that was never
+      // added. Skip the subtree rather than corrupting counts.
+      idx = doc.subtree_end(idx);
+      continue;
+    }
+    auto it = node->rows.find(row);
+    if (it != node->rows.end() && --it->second == 0) {
+      node->rows.erase(it);
+      if (node->rows.empty()) --path_count_;
+    }
+    const NodeIdx end = doc.subtree_end(idx);
+    if (end > idx + 1) stack.push_back(Frame{end, node});
+    ++idx;
+  }
+}
+
+std::vector<uint32_t> PathSummary::MatchRows(const PatternNfa& nfa,
+                                             MatchStats* stats) const {
+  std::set<uint32_t> rows;
+  if (nfa.matches_document_node()) {
+    for (const auto& [row, n] : doc_rows_) rows.insert(row);
+  }
+  // Iterative product traversal of (trie, automaton). The trie is as deep
+  // as the deepest stored document, so an explicit stack is mandatory for
+  // the same reason the Pattern-NFA document scan uses one.
+  struct Frame {
+    const TrieNode* node;
+    size_t next_child;
+    PatternNfa::StateSet states;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{&root_, 0, nfa.start_set()});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child >= f.node->children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const TrieNode* child = f.node->children[f.next_child++].get();
+    if (child->rows.empty()) continue;  // dead path (all docs removed)
+    PatternNfa::StateSet next =
+        nfa.Advance(f.states, child->rank, child->ns_uri, child->local);
+    if (next == 0) {
+      if (stats != nullptr) ++stats->pruned_paths;
+      continue;
+    }
+    if (nfa.AnyAccept(next)) {
+      for (const auto& [row, n] : child->rows) rows.insert(row);
+    }
+    stack.push_back(Frame{child, 0, next});
+  }
+  return {rows.begin(), rows.end()};
+}
+
+bool PathSummary::AnyPathMatches(const PatternNfa& nfa,
+                                 MatchStats* stats) const {
+  if (nfa.matches_document_node() && !doc_rows_.empty()) return true;
+  struct Frame {
+    const TrieNode* node;
+    size_t next_child;
+    PatternNfa::StateSet states;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{&root_, 0, nfa.start_set()});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child >= f.node->children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const TrieNode* child = f.node->children[f.next_child++].get();
+    if (child->rows.empty()) continue;
+    PatternNfa::StateSet next =
+        nfa.Advance(f.states, child->rank, child->ns_uri, child->local);
+    if (next == 0) {
+      if (stats != nullptr) ++stats->pruned_paths;
+      continue;
+    }
+    if (nfa.AnyAccept(next)) return true;
+    stack.push_back(Frame{child, 0, next});
+  }
+  return false;
+}
+
+bool PathSummary::MatchedPathsCoveredBy(const PatternNfa& query,
+                                        const PatternNfa& cover) const {
+  if (query.matches_document_node() && !doc_rows_.empty() &&
+      !cover.matches_document_node()) {
+    return false;
+  }
+  struct Frame {
+    const TrieNode* node;
+    size_t next_child;
+    PatternNfa::StateSet query_states;
+    PatternNfa::StateSet cover_states;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{&root_, 0, query.start_set(), cover.start_set()});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child >= f.node->children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const TrieNode* child = f.node->children[f.next_child++].get();
+    if (child->rows.empty()) continue;
+    PatternNfa::StateSet q =
+        query.Advance(f.query_states, child->rank, child->ns_uri,
+                      child->local);
+    if (q == 0) continue;  // query reaches nothing below; coverage vacuous
+    PatternNfa::StateSet c =
+        cover.Advance(f.cover_states, child->rank, child->ns_uri,
+                      child->local);
+    // The trie node IS a stored path word: if the query accepts it the
+    // cover must too, or some node the query can reach is missing from an
+    // index built on the cover pattern.
+    if (query.AnyAccept(q) && !cover.AnyAccept(c)) return false;
+    stack.push_back(Frame{child, 0, q, c});
+  }
+  return true;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,105 @@
+#ifndef XQDB_INDEX_PATH_SUMMARY_H_
+#define XQDB_INDEX_PATH_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/document.h"
+#include "xpath/pattern.h"
+#include "xpath/pattern_nfa.h"
+
+namespace xqdb {
+
+/// A strong DataGuide over one XML column: the trie of every distinct
+/// root-to-node path word occurring in the stored documents, with a
+/// row -> occurrence count at every trie node. Because the collection's
+/// path set is usually tiny compared to the collection itself (DataGuides
+/// collapse repetition), the summary answers three questions without
+/// touching a single document:
+///
+///   1. Which rows contain a node matching pattern P?  (MatchRows —
+///      a `//a//b` existence probe with docs_scanned = 0)
+///   2. Does any stored path match P at all?  (AnyPathMatches — prunes an
+///      NFA scan before it starts)
+///   3. Is every stored path matched by query pattern Q also matched by
+///      index pattern I?  (MatchedPathsCoveredBy — data-dependent
+///      Definition 1 containment when static containment fails)
+///
+/// Maintained incrementally: AddDocument / RemoveDocument walk the
+/// document's pre/post interval encoding once (no recursion, no rebuild),
+/// so the summary stays transactionally consistent with DML the same way
+/// the XML value indexes do. Answers from the summary are therefore always
+/// current — consulting it at execution time is plan-cache safe.
+class PathSummary {
+ public:
+  PathSummary() = default;
+  PathSummary(PathSummary&&) = default;
+  PathSummary& operator=(PathSummary&&) = default;
+  PathSummary(const PathSummary&) = delete;
+  PathSummary& operator=(const PathSummary&) = delete;
+
+  /// Records every root-to-node path of `doc` under row id `row`.
+  void AddDocument(uint32_t row, const Document& doc);
+
+  /// Reverses AddDocument for the same (row, doc) pair. Paths whose last
+  /// occurrence disappears stay as dead trie nodes but stop matching.
+  void RemoveDocument(uint32_t row, const Document& doc);
+
+  struct MatchStats {
+    /// Trie branches cut because the automaton had no surviving state —
+    /// whole families of stored paths dismissed without per-document work.
+    long long pruned_paths = 0;
+  };
+
+  /// Rows whose document contains at least one node matching `nfa`,
+  /// deduplicated, ascending. Never touches a document.
+  std::vector<uint32_t> MatchRows(const PatternNfa& nfa,
+                                  MatchStats* stats) const;
+
+  /// True when at least one live stored path matches `nfa`.
+  bool AnyPathMatches(const PatternNfa& nfa, MatchStats* stats) const;
+
+  /// True when every live stored path accepted by `query` is also accepted
+  /// by `cover` — the data-dependent form of pattern containment: on the
+  /// *current* collection, an index built from `cover` contains every node
+  /// `query` can reach. The verdict can be invalidated by later inserts
+  /// (a brand-new path the index misses), so callers must re-check at
+  /// execution time; the walk is over the path trie, not the data, and is
+  /// cheap enough to repeat.
+  bool MatchedPathsCoveredBy(const PatternNfa& query,
+                             const PatternNfa& cover) const;
+
+  /// Live distinct paths (trie nodes with at least one occurrence).
+  size_t path_count() const { return path_count_; }
+
+  /// Rows with at least one stored document.
+  size_t row_count() const { return doc_rows_.size(); }
+
+ private:
+  struct TrieNode {
+    NodeRank rank = NodeRank::kElem;
+    std::string ns_uri;
+    std::string local;
+    /// row id -> number of nodes in that row's document with exactly this
+    /// path word. Empty = dead path (and, since a parent element node is
+    /// itself an occurrence of the prefix path, a dead node's whole
+    /// subtree is dead too).
+    std::map<uint32_t, uint32_t> rows;
+    std::vector<std::unique_ptr<TrieNode>> children;
+  };
+
+  /// Finds (optionally creates) the child of `parent` for one path symbol.
+  TrieNode* Child(TrieNode* parent, NodeRank rank, std::string_view ns_uri,
+                  std::string_view local, bool create);
+
+  TrieNode root_;  // the document node; its own rows map stays empty
+  std::map<uint32_t, uint32_t> doc_rows_;  // row -> stored document count
+  size_t path_count_ = 0;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_INDEX_PATH_SUMMARY_H_

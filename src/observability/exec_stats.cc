@@ -24,6 +24,9 @@ constexpr Field kCounters[] = {
     {"nfa_matches", &ExecStats::nfa_matches},
     {"pool_tasks", &ExecStats::pool_tasks},
     {"plan_cache_hits", &ExecStats::plan_cache_hits},
+    {"structural_join_emitted", &ExecStats::structural_join_emitted},
+    {"intervals_compared", &ExecStats::intervals_compared},
+    {"summary_pruned_paths", &ExecStats::summary_pruned_paths},
 };
 
 constexpr Field kTimings[] = {

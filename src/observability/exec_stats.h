@@ -35,6 +35,14 @@ struct ExecStats {
                                       // concurrent queries)
   long long plan_cache_hits = 0;      // 1 if this execution reused a plan
 
+  // -- Structural-join counters (pre/post interval evaluation) -------------
+  long long structural_join_emitted = 0;  // nodes emitted by merged-interval
+                                          // axis scans
+  long long intervals_compared = 0;       // interval containment / merge
+                                          // comparisons performed
+  long long summary_pruned_paths = 0;     // path-summary trie branches cut
+                                          // during pattern matching
+
   // -- Phase timings (monotonic nanoseconds; 0 = phase skipped, e.g.
   // parse/plan on a plan-cache hit) ---------------------------------------
   long long parse_ns = 0;
@@ -56,6 +64,9 @@ struct ExecStats {
     nfa_matches += o.nfa_matches;
     pool_tasks += o.pool_tasks;
     plan_cache_hits += o.plan_cache_hits;
+    structural_join_emitted += o.structural_join_emitted;
+    intervals_compared += o.intervals_compared;
+    summary_pruned_paths += o.summary_pruned_paths;
     parse_ns += o.parse_ns;
     plan_ns += o.plan_ns;
     exec_ns += o.exec_ns;

@@ -66,6 +66,8 @@ Result<Sequence> SqlExecutor::EvalEmbeddedXQuery(
     const std::vector<SqlValue>& row, QueryRuntime* runtime,
     ExecStats* stats) {
   Evaluator eval(&q.parsed.static_context, catalog_, runtime);
+  eval.set_structural_enabled(structural_enabled_);
+  eval.set_stats(stats);
   for (const PassingArg& arg : q.passing) {
     XQDB_ASSIGN_OR_RETURN(SqlValue v,
                           EvalScalar(*arg.value, schema, row, runtime, stats));
@@ -392,10 +394,25 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
       bool per_row_probe =
           path != nullptr && path->kind == AccessPath::Kind::kIndexJoinProbe;
 
+      bool static_probe = !per_row_probe && path != nullptr &&
+                          path->kind != AccessPath::Kind::kFullScan;
+      if (static_probe && path->summary_containment) {
+        // Data-dependent eligibility (summary-derived containment): the
+        // claim depends on the collection's path set at plan time, so
+        // re-verify against the live summary and demote to a scan when
+        // DML has grown the path set past the index pattern.
+        const PathSummary* summary =
+            table->path_summary(path->summary_column);
+        static_probe =
+            summary != nullptr && path->summary_nfa != nullptr &&
+            path->containment_nfa != nullptr &&
+            summary->MatchedPathsCoveredBy(*path->summary_nfa,
+                                           *path->containment_nfa);
+      }
+
       // Which row ids to visit (join probes recompute per outer row).
       std::vector<uint32_t> static_row_ids;
-      if (!per_row_probe && path != nullptr &&
-          path->kind != AccessPath::Kind::kFullScan) {
+      if (static_probe) {
         ProbeStats pstats;
         switch (path->kind) {
           case AccessPath::Kind::kIndexRange:
@@ -403,6 +420,17 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
             XQDB_ASSIGN_OR_RETURN(
                 static_row_ids,
                 path->index->ProbeRange(path->lo, path->hi, &pstats));
+            break;
+          }
+          case AccessPath::Kind::kSummaryExistence: {
+            const PathSummary* summary =
+                table->path_summary(path->summary_column);
+            PathSummary::MatchStats mstats;
+            if (summary != nullptr && path->summary_nfa != nullptr) {
+              static_row_ids =
+                  summary->MatchRows(*path->summary_nfa, &mstats);
+            }
+            stats.summary_pruned_paths += mstats.pruned_paths;
             break;
           }
           case AccessPath::Kind::kIndexIntersect: {
@@ -423,6 +451,7 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
         stats.index_docs_returned +=
             static_cast<long long>(static_row_ids.size());
       } else if (!per_row_probe) {
+        // Full scan (or a demoted stale summary-containment probe).
         static_row_ids.reserve(table->live_row_count());
         for (uint32_t r = 0; r < table->row_count(); ++r) {
           if (!table->is_deleted(r)) static_row_ids.push_back(r);
@@ -441,6 +470,8 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
           // this row, then probe the inner table's index with it.
           Evaluator eval(&path->join_source->parsed.static_context,
                          catalog_, rs.runtime.get());
+          eval.set_structural_enabled(structural_enabled_);
+          eval.set_stats(&stats);
           for (const PassingArg& arg : path->join_source->passing) {
             auto value = EvalScalar(*arg.value, base_schema, base,
                                     rs.runtime.get(), &stats);
@@ -478,9 +509,7 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
           }
           row_ids = &probe_row_ids;
         }
-        const bool from_index =
-            per_row_probe ||
-            (path != nullptr && path->kind != AccessPath::Kind::kFullScan);
+        const bool from_index = per_row_probe || static_probe;
         for (uint32_t r : *row_ids) {
           if (table->is_deleted(r)) continue;  // tombstoned since probe
           ++stats.rows_scanned;
@@ -520,6 +549,8 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
             }
             Evaluator eval(&ref.row_query->parsed.static_context, catalog_,
                            rs.runtime.get());
+            eval.set_structural_enabled(structural_enabled_);
+            eval.set_stats(&stats);
             Focus focus;
             focus.has_item = true;
             focus.item = item;

@@ -10,6 +10,7 @@
 #include "sql/plan.h"
 #include "sql/sql_ast.h"
 #include "storage/catalog.h"
+#include "xquery/structural_join.h"
 
 namespace xqdb {
 
@@ -33,6 +34,10 @@ struct ResultSet {
 class SqlExecutor {
  public:
   explicit SqlExecutor(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Per-statement override of the structural-join default for every
+  /// embedded XQuery evaluation (ExecOptions::disable_structural).
+  void set_structural_enabled(bool enabled) { structural_enabled_ = enabled; }
 
   Result<ResultSet> Run(const SelectStmt& stmt, const SelectPlan& plan);
 
@@ -81,6 +86,7 @@ class SqlExecutor {
   static Result<Sequence> PassingToSequence(const SqlValue& v);
 
   Catalog* catalog_;
+  bool structural_enabled_ = StructuralJoinDefault();
 };
 
 }  // namespace xqdb

@@ -35,6 +35,13 @@ std::string AccessPathToString(const AccessPath& path) {
       out = "XML INDEX NESTED-LOOP PROBE " + path.index->name() +
             " (equality key computed per outer row)";
       break;
+    case AccessPath::Kind::kSummaryExistence:
+      out = "PATH SUMMARY EXISTENCE PROBE " + path.summary_path_text +
+            " (strong DataGuide, no document scan)";
+      break;
+  }
+  if (path.summary_containment) {
+    out += " [summary-derived containment]";
   }
   if (!path.summary.empty()) out += "  -- " + path.summary;
   for (const std::string& note : path.notes) {

@@ -1,6 +1,7 @@
 #ifndef XQDB_SQL_PLAN_H_
 #define XQDB_SQL_PLAN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@ struct AccessPath {
     kIndexIntersect,  // two probes ANDed (the §3.10 non-between shape)
     kIndexStructural, // unbounded varchar probe: "the path exists"
     kIndexJoinProbe,  // per-outer-row equality probe (Tips 5/6)
+    kSummaryExistence, // path-summary probe: no index, no document scan
   };
   Kind kind = Kind::kFullScan;
   const XmlIndex* index = nullptr;
@@ -33,6 +35,19 @@ struct AccessPath {
   // PASSING list for evaluating the key against the outer row).
   const Expr* join_key_expr = nullptr;
   const EmbeddedXQuery* join_source = nullptr;
+
+  // kSummaryExistence, and the data-dependent containment refinement on
+  // kIndexStructural: the compiled query-path automaton to run against the
+  // (table, column)'s path summary, and — for the refinement — the index
+  // pattern automaton the coverage claim must be re-verified against at
+  // execution time (the claim depends on the collection's current path
+  // set, which DML can grow after the plan is cached).
+  std::shared_ptr<const PatternNfa> summary_nfa;
+  std::shared_ptr<const PatternNfa> containment_nfa;
+  bool summary_containment = false;
+  std::string summary_table;
+  std::string summary_column;
+  std::string summary_path_text;
 
   /// Human-readable eligibility story for EXPLAIN: which predicates were
   /// found, which indexes were considered, and why each was (in)eligible.

@@ -30,6 +30,7 @@ Result<uint32_t> Table::InsertRow(
       }
     }
     xml_store_.resize(static_cast<size_t>(slot));
+    path_summaries_.resize(static_cast<size_t>(slot));
   }
 
   uint32_t row_id = static_cast<uint32_t>(rows_.size());
@@ -42,10 +43,13 @@ Result<uint32_t> Table::InsertRow(
       doc = std::move(xml_docs[doc_cursor++]);
     }
     if (doc != nullptr) {
-      // Maintain every XML index on this column.
+      // Maintain every XML index on this column, and the column's path
+      // summary (strong DataGuide) — both stay transactionally consistent
+      // with the stored documents.
       for (XmlIndex* idx : indexes_.AllXmlIndexes()) {
         idx->InsertDocument(row_id, *doc);
       }
+      path_summaries_[static_cast<size_t>(slot)].AddDocument(row_id, *doc);
       values[i] = SqlValue::Xml(
           Sequence{Item(NodeHandle{doc.get(), doc->root()})});
     } else {
@@ -91,6 +95,8 @@ Status Table::DeleteRow(uint32_t r) {
     for (XmlIndex* idx : indexes_.AllXmlIndexes()) {
       idx->EraseDocument(r, *doc);
     }
+    int slot = xml_slot_of_column_[i];
+    path_summaries_[static_cast<size_t>(slot)].RemoveDocument(r, *doc);
   }
   // Relational index maintenance.
   for (RelationalIndex* ridx : indexes_.AllRelationalIndexes()) {
@@ -122,6 +128,14 @@ const Document* Table::xml_document(uint32_t row, int column) const {
   int slot = xml_slot_of_column_[static_cast<size_t>(column)];
   if (slot < 0) return nullptr;
   return xml_store_[static_cast<size_t>(slot)][row].get();
+}
+
+const PathSummary* Table::path_summary(const std::string& column) const {
+  int col = ColumnIndex(column);
+  if (col < 0 || xml_slot_of_column_.empty()) return nullptr;
+  int slot = xml_slot_of_column_[static_cast<size_t>(col)];
+  if (slot < 0) return nullptr;
+  return &path_summaries_[static_cast<size_t>(slot)];
 }
 
 Status Table::CreateXmlIndex(const std::string& index_name,

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "index/index_manager.h"
+#include "index/path_summary.h"
 #include "storage/value.h"
 #include "xml/document.h"
 
@@ -56,6 +57,12 @@ class Table {
   /// The stored document of an XML column cell (nullptr if NULL).
   const Document* xml_document(uint32_t row, int column) const;
 
+  /// The strong DataGuide over one XML column's stored documents,
+  /// maintained incrementally with every insert/delete alongside the XML
+  /// value indexes. nullptr for non-XML columns and before the first
+  /// insert (no documents means nothing to summarize).
+  const PathSummary* path_summary(const std::string& column) const;
+
   IndexManager& indexes() { return indexes_; }
   const IndexManager& indexes() const { return indexes_; }
 
@@ -79,6 +86,7 @@ class Table {
   // col_slot is the ordinal among XML columns.
   std::vector<std::vector<std::unique_ptr<Document>>> xml_store_;
   std::vector<int> xml_slot_of_column_;  // per column: slot or -1
+  std::vector<PathSummary> path_summaries_;  // parallel to xml_store_
   IndexManager indexes_;
 };
 

@@ -133,9 +133,15 @@ void RunPhase(Database* db, const DiffScenario& s, const DiffOptions& opt,
     scan_opts.force_scan = true;
     ExecOptions cold_opts;
     cold_opts.disable_cache = true;
+    ExecOptions recursive_opts;
+    recursive_opts.disable_cache = true;
+    recursive_opts.disable_structural = true;
 
     const Outcome scan_ref = RunOne(db, q, scan_opts);
     const Outcome idx_cold = RunOne(db, q, cold_opts);
+    // Same plan as idx_cold; only the axis evaluation strategy differs
+    // (recursive tree walk instead of interval-based structural joins).
+    const Outcome recursive = RunOne(db, q, recursive_opts);
     // First default-options run compiles into (or, post-DML, replays the
     // now-stale phase-A entry from) the cache; the second is a sure hit.
     const Outcome warm = RunOne(db, q, ExecOptions{});
@@ -145,6 +151,11 @@ void RunPhase(Database* db, const DiffScenario& s, const DiffOptions& opt,
       divs->push_back({"index-vs-scan", phase, q,
                        DiffDetail("index plan", idx_cold, "forced scan",
                                   scan_ref)});
+    }
+    if (!SameOutcome(recursive, idx_cold, false)) {
+      divs->push_back({"structural-vs-recursive", phase, q,
+                       DiffDetail("recursive walk", recursive,
+                                  "structural join", idx_cold)});
     }
     if (!SameOutcome(warm, idx_cold, false)) {
       divs->push_back({"cached-vs-cold", phase, q,

@@ -17,11 +17,12 @@ struct DiffOptions {
 };
 
 /// One detected disagreement. `oracle` is the equivalence that broke:
-///   "index-vs-scan"      planner-chosen plan vs forced collection scan
-///   "parallel-vs-serial" XQDB_THREADS=N vs the inline pool
-///   "cached-vs-cold"     compiled-query-cache replay vs cold compile
-///   "expectation"        corpus-pinned outcome vs the serial cold run
-///   "baddoc-accepted"    the XML parser accepted a corpus `baddoc:`
+///   "index-vs-scan"           planner-chosen plan vs forced collection scan
+///   "structural-vs-recursive" interval structural joins vs recursive walk
+///   "parallel-vs-serial"      XQDB_THREADS=N vs the inline pool
+///   "cached-vs-cold"          compiled-query-cache replay vs cold compile
+///   "expectation"             corpus-pinned outcome vs the serial cold run
+///   "baddoc-accepted"         the XML parser accepted a corpus `baddoc:`
 struct Divergence {
   std::string oracle;
   std::string phase;  // "initial" or "post-dml"
@@ -30,7 +31,7 @@ struct Divergence {
 };
 
 /// Loads the scenario into a fresh Database and checks every query under
-/// all three oracles, twice: once cold and once after the scenario's DML
+/// all four oracles, twice: once cold and once after the scenario's DML
 /// epoch (so phase-A cache entries are replayed stale — DML deliberately
 /// does not bump the catalog version). Restores the global thread pool
 /// before returning.

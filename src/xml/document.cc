@@ -18,7 +18,16 @@ Document::Document()
 NodeIdx Document::AppendNode(Node n, NodeIdx parent, bool as_attribute) {
   NodeIdx idx = static_cast<NodeIdx>(nodes_.size());
   n.parent = parent;
+  n.subtree_end = idx + 1;  // a fresh node's subtree is just itself
   nodes_.push_back(std::move(n));
+  // Incremental interval maintenance: the new node lands at the end of
+  // every ancestor's subtree range, so each ancestor's interval widens by
+  // exactly one. O(depth) per append keeps the encoding valid after every
+  // builder call — there is never a rebuild pass.
+  for (NodeIdx a = parent; a != kNullNode;
+       a = nodes_[static_cast<size_t>(a)].parent) {
+    nodes_[static_cast<size_t>(a)].subtree_end = idx + 1;
+  }
   if (parent != kNullNode) {
     Node& p = nodes_[static_cast<size_t>(parent)];
     if (as_attribute) {

@@ -42,6 +42,13 @@ inline constexpr NodeIdx kNullNode = -1;
 /// One node in a document's node array. Children and attributes are chained
 /// through sibling links; nodes are stored in document order (attributes of
 /// an element precede its children).
+///
+/// The array index IS the node's `pre` rank, and `subtree_end` is one past
+/// the last array slot of the node's subtree — together they form the
+/// pre/post interval encoding: y is in x's subtree iff
+/// x.idx < y.idx && y.idx < x.subtree_end. The builder maintains
+/// `subtree_end` incrementally on every append (each insertion widens the
+/// intervals of all ancestors by one), so the encoding is never rebuilt.
 struct Node {
   NodeKind kind = NodeKind::kElement;
   TypeAnnotation annotation = TypeAnnotation::kUntyped;
@@ -52,6 +59,7 @@ struct Node {
   NodeIdx next_sibling = kNullNode;
   NodeIdx first_attr = kNullNode;    // elements only; attrs linked by
                                      // next_sibling
+  NodeIdx subtree_end = kNullNode;   // one past the subtree's last node
   std::string content;               // text/comment/PI content, attr value
 };
 
@@ -77,6 +85,13 @@ class Document {
 
   const Node& node(NodeIdx i) const { return nodes_[static_cast<size_t>(i)]; }
   size_t node_count() const { return nodes_.size(); }
+
+  /// Pre/post interval bound: one past the last node-array slot occupied by
+  /// node i's subtree (attributes included). With `pre` = array index, the
+  /// subtree of i is exactly the half-open range (i, subtree_end(i)).
+  NodeIdx subtree_end(NodeIdx i) const {
+    return nodes_[static_cast<size_t>(i)].subtree_end;
+  }
 
   // --- Builder API (append in document order) ---------------------------
 
@@ -142,6 +157,16 @@ bool DocOrderLess(const NodeHandle& a, const NodeHandle& b);
 
 /// Parent of a node, or an invalid handle for roots.
 NodeHandle ParentOf(const NodeHandle& h);
+
+/// Interval containment test: true iff `desc` is a proper descendant of
+/// `anc` (XPath descendant axis — attributes are inside their element's
+/// interval but are NOT descendants, so attribute nodes always fail).
+/// O(1) via the pre/post encoding; no tree walk.
+inline bool IsDescendant(const NodeHandle& anc, const NodeHandle& desc) {
+  if (anc.doc != desc.doc || !anc.valid() || !desc.valid()) return false;
+  if (desc.kind() == NodeKind::kAttribute) return false;
+  return anc.idx < desc.idx && desc.idx < anc.doc->subtree_end(anc.idx);
+}
 
 }  // namespace xqdb
 

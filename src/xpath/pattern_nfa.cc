@@ -99,42 +99,45 @@ SymbolOf NodeSymbol(const Document& doc, NodeIdx idx) {
   return {NodeRank::kElem, "", ""};
 }
 
-void MatchRecursive(const PatternNfa& nfa, const Document& doc, NodeIdx idx,
-                    PatternNfa::StateSet active,
-                    const std::function<void(NodeIdx)>& fn) {
-  const Node& n = doc.node(idx);
-  PatternNfa::StateSet here = active;
-  if (n.kind != NodeKind::kDocument) {
-    SymbolOf sym = NodeSymbol(doc, idx);
-    here = nfa.Advance(active, sym.rank, sym.ns_uri, sym.local);
-    if (here == 0) return;
-    if (nfa.AnyAccept(here)) fn(idx);
-  } else if (nfa.matches_document_node()) {
-    fn(idx);
-  }
-  if (n.kind == NodeKind::kElement) {
-    for (NodeIdx a = n.first_attr; a != kNullNode;
-         a = doc.node(a).next_sibling) {
-      SymbolOf sym = NodeSymbol(doc, a);
-      PatternNfa::StateSet aset =
-          nfa.Advance(here, sym.rank, sym.ns_uri, sym.local);
-      if (nfa.AnyAccept(aset)) fn(a);
-    }
-  }
-  if (n.kind == NodeKind::kElement || n.kind == NodeKind::kDocument) {
-    for (NodeIdx c = n.first_child; c != kNullNode;
-         c = doc.node(c).next_sibling) {
-      MatchRecursive(nfa, doc, c, here, fn);
-    }
-  }
-}
-
 }  // namespace
 
 void ForEachMatch(const PatternNfa& nfa, const Document& doc,
                   const std::function<void(NodeIdx)>& fn) {
   if (doc.root() == kNullNode) return;
-  MatchRecursive(nfa, doc, doc.root(), nfa.start_set(), fn);
+  // Iterative pre-order scan over the node array driven by the pre/post
+  // interval encoding: the array index is the pre rank, so "descend" is
+  // ++idx, "the subtree is dead" is a constant-time cursor jump to
+  // subtree_end, and no call stack grows with document depth (deep
+  // documents — depth in the hundreds — overflowed the recursive walk's
+  // frame budget long before its O(depth) cost mattered).
+  struct Frame {
+    NodeIdx end;                  // one past the owning subtree
+    PatternNfa::StateSet states;  // active set for nodes inside it
+  };
+  std::vector<Frame> stack;
+  const NodeIdx count = static_cast<NodeIdx>(doc.node_count());
+  NodeIdx idx = doc.root();
+  if (doc.node(idx).kind == NodeKind::kDocument) {
+    if (nfa.matches_document_node()) fn(idx);
+    stack.push_back(Frame{doc.subtree_end(idx), nfa.start_set()});
+    ++idx;
+  }
+  while (idx < count) {
+    while (!stack.empty() && stack.back().end <= idx) stack.pop_back();
+    const PatternNfa::StateSet active =
+        stack.empty() ? nfa.start_set() : stack.back().states;
+    SymbolOf sym = NodeSymbol(doc, idx);
+    PatternNfa::StateSet here =
+        nfa.Advance(active, sym.rank, sym.ns_uri, sym.local);
+    if (here == 0) {
+      idx = doc.subtree_end(idx);  // prune: skip the whole dead subtree
+      continue;
+    }
+    if (nfa.AnyAccept(here)) fn(idx);
+    const NodeIdx end = doc.subtree_end(idx);
+    if (end > idx + 1) stack.push_back(Frame{end, here});
+    ++idx;
+  }
 }
 
 bool MatchesNode(const PatternNfa& nfa, const Document& doc, NodeIdx idx) {

@@ -45,6 +45,10 @@ const char* AxisName(PathAxis axis) {
       return "attribute";
     case PathAxis::kParent:
       return "parent";
+    case PathAxis::kAncestor:
+      return "ancestor";
+    case PathAxis::kAncestorOrSelf:
+      return "ancestor-or-self";
   }
   return "?";
 }

@@ -40,6 +40,8 @@ enum class PathAxis {
   kSelf,
   kAttribute,
   kParent,
+  kAncestor,
+  kAncestorOrSelf,
 };
 
 /// One step of a path expression: either an axis step (axis + node test) or

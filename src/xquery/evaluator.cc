@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/str_util.h"
+#include "observability/exec_stats.h"
 #include "xdm/cast.h"
 #include "xdm/compare.h"
 #include "xml/qname.h"
@@ -408,6 +409,35 @@ void CollectDescendants(const NodeHandle& h, bool include_self,
 Result<Sequence> Evaluator::EvalAxisStep(const PathStep& step,
                                          const Sequence& input,
                                          const Focus&) {
+  const bool descendant_axis = step.axis == PathAxis::kDescendant ||
+                               step.axis == PathAxis::kDescendantOrSelf;
+  // Predicate-free descendant steps evaluate as ONE sort-merge structural
+  // join over all context nodes: nested subtree intervals merge into
+  // disjoint runs, so shared subtrees are scanned once instead of once per
+  // context, and the output needs no sort/dedup pass. Steps with
+  // predicates keep the per-context loop below (positional predicates are
+  // scoped to each context node's candidate list).
+  if (structural_enabled_ && descendant_axis && step.predicates.empty()) {
+    std::vector<NodeHandle> contexts;
+    contexts.reserve(input.size());
+    for (const Item& item : input) {
+      if (!item.is_node()) {
+        return Status::TypeError(
+            "XPTY0019: path step applied to an atomic value");
+      }
+      contexts.push_back(item.node());
+    }
+    StructuralJoinStats js;
+    Sequence out = StructuralDescendantJoin(
+        std::move(contexts), step.axis == PathAxis::kDescendantOrSelf,
+        step.test, &js);
+    if (stats_ != nullptr) {
+      stats_->intervals_compared += js.intervals_compared;
+      stats_->structural_join_emitted += js.emitted;
+    }
+    return out;
+  }
+
   Sequence out;
   for (const Item& item : input) {
     if (!item.is_node()) {
@@ -432,11 +462,43 @@ Result<Sequence> Evaluator::EvalAxisStep(const PathStep& step,
       }
       case PathAxis::kDescendant:
       case PathAxis::kDescendantOrSelf: {
+        const bool or_self = step.axis == PathAxis::kDescendantOrSelf;
+        if (structural_enabled_) {
+          // Per-context interval scan (iterative, O(subtree)): candidates
+          // stay grouped per context for the predicate pass.
+          StructuralJoinStats js;
+          AppendSubtreeInterval(h, or_self, step.test, &candidates, &js);
+          if (stats_ != nullptr) {
+            stats_->intervals_compared += js.intervals_compared;
+            stats_->structural_join_emitted += js.emitted;
+          }
+          break;
+        }
         Sequence all;
-        CollectDescendants(h, step.axis == PathAxis::kDescendantOrSelf,
-                           &all);
+        CollectDescendants(h, or_self, &all);
         for (const Item& d : all) {
           if (NodeMatchesTest(d.node(), step.test)) candidates.push_back(d);
+        }
+        break;
+      }
+      case PathAxis::kAncestor:
+      case PathAxis::kAncestorOrSelf: {
+        // Reverse axis: candidates are produced nearest-ancestor-first so
+        // positional predicates count from the context node outward
+        // (XPath §3.2.1); the final SortDocOrderDedup restores document
+        // order. Each hop is one interval-containment frame of the
+        // ancestor structural join, evaluated by parent-chain walk because
+        // the ancestor set of one node IS its parent chain — O(depth),
+        // already optimal, no recursion.
+        if (step.axis == PathAxis::kAncestorOrSelf &&
+            NodeMatchesTest(h, step.test)) {
+          candidates.push_back(Item(h));
+        }
+        for (NodeHandle p = ParentOf(h); p.valid(); p = ParentOf(p)) {
+          if (stats_ != nullptr && structural_enabled_) {
+            ++stats_->intervals_compared;
+          }
+          if (NodeMatchesTest(p, step.test)) candidates.push_back(Item(p));
         }
         break;
       }

@@ -11,8 +11,11 @@
 #include "xdm/item.h"
 #include "xquery/ast.h"
 #include "xquery/static_context.h"
+#include "xquery/structural_join.h"
 
 namespace xqdb {
+
+struct ExecStats;
 
 /// Resolves db2-fn:xmlcolumn('TABLE.COLUMN') references. Implemented by the
 /// storage layer; the XQuery engine itself is storage-agnostic.
@@ -79,6 +82,15 @@ class Evaluator {
   /// touched by navigation.
   long long docs_navigated() const { return docs_navigated_; }
 
+  /// Sink for structural-join work counters (structural_join_emitted,
+  /// intervals_compared). Optional; the evaluator works without one.
+  void set_stats(ExecStats* stats) { stats_ = stats; }
+
+  /// Per-evaluator override of the structural-join default
+  /// (ExecOptions::disable_structural / the XQDB_STRUCTURAL escape hatch).
+  /// Off = the original recursive tree walk, the differential baseline.
+  void set_structural_enabled(bool enabled) { structural_enabled_ = enabled; }
+
  private:
   friend struct FnContext;
 
@@ -107,6 +119,8 @@ class Evaluator {
   QueryRuntime* runtime_;
   std::map<std::string, Sequence> vars_;
   long long docs_navigated_ = 0;
+  ExecStats* stats_ = nullptr;
+  bool structural_enabled_ = StructuralJoinDefault();
 };
 
 /// True if the node satisfies the test (axis-independent part: kind + name).

@@ -728,6 +728,10 @@ class Parser {
           step.axis = PathAxis::kAttribute;
         } else if (first == "parent") {
           step.axis = PathAxis::kParent;
+        } else if (first == "ancestor") {
+          step.axis = PathAxis::kAncestor;
+        } else if (first == "ancestor-or-self") {
+          step.axis = PathAxis::kAncestorOrSelf;
         } else {
           return Status::Unsupported("axis '" + first + "::'");
         }

@@ -1,0 +1,106 @@
+#include "xquery/structural_join.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "xquery/evaluator.h"
+
+namespace xqdb {
+
+namespace {
+
+/// -1 = not yet resolved from the environment; 0/1 = resolved/overridden.
+std::atomic<int> g_structural_default{-1};
+
+bool ReadEnvDefault() {
+  const char* v = std::getenv("XQDB_STRUCTURAL");
+  if (v == nullptr) return true;
+  return std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0 &&
+         std::strcmp(v, "false") != 0;
+}
+
+}  // namespace
+
+bool StructuralJoinDefault() {
+  int s = g_structural_default.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = ReadEnvDefault() ? 1 : 0;
+    // Racing first calls resolve the same environment value; any later
+    // SetStructuralJoinDefault wins via plain store.
+    g_structural_default.store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void SetStructuralJoinDefault(bool enabled) {
+  g_structural_default.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+Sequence StructuralDescendantJoin(std::vector<NodeHandle> contexts,
+                                  bool or_self, const NodeTestSpec& test,
+                                  StructuralJoinStats* stats) {
+  std::sort(contexts.begin(), contexts.end(),
+            [](const NodeHandle& a, const NodeHandle& b) {
+              return DocOrderLess(a, b);
+            });
+  Sequence out;
+  size_t i = 0;
+  while (i < contexts.size()) {
+    const Document* doc = contexts[i].doc;
+    size_t doc_end = i;
+    while (doc_end < contexts.size() && contexts[doc_end].doc == doc) {
+      ++doc_end;
+    }
+    // Merge this document's sorted intervals into disjoint runs. Subtree
+    // intervals never partially overlap: the next context either nests
+    // inside the current run (start < hi) or begins a new one.
+    size_t k = i;
+    while (k < doc_end) {
+      const NodeIdx lo = contexts[k].idx;
+      NodeIdx hi = doc->subtree_end(lo);
+      const size_t run_begin = k;
+      ++k;
+      while (k < doc_end) {
+        ++stats->intervals_compared;
+        if (contexts[k].idx >= hi) break;
+        hi = std::max(hi, doc->subtree_end(contexts[k].idx));
+        ++k;
+      }
+      size_t ctx = run_begin;  // or-self attribute-context exception walker
+      for (NodeIdx n = or_self ? lo : lo + 1; n < hi; ++n) {
+        NodeHandle h{doc, n};
+        if (h.kind() == NodeKind::kAttribute) {
+          if (!or_self) continue;
+          while (ctx < k && contexts[ctx].idx < n) ++ctx;
+          if (ctx >= k || contexts[ctx].idx != n) continue;
+        }
+        if (NodeMatchesTest(h, test)) {
+          out.push_back(Item(h));
+          ++stats->emitted;
+        }
+      }
+    }
+    i = doc_end;
+  }
+  return out;
+}
+
+void AppendSubtreeInterval(const NodeHandle& h, bool or_self,
+                           const NodeTestSpec& test, Sequence* out,
+                           StructuralJoinStats* stats) {
+  const NodeIdx lo = h.idx;
+  const NodeIdx hi = h.doc->subtree_end(lo);
+  ++stats->intervals_compared;
+  for (NodeIdx n = or_self ? lo : lo + 1; n < hi; ++n) {
+    NodeHandle d{h.doc, n};
+    if (d.kind() == NodeKind::kAttribute && !(or_self && n == lo)) continue;
+    if (NodeMatchesTest(d, test)) {
+      out->push_back(Item(d));
+      ++stats->emitted;
+    }
+  }
+}
+
+}  // namespace xqdb

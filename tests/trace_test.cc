@@ -59,17 +59,23 @@ TEST_F(TraceFixture, EligibleProbeTouchesOnlyMatchingDocs) {
   EXPECT_EQ(xr->stats.docs_scanned, 0);
 }
 
-TEST_F(TraceFixture, IneligiblePredicateScansWholeCollection) {
+TEST_F(TraceFixture, IneligiblePredicateFallsBackToSummaryProbe) {
   // '!=' is ineligible on a DOUBLE index (it selects NaN and uncastable
-  // values the index omits), so the same collection is scanned in full.
+  // values the index omits) — but the *structural* part of the predicate
+  // (the path must exist) is still document-eliminating, and the path
+  // summary answers it without opening a document. Here every document
+  // contains the path, so the pre-filter is vacuous (all rows admitted)
+  // yet no document is visited blind and no B-tree is touched.
   auto xr = db_.ExecuteXQuery(
       "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
       "//order[lineitem/@price != 750] return $o/custid");
   ASSERT_TRUE(xr.ok()) << xr.status().ToString();
   EXPECT_EQ(xr->rows.size(), static_cast<size_t>(kCollectionSize));
-  EXPECT_EQ(xr->stats.docs_scanned, kCollectionSize);
-  EXPECT_EQ(xr->stats.index_docs_returned, 0);
+  EXPECT_EQ(xr->stats.docs_scanned, 0);
+  EXPECT_EQ(xr->stats.index_docs_returned, kCollectionSize);
   EXPECT_EQ(xr->stats.index_entries_probed, 0);
+  EXPECT_NE(xr->plan.find("PATH SUMMARY EXISTENCE PROBE"), std::string::npos)
+      << xr->plan;
 }
 
 TEST_F(TraceFixture, ForcedScanReportsCollectionScan) {

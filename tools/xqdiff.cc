@@ -1,12 +1,13 @@
 // xqdiff — differential correctness fuzzer for xqdb.
 //
 // For each seed it generates a workload + index set + query batch + DML
-// epoch (src/testing/query_gen.*) and checks three equivalences
+// epoch (src/testing/query_gen.*) and checks four equivalences
 // (src/testing/differential.*):
 //
 //   1. planner-chosen index plan  vs  forced collection scan
-//   2. parallel execution (N threads)  vs  serial
-//   3. compiled-query-cache replay  vs  cold compile (incl. after DML)
+//   2. interval structural joins  vs  recursive tree walk
+//   3. parallel execution (N threads)  vs  serial
+//   4. compiled-query-cache replay  vs  cold compile (incl. after DML)
 //
 // Usage:
 //   xqdiff --seed 1..1000 --queries 50          # sweep a seed range
@@ -206,7 +207,7 @@ int main(int argc, char** argv) {
   std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   std::printf(
-      "xqdiff: %u seed(s), %d queries each, 3 oracles, %.1fs — %lld "
+      "xqdiff: %u seed(s), %d queries each, 4 oracles, %.1fs — %lld "
       "divergence(s)\n",
       seeds_run, args.queries, elapsed.count(), total_divs);
   return total_divs == 0 ? 0 : 1;
