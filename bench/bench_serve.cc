@@ -1,0 +1,268 @@
+// Machine-readable serving-layer benchmark: boots an in-process Server on
+// an ephemeral port, replays the paper's query set from N concurrent
+// client connections (optionally under concurrent DML), and writes
+// BENCH_serve.json with throughput and p50/p95/p99 frame latency taken
+// from the server.query_ns histogram.
+//
+//   ./bench_serve [--clients 8] [--iters 2] [--dml] [--out output.json]
+//
+// --clients   concurrent client connections          (default 8)
+// --iters     full passes over the query set/client  (default 2)
+// --dml       run a writer thread (INSERT + DELETE on orders) while the
+//             clients read — snapshot isolation keeps every reader frame
+//             error-free
+// --out       JSON report path (default BENCH_serve.json)
+//
+// Exit status: 0 = every frame OK, 1 = any error frame or transport
+// failure (the acceptance gate: serving the paper workload must produce
+// zero error frames).
+//
+// Environment: XQDB_BENCH_ORDERS overrides the collection size (default
+// 4000 documents).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "observability/metrics.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "workload/generator.h"
+#include "workload/paper_queries.h"
+
+namespace {
+
+using xqdb::Client;
+using xqdb::Database;
+using xqdb::LoadPaperWorkload;
+using xqdb::OrdersWorkloadConfig;
+using xqdb::PaperQuery;
+using xqdb::ResponseFrame;
+using xqdb::Server;
+using xqdb::ServerOptions;
+using xqdb::ServablePaperQueries;
+using xqdb::Status;
+using xqdb::Verb;
+
+int OrdersFromEnv() {
+  if (const char* env = std::getenv("XQDB_BENCH_ORDERS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 4000;
+}
+
+double NowNs() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ClientResult {
+  long long frames_ok = 0;
+  long long frames_error = 0;
+  std::string first_error;  // "Qname: CODE message" of the first ERR frame
+};
+
+void RunClient(uint16_t port, int client_id, int iters, ClientResult* out) {
+  Client client;
+  if (Status s = client.Connect(port); !s.ok()) {
+    out->frames_error++;
+    out->first_error = "connect: " + s.ToString();
+    return;
+  }
+  const std::vector<PaperQuery>& queries = ServablePaperQueries();
+  for (int it = 0; it < iters; ++it) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      // Offset by client id so the 8 connections hit different queries at
+      // any instant instead of marching in lockstep.
+      const PaperQuery& q =
+          queries[(i + static_cast<size_t>(client_id)) % queries.size()];
+      auto frame =
+          client.Call(q.is_sql ? Verb::kQuery : Verb::kXQuery, q.text);
+      if (!frame.ok()) {
+        out->frames_error++;
+        if (out->first_error.empty()) {
+          out->first_error =
+              std::string(q.name) + ": transport: " + frame.status().ToString();
+        }
+        return;  // Transport is dead; stop this client.
+      }
+      if (!frame->ok) {
+        out->frames_error++;
+        if (out->first_error.empty()) {
+          out->first_error = std::string(q.name) + ": " + frame->code + " " +
+                             frame->payload.substr(0, 200);
+        }
+      } else {
+        out->frames_ok++;
+      }
+    }
+  }
+  client.Close();
+}
+
+/// The DML loop: inserts fresh orders above the generated id range, then
+/// deletes them, over and over while the clients read. Readers run on
+/// pinned snapshot epochs, so none of this may surface in their frames.
+void RunDml(Database* db, int base_id, std::atomic<bool>* stop,
+            long long* statements) {
+  int next_id = base_id;
+  while (!stop->load(std::memory_order_relaxed)) {
+    std::string insert =
+        "INSERT INTO orders VALUES (" + std::to_string(next_id) +
+        ", '<order><custid>1</custid>"
+        "<lineitem price=\"500\"><product><id>p1</id></product>"
+        "<price>500</price></lineitem></order>')";
+    if (!db->ExecuteSql(insert).ok()) break;
+    ++*statements;
+    if (next_id % 8 == 7) {
+      std::string del = "DELETE FROM orders WHERE ordid >= " +
+                        std::to_string(base_id);
+      if (!db->ExecuteSql(del).ok()) break;
+      ++*statements;
+      next_id = base_id;
+    } else {
+      ++next_id;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serve.json";
+  int clients = 8;
+  int iters = 2;
+  bool dml = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--clients" && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (arg == "--iters" && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else if (arg == "--dml") {
+      dml = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_serve [--clients N] [--iters N] "
+                           "[--dml] [--out PATH]\n");
+      return 2;
+    }
+  }
+  if (clients < 1) clients = 1;
+  if (iters < 1) iters = 1;
+
+  OrdersWorkloadConfig config;
+  config.num_orders = OrdersFromEnv();
+  config.seed = 42;
+
+  Database db;
+  if (Status s = LoadPaperWorkload(&db, config); !s.ok()) {
+    std::fprintf(stderr, "workload load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (!db.ExecuteSql("CREATE INDEX li_price ON orders(orddoc) "
+                     "USING XMLPATTERN '//lineitem/@price' AS SQL DOUBLE")
+           .ok()) {
+    std::fprintf(stderr, "index build failed\n");
+    return 1;
+  }
+
+  ServerOptions options;
+  options.port = 0;
+  options.max_sessions = clients + 4;
+  options.worker_threads = clients + 2;
+  Server server(&db, options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::atomic<bool> stop_dml{false};
+  long long dml_statements = 0;
+  std::thread dml_thread;
+  if (dml) {
+    dml_thread = std::thread(RunDml, &db, config.num_orders + 1000000,
+                             &stop_dml, &dml_statements);
+  }
+
+  std::vector<ClientResult> results(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  double t0 = NowNs();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(RunClient, server.port(), c, iters,
+                         &results[static_cast<size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  double elapsed_ns = NowNs() - t0;
+
+  if (dml) {
+    stop_dml.store(true, std::memory_order_relaxed);
+    dml_thread.join();
+  }
+  server.Stop();
+
+  long long ok = 0, errors = 0;
+  std::string first_error;
+  for (const ClientResult& r : results) {
+    ok += r.frames_ok;
+    errors += r.frames_error;
+    if (first_error.empty() && !r.first_error.empty()) {
+      first_error = r.first_error;
+    }
+  }
+
+  auto* hist = xqdb::MetricsRegistry::Global().GetHistogram("server.query_ns");
+  const double p50_ms = static_cast<double>(hist->ApproxQuantile(0.50)) / 1e6;
+  const double p95_ms = static_cast<double>(hist->ApproxQuantile(0.95)) / 1e6;
+  const double p99_ms = static_cast<double>(hist->ApproxQuantile(0.99)) / 1e6;
+  const double qps = ok / (elapsed_ns / 1e9);
+
+  std::string json = "{\n";
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "  \"benchmark\": \"serve\",\n"
+                "  \"orders\": %d,\n"
+                "  \"clients\": %d,\n"
+                "  \"iters\": %d,\n"
+                "  \"queries_per_pass\": %zu,\n"
+                "  \"dml\": %s,\n"
+                "  \"dml_statements\": %lld,\n"
+                "  \"frames_ok\": %lld,\n"
+                "  \"frames_error\": %lld,\n"
+                "  \"elapsed_ms\": %.1f,\n"
+                "  \"queries_per_second\": %.1f,\n"
+                "  \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, "
+                "\"p99\": %.3f}\n",
+                config.num_orders, clients, iters,
+                ServablePaperQueries().size(), dml ? "true" : "false",
+                dml_statements, ok, errors, elapsed_ns / 1e6, qps, p50_ms,
+                p95_ms, p99_ms);
+  json += buf;
+  json += "}\n";
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("%s", json.c_str());
+
+  if (errors > 0) {
+    std::fprintf(stderr, "FAIL: %lld error frames (first: %s)\n", errors,
+                 first_error.c_str());
+    return 1;
+  }
+  return 0;
+}

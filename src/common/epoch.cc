@@ -1,0 +1,29 @@
+#include "common/epoch.h"
+
+namespace xqdb {
+
+uint64_t EpochManager::OldestPinned() const {
+  MutexLock lock(pins_mu_);
+  if (pins_.empty()) return kEpochLatest;
+  return pins_.begin()->first;
+}
+
+uint64_t EpochManager::Pin() {
+  MutexLock lock(pins_mu_);
+  // The epoch load happens under the same lock the commit store takes, so
+  // a writer deciding on OldestPinned() after its commit cannot miss this
+  // pin: either we pinned before its commit (and it sees us), or after
+  // (and we pinned the new epoch, which it never vacuums).
+  uint64_t e = epoch_.load(std::memory_order_acquire);
+  ++pins_[e];
+  return e;
+}
+
+void EpochManager::Unpin(uint64_t epoch) {
+  MutexLock lock(pins_mu_);
+  auto it = pins_.find(epoch);
+  if (it == pins_.end()) return;  // defensive; Pin/Unpin are paired by RAII
+  if (--it->second == 0) pins_.erase(it);
+}
+
+}  // namespace xqdb

@@ -1,0 +1,143 @@
+#ifndef XQDB_COMMON_EPOCH_H_
+#define XQDB_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace xqdb {
+
+/// Epoch sentinels shared by the storage layer's RowMeta stamps and the
+/// manager below. kEpochNone marks "no delete epoch" (the row is live);
+/// kEpochLatest is the pseudo-epoch of an unpinned (latest) reader and is
+/// deliberately distinct from kEpochNone so `delete_epoch > reader_epoch`
+/// comparisons cannot confuse "never deleted" with "deleted at latest".
+inline constexpr uint64_t kEpochNone = ~0ULL;
+inline constexpr uint64_t kEpochLatest = ~0ULL - 1;
+
+/// Snapshot epochs for reader/writer concurrency (MVCC-lite).
+///
+/// One instance per Database. A monotonically increasing epoch counter
+/// starts at 1; every committed write statement advances it by one. Rows
+/// carry (insert_epoch, delete_epoch) stamps and a reader pinned at E sees
+/// exactly the rows with insert_epoch <= E < delete_epoch — so readers
+/// never take the write lock and never observe a half-applied statement.
+///
+/// Protocol:
+///  - Readers construct a SnapshotHandle: registers a pin at the current
+///    committed epoch. Destruction unregisters it.
+///  - Writers construct a WriteTicket: takes the single-writer mutex,
+///    stamps new rows with epoch()+1, and on destruction commits by
+///    storing epoch()+1 as the new current epoch.
+///  - Vacuum (physically erasing index entries for deleted rows) is safe
+///    for a row deleted at D once D <= OldestPinned(): any future pin E
+///    satisfies E >= current >= D, so no snapshot can need the row again.
+///
+/// The pin registration (load epoch, record pin) and the commit store both
+/// run under pins_mu_ — that closes the race where a reader loads epoch E,
+/// a writer commits E+1 and vacuums believing no E-pins exist, and only
+/// then the reader registers its stale pin.
+class EpochManager {
+ public:
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Current committed epoch (acquire: pairs with the commit's release).
+  uint64_t current() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Oldest epoch any live pin holds, or kEpochLatest when nothing is
+  /// pinned. Vacuum gate: rows with delete_epoch <= min(current(),
+  /// OldestPinned()) are invisible to every present and future snapshot.
+  uint64_t OldestPinned() const XQDB_EXCLUDES(pins_mu_);
+
+  /// Registers a pin at the current epoch; returns the pinned value.
+  /// Internal — use SnapshotHandle.
+  uint64_t Pin() XQDB_EXCLUDES(pins_mu_);
+  void Unpin(uint64_t epoch) XQDB_EXCLUDES(pins_mu_);
+
+ private:
+  friend class WriteTicket;
+
+  std::atomic<uint64_t> epoch_{1};
+
+  mutable Mutex pins_mu_;
+  // epoch -> number of live pins at that epoch. Small: one entry per
+  // distinct epoch concurrently pinned.
+  std::map<uint64_t, uint64_t> pins_ XQDB_GUARDED_BY(pins_mu_);
+
+  // Single-writer gate: one DML/DDL statement commits at a time.
+  Mutex writer_mu_;
+};
+
+/// RAII reader pin. Copyable-by-move only; the destructor unpins.
+class SnapshotHandle {
+ public:
+  explicit SnapshotHandle(EpochManager& mgr)
+      : mgr_(&mgr), epoch_(mgr.Pin()) {}
+  ~SnapshotHandle() {
+    if (mgr_ != nullptr) mgr_->Unpin(epoch_);
+  }
+  SnapshotHandle(SnapshotHandle&& other) noexcept
+      : mgr_(other.mgr_), epoch_(other.epoch_) {
+    other.mgr_ = nullptr;
+  }
+  SnapshotHandle& operator=(SnapshotHandle&&) = delete;
+  SnapshotHandle(const SnapshotHandle&) = delete;
+  SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  EpochManager* mgr_;
+  uint64_t epoch_;
+};
+
+/// RAII writer scope: serializes writers, exposes the epoch to stamp new
+/// work with, and commits it on destruction. Abort() rolls the commit back
+/// (the stamped-but-never-committed epoch is simply skipped; rows stamped
+/// with it stay invisible forever, and the caller is responsible for not
+/// publishing them).
+class XQDB_SCOPED_CAPABILITY WriteTicket {
+ public:
+  explicit WriteTicket(EpochManager& mgr) XQDB_ACQUIRE(mgr.writer_mu_)
+      : mgr_(mgr) {
+    mgr_.writer_mu_.Lock();
+    write_epoch_ = mgr_.current() + 1;
+  }
+
+  ~WriteTicket() XQDB_RELEASE() {
+    if (commit_) {
+      // Commit under pins_mu_ so no reader can pin between our store and a
+      // subsequent vacuum decision based on OldestPinned().
+      MutexLock lock(mgr_.pins_mu_);
+      mgr_.epoch_.store(write_epoch_, std::memory_order_release);
+    }
+    mgr_.writer_mu_.Unlock();
+  }
+
+  WriteTicket(const WriteTicket&) = delete;
+  WriteTicket& operator=(const WriteTicket&) = delete;
+
+  /// The epoch this statement's effects belong to. Visible to readers only
+  /// after the ticket commits.
+  uint64_t write_epoch() const { return write_epoch_; }
+
+  /// The statement failed before changing anything readers could see;
+  /// leave the committed epoch where it was.
+  void Abort() { commit_ = false; }
+
+ private:
+  EpochManager& mgr_;
+  uint64_t write_epoch_;
+  bool commit_ = true;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_COMMON_EPOCH_H_

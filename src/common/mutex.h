@@ -1,6 +1,7 @@
 #ifndef XQDB_COMMON_MUTEX_H_
 #define XQDB_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -113,6 +114,19 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native, pred);
     native.release();  // ownership stays with the caller's scoped lock
+  }
+
+  /// Timed Wait: returns pred() at wake-up — false means the deadline
+  /// passed with the predicate still unsatisfied. Same capability contract
+  /// as Wait().
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+               Pred pred) XQDB_REQUIRES(mu) XQDB_NO_THREAD_SAFETY_ANALYSIS {
+    // Same native-handle adoption as Wait(); see the comment there.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    bool satisfied = cv_.wait_for(native, timeout, pred);
+    native.release();  // ownership stays with the caller's scoped lock
+    return satisfied;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,0 +1,74 @@
+#ifndef XQDB_COMMON_SEMAPHORE_H_
+#define XQDB_COMMON_SEMAPHORE_H_
+
+#include <chrono>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace xqdb {
+
+/// Counting semaphore over the annotated Mutex/CondVar layer. The server
+/// uses one for session admission control: each accepted connection
+/// TryAcquire()s a permit and releases it at close; when no permit is free
+/// the connection gets a rejection frame instead of queueing behind a
+/// backlog that would hide overload.
+///
+/// (std::counting_semaphore exists but carries no capability annotations;
+/// this keeps admission control inside the analyzed lock discipline.)
+class Semaphore {
+ public:
+  explicit Semaphore(long long permits) : permits_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Blocks until a permit is free.
+  void Acquire() XQDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    cv_.Wait(mu_, [this]() XQDB_REQUIRES(mu_) { return permits_ > 0; });
+    --permits_;
+  }
+
+  /// Non-blocking: takes a permit if one is free.
+  bool TryAcquire() XQDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (permits_ <= 0) return false;
+    --permits_;
+    return true;
+  }
+
+  /// Blocks up to `timeout`; false if no permit became free.
+  template <typename Rep, typename Period>
+  bool AcquireFor(std::chrono::duration<Rep, Period> timeout)
+      XQDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (!cv_.WaitFor(mu_, timeout,
+                     [this]() XQDB_REQUIRES(mu_) { return permits_ > 0; })) {
+      return false;
+    }
+    --permits_;
+    return true;
+  }
+
+  void Release() XQDB_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      ++permits_;
+    }
+    cv_.NotifyOne();
+  }
+
+  long long available() const XQDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return permits_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  CondVar cv_;
+  long long permits_ XQDB_GUARDED_BY(mu_);
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_COMMON_SEMAPHORE_H_

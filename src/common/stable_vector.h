@@ -1,0 +1,107 @@
+#ifndef XQDB_COMMON_STABLE_VECTOR_H_
+#define XQDB_COMMON_STABLE_VECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace xqdb {
+
+/// Append-only chunked vector with lock-free concurrent readers.
+///
+/// The snapshot-read scheme needs one property std::vector cannot give:
+/// readers traverse rows while a single writer appends, with no lock and no
+/// reallocation ever moving an element a reader may be touching. Elements
+/// live in fixed 1024-slot blocks reachable through a fixed table of atomic
+/// block pointers, so an element's address is stable for the container's
+/// lifetime and publication is a pair of release/acquire edges:
+///
+///   writer:  construct element  →  size_.store(n+1, release)
+///   reader:  n = size()  [acquire]  →  (*this)[i] for i < n
+///
+/// A reader must bound its accesses by a size() value it loaded itself; the
+/// blocks behind any such size are fully constructed and never move.
+/// Appends are single-writer (the Database write path is serialized by the
+/// epoch manager); concurrent appends are NOT supported.
+///
+/// Capacity is kMaxBlocks * kBlockSize elements (4M). The block-pointer
+/// table costs kMaxBlocks pointers (~32KB) per instance, which is noise at
+/// table granularity. EmplaceBack returns false when full so the caller can
+/// surface a Status instead of crashing.
+template <typename T>
+class StableVector {
+ public:
+  static constexpr size_t kBlockSize = 1024;
+  static constexpr size_t kMaxBlocks = 4096;
+
+  StableVector() = default;
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  ~StableVector() {
+    size_t n = size_.load(std::memory_order_relaxed);
+    for (size_t b = 0; b * kBlockSize < n; ++b) {
+      T* block = blocks_[b].load(std::memory_order_relaxed);
+      size_t in_block = n - b * kBlockSize;
+      if (in_block > kBlockSize) in_block = kBlockSize;
+      for (size_t i = 0; i < in_block; ++i) block[i].~T();
+    }
+    for (size_t b = 0; b < kMaxBlocks; ++b) {
+      T* block = blocks_[b].load(std::memory_order_relaxed);
+      if (block == nullptr) break;
+      ::operator delete[](reinterpret_cast<char*>(block),
+                          std::align_val_t(alignof(T)));
+    }
+  }
+
+  static constexpr size_t max_size() { return kBlockSize * kMaxBlocks; }
+
+  /// Published element count. An acquire load: every element below the
+  /// returned count is fully constructed and safe to read.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Element access. Valid for i below a size() the calling thread already
+  /// loaded (readers), or any constructed index (the writer).
+  T& operator[](size_t i) {
+    return blocks_[i / kBlockSize].load(std::memory_order_relaxed)
+        [i % kBlockSize];
+  }
+  const T& operator[](size_t i) const {
+    return blocks_[i / kBlockSize].load(std::memory_order_relaxed)
+        [i % kBlockSize];
+  }
+
+  /// Appends one element (single writer only). The element is constructed
+  /// first, then published by the release store to size_. Returns false at
+  /// capacity, leaving the container unchanged.
+  template <typename... Args>
+  bool EmplaceBack(Args&&... args) {
+    size_t n = size_.load(std::memory_order_relaxed);
+    if (n >= max_size()) return false;
+    size_t b = n / kBlockSize;
+    T* block = blocks_[b].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      block = reinterpret_cast<T*>(::operator new[](
+          kBlockSize * sizeof(T), std::align_val_t(alignof(T))));
+      // Release: a reader that sees the new size must also see the block
+      // pointer its element lives behind (relaxed loads on the reader side
+      // are ordered by the size_ acquire via release-sequence headed here
+      // and at the size_ store below on the same writer thread).
+      blocks_[b].store(block, std::memory_order_release);
+    }
+    ::new (static_cast<void*>(&block[n % kBlockSize]))
+        T(std::forward<Args>(args)...);
+    size_.store(n + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::atomic<T*> blocks_[kMaxBlocks] = {};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_COMMON_STABLE_VECTOR_H_

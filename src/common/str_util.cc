@@ -1,11 +1,14 @@
 #include "common/str_util.h"
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <mutex>
+#include <set>
 
 namespace xqdb {
 
@@ -124,6 +127,78 @@ std::string FormatInt(long long v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%lld", v);
   return buf;
+}
+
+ParsedEnvInt ParseEnvIntText(std::string_view text, long long min_value,
+                             long long max_value, long long fallback) {
+  ParsedEnvInt out;
+  std::string_view t = TrimWhitespace(text);
+  long long v = 0;
+  bool parsed = false;
+  if (!t.empty()) {
+    std::string buf(t);
+    errno = 0;
+    char* end = nullptr;
+    v = std::strtoll(buf.c_str(), &end, 10);
+    parsed = end == buf.c_str() + buf.size() && errno != ERANGE;
+  }
+  if (!parsed) {
+    out.ok = false;
+    out.value = fallback;
+    return out;
+  }
+  if (v < min_value) {
+    out.clamped = true;
+    v = min_value;
+  } else if (v > max_value) {
+    out.clamped = true;
+    v = max_value;
+  }
+  out.value = v;
+  return out;
+}
+
+namespace {
+
+std::atomic<void (*)(const char*, const char*)> g_env_warn_hook{nullptr};
+
+void WarnEnvParse(const char* name, const std::string& detail) {
+  // One warning per knob name per process: a bad value in the environment
+  // would otherwise repeat on every lazy read site.
+  static std::mutex warned_mu;
+  static std::set<std::string>* warned = new std::set<std::string>;
+  {
+    std::lock_guard<std::mutex> lock(warned_mu);
+    if (!warned->insert(name).second) return;
+  }
+  if (auto* hook = g_env_warn_hook.load(std::memory_order_acquire)) {
+    hook(name, detail.c_str());
+    return;
+  }
+  std::fprintf(stderr, "xqdb: %s: %s\n", name, detail.c_str());
+}
+
+}  // namespace
+
+long long ParseEnvInt(const char* name, long long min_value,
+                      long long max_value, long long fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  ParsedEnvInt parsed = ParseEnvIntText(raw, min_value, max_value, fallback);
+  if (!parsed.ok) {
+    WarnEnvParse(name, std::string("ignoring malformed value \"") + raw +
+                           "\" (expected an integer); using " +
+                           FormatInt(parsed.value));
+  } else if (parsed.clamped) {
+    WarnEnvParse(name, std::string("value ") + raw + " outside [" +
+                           FormatInt(min_value) + ", " + FormatInt(max_value) +
+                           "]; clamped to " + FormatInt(parsed.value));
+  }
+  return parsed.value;
+}
+
+void SetEnvParseWarnHook(void (*hook)(const char* name, const char* detail)) {
+  g_env_warn_hook.store(hook, std::memory_order_release);
 }
 
 }  // namespace xqdb

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/str_util.h"
+
 namespace xqdb {
 
 namespace {
@@ -46,6 +48,22 @@ void ThreadPool::WorkerLoop() {
     }
     task();
   }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    g_tasks_executed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    MutexLock lock(mu_);
+    queue_.emplace_back([task = std::move(task)] {
+      task();
+      g_tasks_executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  work_cv_.NotifyOne();
 }
 
 size_t ThreadPool::NumChunks(size_t begin, size_t end, size_t grain,
@@ -153,15 +171,12 @@ Mutex* GlobalMu() {
 }  // namespace
 
 size_t ThreadPool::DefaultThreads() {
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv; xqdb never
-  // calls setenv/putenv, so there is no writer to race with.
-  if (const char* env = std::getenv("XQDB_THREADS")) {
-    char* end = nullptr;
-    long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 0) return std::min<long>(v, 256);
-  }
   unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  size_t fallback = hw == 0 ? 1 : hw;
+  // Checked parse: "8 threads", "-3" or "1e4" warn once and fall back /
+  // clamp instead of silently truncating like the old strtol did.
+  return static_cast<size_t>(ParseEnvInt("XQDB_THREADS", 0, 256,
+                                         static_cast<long long>(fallback)));
 }
 
 ThreadPool& ThreadPool::Global() {

@@ -52,6 +52,13 @@ class ThreadPool {
   static size_t NumChunks(size_t begin, size_t end, size_t grain,
                           size_t threads);
 
+  /// Enqueues one fire-and-forget task (runs inline on the degenerate
+  /// pool). Caveat: ParallelFor's caller-stealing loop may execute
+  /// submitted tasks on the submitting/calling thread, so tasks must not
+  /// block on locks a ParallelFor caller could be holding — the server
+  /// runs sessions on its own dedicated pool for exactly this reason.
+  void Submit(std::function<void()> task) XQDB_EXCLUDES(mu_);
+
   /// The process-wide pool. Size comes from the XQDB_THREADS environment
   /// variable when set (clamped to [0, 256]), otherwise
   /// hardware_concurrency(). Created on first use; never destroyed.

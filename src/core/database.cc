@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include <chrono>
+#include <optional>
 
 #include "analysis/analyzer.h"
 #include "common/thread_pool.h"
@@ -102,6 +103,7 @@ void Database::EmitQueryTrace(const char* kind, const std::string& text,
   trace.kind = kind;
   trace.text = text;
   trace.plan = plan;
+  trace.session_id = options.session_id;
   trace.ok = result.ok();
   if (result.ok()) {
     trace.stats = result->stats;
@@ -115,7 +117,15 @@ void Database::EmitQueryTrace(const char* kind, const std::string& text,
 Result<ResultSet> Database::RunSelect(const SelectStmt& stmt,
                                       const SelectPlan& plan,
                                       const ExecOptions& options) {
-  SqlExecutor executor(&catalog_);
+  // Evaluate against one consistent snapshot: the caller's pinned epoch
+  // (server sessions), or a pin held for the duration of this statement.
+  std::optional<SnapshotHandle> pin;
+  uint64_t epoch = options.snapshot_epoch;
+  if (epoch == 0) {
+    pin.emplace(epoch_manager_);
+    epoch = pin->epoch();
+  }
+  SqlExecutor executor(&catalog_, epoch);
   if (options.disable_structural) executor.set_structural_enabled(false);
   return executor.Run(stmt, plan);
 }
@@ -159,27 +169,30 @@ Result<ResultSet> Database::ExecuteSqlInternal(const std::string& sql,
   if (plan_text != nullptr) *plan_text = kNoPlanText;
   Result<ResultSet> rs = Status::Internal("unhandled statement kind");
   switch (stmt.kind) {
-    case SqlStatement::Kind::kCreateTable:
+    case SqlStatement::Kind::kCreateTable: {
+      WriteTicket ticket(epoch_manager_);
       rs = RunCreateTable(*stmt.create_table);
       break;
-    case SqlStatement::Kind::kCreateIndex:
-      rs = RunCreateIndex(*stmt.create_index);
-      break;
-    case SqlStatement::Kind::kInsert:
-      rs = RunInsert(*stmt.insert);
-      break;
-    case SqlStatement::Kind::kDelete: {
-      SqlExecutor executor(&catalog_);
-      auto n = executor.RunDelete(*stmt.del);
-      if (!n.ok()) {
-        rs = n.status();
-        break;
+    }
+    case SqlStatement::Kind::kCreateIndex: {
+      {
+        WriteTicket ticket(epoch_manager_);
+        rs = RunCreateIndex(*stmt.create_index);
       }
-      ResultSet out;
-      out.stats.rows_scanned = static_cast<long long>(*n);
-      rs = std::move(out);
+      VacuumTable(stmt.create_index->table_name);
       break;
     }
+    case SqlStatement::Kind::kInsert: {
+      {
+        WriteTicket ticket(epoch_manager_);
+        rs = RunInsert(*stmt.insert, ticket.write_epoch());
+      }
+      VacuumTable(stmt.insert->table_name);
+      break;
+    }
+    case SqlStatement::Kind::kDelete:
+      rs = RunDeleteStmt(*stmt.del, options);
+      break;
     case SqlStatement::Kind::kSelect: {
       Planner planner(&catalog_);
       auto plan = planner.PlanSelect(*stmt.select);
@@ -290,8 +303,16 @@ Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
   out.plan = plan.Explain();
   out.runtime = std::make_shared<QueryRuntime>();
 
+  // One consistent snapshot for the whole evaluation (see RunSelect).
+  std::optional<SnapshotHandle> pin;
+  uint64_t epoch = options.snapshot_epoch;
+  if (epoch == 0) {
+    pin.emplace(epoch_manager_);
+    epoch = pin->epoch();
+  }
+  SnapshotProvider snapshot_provider(&catalog_, epoch);
   std::unique_ptr<FilteredProvider> filtered;
-  const XmlColumnProvider* provider = &catalog_;
+  const XmlColumnProvider* provider = &snapshot_provider;
   auto summary_of = [&]() -> const PathSummary* {
     auto table = catalog_.GetTable(plan.table);
     return table.ok() ? table.value()->path_summary(plan.column) : nullptr;
@@ -350,7 +371,7 @@ Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
         static_cast<long long>(pstats.entries_scanned);
     out.stats.index_docs_returned = static_cast<long long>(rows.size());
     filtered = std::make_unique<FilteredProvider>(
-        &catalog_, plan.table, plan.column, std::move(rows));
+        &catalog_, plan.table, plan.column, std::move(rows), epoch);
     provider = filtered.get();
   }
 
@@ -449,6 +470,36 @@ std::string Database::RenderXQueryLint(const std::string& query) {
   return AnalyzeXQuery(*parsed, query, &catalog_).Render(query);
 }
 
+Result<ResultSet> Database::RunDeleteStmt(const DeleteStmt& stmt,
+                                          const ExecOptions& options) {
+  size_t deleted = 0;
+  {
+    WriteTicket ticket(epoch_manager_);
+    // Victims are evaluated against the last committed epoch (everything
+    // visible before this statement) and tombstoned at the write epoch, so
+    // concurrent pinned readers keep seeing them until this commits.
+    SqlExecutor executor(&catalog_, epoch_manager_.current());
+    if (options.disable_structural) executor.set_structural_enabled(false);
+    auto n = executor.RunDelete(stmt, ticket.write_epoch());
+    if (!n.ok()) return n.status();  // no victims stamped before an error
+    deleted = *n;
+  }
+  // Post-commit: physically unindex whatever no snapshot can see anymore.
+  // With no pins outstanding this drains the statement's own tombstones
+  // immediately — single-session behaviour is unchanged.
+  VacuumTable(stmt.table_name);
+  ResultSet out;
+  out.stats.rows_scanned = static_cast<long long>(deleted);
+  return out;
+}
+
+void Database::VacuumTable(const std::string& table_name) {
+  auto table = catalog_.GetTable(table_name);
+  if (!table.ok()) return;
+  (*table)->VacuumDeferred(epoch_manager_.current(),
+                           epoch_manager_.OldestPinned());
+}
+
 Result<ResultSet> Database::RunCreateTable(const CreateTableStmt& stmt) {
   XQDB_ASSIGN_OR_RETURN(Table * table,
                         catalog_.CreateTable(stmt.table_name, stmt.columns));
@@ -458,12 +509,16 @@ Result<ResultSet> Database::RunCreateTable(const CreateTableStmt& stmt) {
 
 Result<ResultSet> Database::RunCreateIndex(const CreateIndexStmt& stmt) {
   XQDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table_name));
+  // Backfill keeps deferred-deleted rows a pinned snapshot can still see
+  // (delete_epoch > OldestPinned()); the vacuum erases them later.
+  const uint64_t keep_deleted_after = epoch_manager_.OldestPinned();
   if (stmt.is_xml_pattern) {
     XQDB_RETURN_IF_ERROR(table->CreateXmlIndex(
-        stmt.index_name, stmt.column_name, stmt.pattern, stmt.xml_type));
+        stmt.index_name, stmt.column_name, stmt.pattern, stmt.xml_type,
+        keep_deleted_after));
   } else {
-    XQDB_RETURN_IF_ERROR(
-        table->CreateRelationalIndex(stmt.index_name, stmt.column_name));
+    XQDB_RETURN_IF_ERROR(table->CreateRelationalIndex(
+        stmt.index_name, stmt.column_name, keep_deleted_after));
   }
   // A new index can flip a cached plan from scan to probe: invalidate.
   catalog_.BumpVersion();
@@ -480,7 +535,8 @@ Result<ResultSet> Database::RunCreateIndex(const CreateIndexStmt& stmt) {
   return rs;
 }
 
-Result<ResultSet> Database::RunInsert(const InsertStmt& stmt) {
+Result<ResultSet> Database::RunInsert(const InsertStmt& stmt,
+                                      uint64_t write_epoch) {
   XQDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table_name));
   for (const std::vector<SqlValue>& row : stmt.rows) {
     if (row.size() != table->columns().size()) {
@@ -508,7 +564,8 @@ Result<ResultSet> Database::RunInsert(const InsertStmt& stmt) {
       }
     }
     XQDB_RETURN_IF_ERROR(
-        table->InsertRow(std::move(values), std::move(docs)).status());
+        table->InsertRow(std::move(values), std::move(docs), write_epoch)
+            .status());
   }
   return ResultSet{};
 }

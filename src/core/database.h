@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/diag.h"
+#include "common/epoch.h"
 #include "common/result.h"
 #include "core/exec_options.h"
 #include "core/query_cache.h"
@@ -85,6 +86,10 @@ class Database {
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
+  /// Snapshot/epoch machinery (server sessions pin snapshots here; tests
+  /// inspect the committed epoch).
+  EpochManager& epoch_manager() { return epoch_manager_; }
+
   /// Compiled-query cache counters (tests / monitoring).
   QueryCache::Stats query_cache_stats() const { return query_cache_.stats(); }
 
@@ -108,7 +113,14 @@ class Database {
 
   Result<ResultSet> RunCreateTable(const CreateTableStmt& stmt);
   Result<ResultSet> RunCreateIndex(const CreateIndexStmt& stmt);
-  Result<ResultSet> RunInsert(const InsertStmt& stmt);
+  Result<ResultSet> RunInsert(const InsertStmt& stmt, uint64_t write_epoch);
+  Result<ResultSet> RunDeleteStmt(const DeleteStmt& stmt,
+                                  const ExecOptions& options);
+
+  /// Physically erases index entries of rows no live or future snapshot
+  /// can see (called at the start and commit of write statements touching
+  /// `table_name`; a no-op when nothing is deferred).
+  void VacuumTable(const std::string& table_name);
 
   /// Executes a compiled SELECT / XQuery (shared by the cache-hit and
   /// freshly-compiled paths). `options` carries only runtime knobs here
@@ -126,6 +138,7 @@ class Database {
 
   Catalog catalog_;
   QueryCache query_cache_;
+  EpochManager epoch_manager_;
 };
 
 }  // namespace xqdb

@@ -1,6 +1,8 @@
 #ifndef XQDB_CORE_EXEC_OPTIONS_H_
 #define XQDB_CORE_EXEC_OPTIONS_H_
 
+#include <cstdint>
+
 namespace xqdb {
 
 /// Per-execution knobs for plan forcing. The differential harness
@@ -33,6 +35,17 @@ struct ExecOptions {
   /// is off. Counters and phase timings are collected either way; this only
   /// controls emission.
   bool trace = false;
+
+  /// Read statements: evaluate against this already-pinned snapshot epoch
+  /// instead of pinning one internally. 0 (the default) means "pin the
+  /// current epoch for the duration of the statement". The caller passing
+  /// a nonzero epoch must hold the pin (SnapshotHandle) across the call —
+  /// this is how a server session keeps one consistent snapshot.
+  uint64_t snapshot_epoch = 0;
+
+  /// Serving-layer session identifier, carried into QueryTrace records
+  /// (0 = not a session query; omitted from the trace JSON).
+  uint64_t session_id = 0;
 };
 
 }  // namespace xqdb

@@ -4,6 +4,7 @@ namespace xqdb {
 
 std::vector<uint32_t> RelationalIndex::LookupString(const std::string& key,
                                                     size_t* scanned) const {
+  ReaderMutexLock lock(*mu_);
   std::vector<uint32_t> rows;
   size_t n = string_tree_.ScanEqual(
       key, [&](const uint32_t& row) { rows.push_back(row); });
@@ -13,6 +14,7 @@ std::vector<uint32_t> RelationalIndex::LookupString(const std::string& key,
 
 std::vector<uint32_t> RelationalIndex::LookupDouble(double key,
                                                     size_t* scanned) const {
+  ReaderMutexLock lock(*mu_);
   std::vector<uint32_t> rows;
   size_t n = double_tree_.ScanEqual(
       key, [&](const uint32_t& row) { rows.push_back(row); });
@@ -21,7 +23,8 @@ std::vector<uint32_t> RelationalIndex::LookupDouble(double key,
 }
 
 Status IndexManager::AddXmlIndex(const std::string& column, XmlIndex index) {
-  if (HasIndexNamed(index.name())) {
+  WriterMutexLock lock(mu_);
+  if (HasIndexNamedLocked(index.name())) {
     return Status::AlreadyExists("index " + index.name() + " already exists");
   }
   xml_indexes_[column].push_back(
@@ -31,7 +34,8 @@ Status IndexManager::AddXmlIndex(const std::string& column, XmlIndex index) {
 
 Status IndexManager::AddRelationalIndex(const std::string& column,
                                         RelationalIndex index) {
-  if (HasIndexNamed(index.name())) {
+  WriterMutexLock lock(mu_);
+  if (HasIndexNamedLocked(index.name())) {
     return Status::AlreadyExists("index " + index.name() + " already exists");
   }
   rel_indexes_[column].push_back(
@@ -41,6 +45,7 @@ Status IndexManager::AddRelationalIndex(const std::string& column,
 
 std::vector<const XmlIndex*> IndexManager::XmlIndexesOn(
     const std::string& column) const {
+  ReaderMutexLock lock(mu_);
   std::vector<const XmlIndex*> out;
   auto it = xml_indexes_.find(column);
   if (it == xml_indexes_.end()) return out;
@@ -50,6 +55,7 @@ std::vector<const XmlIndex*> IndexManager::XmlIndexesOn(
 }
 
 std::vector<XmlIndex*> IndexManager::AllXmlIndexes() {
+  ReaderMutexLock lock(mu_);
   std::vector<XmlIndex*> out;
   for (auto& [column, list] : xml_indexes_) {
     for (auto& idx : list) out.push_back(idx.get());
@@ -59,12 +65,14 @@ std::vector<XmlIndex*> IndexManager::AllXmlIndexes() {
 
 const RelationalIndex* IndexManager::RelationalIndexOn(
     const std::string& column) const {
+  ReaderMutexLock lock(mu_);
   auto it = rel_indexes_.find(column);
   if (it == rel_indexes_.end() || it->second.empty()) return nullptr;
   return it->second.front().get();
 }
 
 std::vector<RelationalIndex*> IndexManager::AllRelationalIndexes() {
+  ReaderMutexLock lock(mu_);
   std::vector<RelationalIndex*> out;
   for (auto& [column, list] : rel_indexes_) {
     for (auto& idx : list) out.push_back(idx.get());
@@ -72,7 +80,7 @@ std::vector<RelationalIndex*> IndexManager::AllRelationalIndexes() {
   return out;
 }
 
-const XmlIndex* IndexManager::FindXmlIndexByName(
+const XmlIndex* IndexManager::FindXmlIndexByNameLocked(
     const std::string& name) const {
   for (const auto& [column, list] : xml_indexes_) {
     for (const auto& idx : list) {
@@ -82,14 +90,25 @@ const XmlIndex* IndexManager::FindXmlIndexByName(
   return nullptr;
 }
 
-bool IndexManager::HasIndexNamed(const std::string& name) const {
-  if (FindXmlIndexByName(name) != nullptr) return true;
+const XmlIndex* IndexManager::FindXmlIndexByName(
+    const std::string& name) const {
+  ReaderMutexLock lock(mu_);
+  return FindXmlIndexByNameLocked(name);
+}
+
+bool IndexManager::HasIndexNamedLocked(const std::string& name) const {
+  if (FindXmlIndexByNameLocked(name) != nullptr) return true;
   for (const auto& [column, list] : rel_indexes_) {
     for (const auto& idx : list) {
       if (idx->name() == name) return true;
     }
   }
   return false;
+}
+
+bool IndexManager::HasIndexNamed(const std::string& name) const {
+  ReaderMutexLock lock(mu_);
+  return HasIndexNamedLocked(name);
 }
 
 }  // namespace xqdb

@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "index/btree.h"
 #include "index/xml_index.h"
 
@@ -17,24 +19,35 @@ namespace xqdb {
 /// Keys are the SQL column values rendered to the column's comparison
 /// space: strings (with SQL trailing-blank-insensitive normalization) or
 /// doubles.
+///
+/// Thread safety: internally locked like XmlIndex — Insert/Erase take the
+/// writer lock, Lookup* the reader lock. The mutex sits behind a
+/// unique_ptr to keep the type movable (built by value in
+/// Table::CreateRelationalIndex, then moved into the manager).
 class RelationalIndex {
  public:
   RelationalIndex(std::string name, std::string column, bool numeric)
-      : name_(std::move(name)), column_(std::move(column)),
-        numeric_(numeric) {}
+      : name_(std::move(name)), column_(std::move(column)), numeric_(numeric),
+        mu_(std::make_unique<SharedMutex>()) {}
 
   const std::string& name() const { return name_; }
   const std::string& column() const { return column_; }
   bool numeric() const { return numeric_; }
 
   void InsertString(const std::string& key, uint32_t row) {
+    WriterMutexLock lock(*mu_);
     string_tree_.Insert(key, row);
   }
-  void InsertDouble(double key, uint32_t row) { double_tree_.Insert(key, row); }
+  void InsertDouble(double key, uint32_t row) {
+    WriterMutexLock lock(*mu_);
+    double_tree_.Insert(key, row);
+  }
   bool EraseString(const std::string& key, uint32_t row) {
+    WriterMutexLock lock(*mu_);
     return string_tree_.Erase(key, row);
   }
   bool EraseDouble(double key, uint32_t row) {
+    WriterMutexLock lock(*mu_);
     return double_tree_.Erase(key, row);
   }
 
@@ -46,37 +59,57 @@ class RelationalIndex {
   std::string name_;
   std::string column_;
   bool numeric_;
+  // Guards the trees (by convention; see XmlIndex for why the GUARDED_BY
+  // annotation is omitted on members locked through a unique_ptr'd mutex).
+  std::unique_ptr<SharedMutex> mu_;
   BPlusTree<std::string, uint32_t> string_tree_;
   BPlusTree<double, uint32_t> double_tree_;
 };
 
 /// Per-table registry of XML value indexes and relational indexes, keyed by
 /// the column they index.
+///
+/// Thread safety: the registry maps are guarded by an internal
+/// SharedMutex — Add* are writers, the listing/lookup methods readers. The
+/// index objects themselves are pointer-stable (unique_ptr in the map) and
+/// internally locked, so the pointers handed out stay valid and usable
+/// without the registry lock.
 class IndexManager {
  public:
   IndexManager() = default;
   IndexManager(const IndexManager&) = delete;
   IndexManager& operator=(const IndexManager&) = delete;
 
-  Status AddXmlIndex(const std::string& column, XmlIndex index);
-  Status AddRelationalIndex(const std::string& column,
-                            RelationalIndex index);
+  Status AddXmlIndex(const std::string& column, XmlIndex index)
+      XQDB_EXCLUDES(mu_);
+  Status AddRelationalIndex(const std::string& column, RelationalIndex index)
+      XQDB_EXCLUDES(mu_);
 
   /// All XML indexes on `column` (candidates for eligibility checks).
-  std::vector<const XmlIndex*> XmlIndexesOn(const std::string& column) const;
+  std::vector<const XmlIndex*> XmlIndexesOn(const std::string& column) const
+      XQDB_EXCLUDES(mu_);
   /// All XML indexes on the table (for maintenance on insert).
-  std::vector<XmlIndex*> AllXmlIndexes();
+  std::vector<XmlIndex*> AllXmlIndexes() XQDB_EXCLUDES(mu_);
 
-  const RelationalIndex* RelationalIndexOn(const std::string& column) const;
-  std::vector<RelationalIndex*> AllRelationalIndexes();
+  const RelationalIndex* RelationalIndexOn(const std::string& column) const
+      XQDB_EXCLUDES(mu_);
+  std::vector<RelationalIndex*> AllRelationalIndexes() XQDB_EXCLUDES(mu_);
 
-  const XmlIndex* FindXmlIndexByName(const std::string& name) const;
-  bool HasIndexNamed(const std::string& name) const;
+  const XmlIndex* FindXmlIndexByName(const std::string& name) const
+      XQDB_EXCLUDES(mu_);
+  bool HasIndexNamed(const std::string& name) const XQDB_EXCLUDES(mu_);
 
  private:
-  std::map<std::string, std::vector<std::unique_ptr<XmlIndex>>> xml_indexes_;
+  const XmlIndex* FindXmlIndexByNameLocked(const std::string& name) const
+      XQDB_REQUIRES_SHARED(mu_);
+  bool HasIndexNamedLocked(const std::string& name) const
+      XQDB_REQUIRES_SHARED(mu_);
+
+  mutable SharedMutex mu_;
+  std::map<std::string, std::vector<std::unique_ptr<XmlIndex>>> xml_indexes_
+      XQDB_GUARDED_BY(mu_);
   std::map<std::string, std::vector<std::unique_ptr<RelationalIndex>>>
-      rel_indexes_;
+      rel_indexes_ XQDB_GUARDED_BY(mu_);
 };
 
 }  // namespace xqdb

@@ -58,6 +58,7 @@ PathSummary::TrieNode* PathSummary::Child(TrieNode* parent, NodeRank rank,
 }
 
 void PathSummary::AddDocument(uint32_t row, const Document& doc) {
+  WriterMutexLock lock(mu_);
   if (doc.root() == kNullNode) return;
   ++doc_rows_[row];
   // One pass over the node array: the array index is the pre rank, a frame
@@ -89,6 +90,7 @@ void PathSummary::AddDocument(uint32_t row, const Document& doc) {
 }
 
 void PathSummary::RemoveDocument(uint32_t row, const Document& doc) {
+  WriterMutexLock lock(mu_);
   if (doc.root() == kNullNode) return;
   auto docs = doc_rows_.find(row);
   if (docs != doc_rows_.end() && --docs->second == 0) doc_rows_.erase(docs);
@@ -128,6 +130,7 @@ void PathSummary::RemoveDocument(uint32_t row, const Document& doc) {
 
 std::vector<uint32_t> PathSummary::MatchRows(const PatternNfa& nfa,
                                              MatchStats* stats) const {
+  ReaderMutexLock lock(mu_);
   std::set<uint32_t> rows;
   if (nfa.matches_document_node()) {
     for (const auto& [row, n] : doc_rows_) rows.insert(row);
@@ -166,6 +169,7 @@ std::vector<uint32_t> PathSummary::MatchRows(const PatternNfa& nfa,
 
 bool PathSummary::AnyPathMatches(const PatternNfa& nfa,
                                  MatchStats* stats) const {
+  ReaderMutexLock lock(mu_);
   if (nfa.matches_document_node() && !doc_rows_.empty()) return true;
   struct Frame {
     const TrieNode* node;
@@ -196,6 +200,7 @@ bool PathSummary::AnyPathMatches(const PatternNfa& nfa,
 
 bool PathSummary::MatchedPathsCoveredBy(const PatternNfa& query,
                                         const PatternNfa& cover) const {
+  ReaderMutexLock lock(mu_);
   if (query.matches_document_node() && !doc_rows_.empty() &&
       !cover.matches_document_node()) {
     return false;

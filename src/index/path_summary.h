@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "xml/document.h"
 #include "xpath/pattern.h"
 #include "xpath/pattern_nfa.h"
@@ -33,11 +34,16 @@ namespace xqdb {
 /// so the summary stays transactionally consistent with DML the same way
 /// the XML value indexes do. Answers from the summary are therefore always
 /// current — consulting it at execution time is plan-cache safe.
+///
+/// Thread safety: internally locked (reader/writer), like XmlIndex —
+/// AddDocument/RemoveDocument are writers, the match queries readers. The
+/// direct SharedMutex member makes the class non-movable; Table stores
+/// summaries in a deque and constructs them in place.
 class PathSummary {
  public:
   PathSummary() = default;
-  PathSummary(PathSummary&&) = default;
-  PathSummary& operator=(PathSummary&&) = default;
+  PathSummary(PathSummary&&) = delete;
+  PathSummary& operator=(PathSummary&&) = delete;
   PathSummary(const PathSummary&) = delete;
   PathSummary& operator=(const PathSummary&) = delete;
 
@@ -73,10 +79,16 @@ class PathSummary {
                              const PatternNfa& cover) const;
 
   /// Live distinct paths (trie nodes with at least one occurrence).
-  size_t path_count() const { return path_count_; }
+  size_t path_count() const {
+    ReaderMutexLock lock(mu_);
+    return path_count_;
+  }
 
   /// Rows with at least one stored document.
-  size_t row_count() const { return doc_rows_.size(); }
+  size_t row_count() const {
+    ReaderMutexLock lock(mu_);
+    return doc_rows_.size();
+  }
 
  private:
   struct TrieNode {
@@ -95,6 +107,9 @@ class PathSummary {
   TrieNode* Child(TrieNode* parent, NodeRank rank, std::string_view ns_uri,
                   std::string_view local, bool create);
 
+  // Guards everything below (by convention — the trie is walked through
+  // raw TrieNode pointers the annotation pass cannot attribute to mu_).
+  mutable SharedMutex mu_;
   TrieNode root_;  // the document node; its own rows map stays empty
   std::map<uint32_t, uint32_t> doc_rows_;  // row -> stored document count
   size_t path_count_ = 0;

@@ -67,6 +67,7 @@ Result<XmlIndex> XmlIndex::Create(std::string name, std::string pattern_text,
   idx.name_ = std::move(name);
   XQDB_ASSIGN_OR_RETURN(idx.compiled_, GetCompiledPattern(pattern_text));
   idx.type_ = type;
+  idx.mu_ = std::make_unique<SharedMutex>();
   return idx;
 }
 
@@ -93,6 +94,7 @@ std::optional<AtomicValue> XmlIndex::KeyFor(const Document& doc,
 }
 
 void XmlIndex::InsertDocument(uint32_t row, const Document& doc) {
+  WriterMutexLock lock(*mu_);
   ForEachMatch(compiled_->nfa, doc, [&](NodeIdx node) {
     ++nfa_match_count_;
     NfaMatchCounter()->Increment();
@@ -120,6 +122,7 @@ void XmlIndex::InsertDocument(uint32_t row, const Document& doc) {
 }
 
 void XmlIndex::EraseDocument(uint32_t row, const Document& doc) {
+  WriterMutexLock lock(*mu_);
   ForEachMatch(compiled_->nfa, doc, [&](NodeIdx node) {
     std::optional<AtomicValue> key = KeyFor(doc, node);
     if (!key.has_value()) return;
@@ -201,6 +204,10 @@ size_t MergeAndLoad(std::vector<std::vector<std::pair<Key, IndexedNodeRef>>>
 
 void XmlIndex::BulkBuild(
     const std::vector<std::pair<uint32_t, const Document*>>& docs) {
+  // Held across the ParallelFor: safe, because stolen pool chunks only ever
+  // run CollectEntries/FilterRows-style work that never takes index locks
+  // (server sessions run on their own pool, not the global one).
+  WriterMutexLock lock(*mu_);
   ThreadPool& pool = ThreadPool::Global();
   const size_t n = docs.size();
   size_t ways = std::max<size_t>(1, pool.thread_count()) * 4;
@@ -259,6 +266,7 @@ std::vector<uint32_t> Dedup(std::set<uint32_t> rows) {
 Result<std::vector<uint32_t>> XmlIndex::ProbeRange(const ProbeBound& lo,
                                                    const ProbeBound& hi,
                                                    ProbeStats* stats) const {
+  ReaderMutexLock lock(*mu_);
   std::set<uint32_t> rows;
   size_t scanned = 0;
   switch (type_) {
@@ -332,6 +340,7 @@ Result<std::vector<uint32_t>> XmlIndex::ProbeEqual(const AtomicValue& key,
 
 double XmlIndex::EstimateRangeFraction(const ProbeBound& lo,
                                        const ProbeBound& hi) const {
+  ReaderMutexLock lock(*mu_);
   if (entry_count_ == 0) return 0.0;
   double count = 0;
   switch (type_) {

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "index/btree.h"
 #include "xdm/atomic.h"
@@ -53,6 +54,15 @@ struct ProbeStats {
 /// *and* is castable to the index type; uncastable nodes are skipped — the
 /// paper's "tolerant" behaviour that keeps broad indexes like //@* usable
 /// and lets schema evolution (Canadian postal codes) proceed.
+///
+/// Thread safety: internally locked. Mutators (InsertDocument,
+/// EraseDocument, BulkBuild) take the writer lock; probes and estimators
+/// take the reader lock, so concurrent server sessions can probe while a
+/// DML statement maintains the index. The mutex lives behind a unique_ptr
+/// to keep the class movable (Result<XmlIndex> / move-into-manager).
+/// Members below are guarded by *mu_ by convention; the GUARDED_BY
+/// annotation is omitted because the maintenance paths mutate them from
+/// ForEachMatch callbacks, which the clang analysis cannot track through.
 class XmlIndex {
  public:
   /// Parses and compiles the pattern.
@@ -62,13 +72,22 @@ class XmlIndex {
   const std::string& name() const { return name_; }
   const Pattern& pattern() const { return compiled_->pattern; }
   IndexValueType type() const { return type_; }
-  size_t entry_count() const { return entry_count_; }
+  size_t entry_count() const {
+    ReaderMutexLock lock(*mu_);
+    return entry_count_;
+  }
 
   /// Lifetime build-side instrumentation: Pattern-NFA node matches seen and
   /// tolerant cast skips taken across every insert/bulk-build on this
   /// index. `nfa_matches - cast_skips` is what actually entered the tree.
-  size_t nfa_match_count() const { return nfa_match_count_; }
-  size_t cast_skip_count() const { return cast_skip_count_; }
+  size_t nfa_match_count() const {
+    ReaderMutexLock lock(*mu_);
+    return nfa_match_count_;
+  }
+  size_t cast_skip_count() const {
+    ReaderMutexLock lock(*mu_);
+    return cast_skip_count_;
+  }
 
   /// Indexes every matching node of one document (one table row).
   void InsertDocument(uint32_t row, const Document& doc);
@@ -126,6 +145,10 @@ class XmlIndex {
   // Interned: indexes with the same XMLPATTERN text share one compilation.
   std::shared_ptr<const CompiledPattern> compiled_;
   IndexValueType type_ = IndexValueType::kVarchar;
+
+  // Reader/writer lock over the trees and counters below (see class
+  // comment). Never null after Create().
+  std::unique_ptr<SharedMutex> mu_;
   size_t entry_count_ = 0;
   size_t nfa_match_count_ = 0;
   size_t cast_skip_count_ = 0;

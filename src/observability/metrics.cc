@@ -1,11 +1,30 @@
 #include "observability/metrics.h"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
+
+#include "common/str_util.h"
 
 namespace xqdb {
 
 namespace {
+
+/// ParseEnvInt diagnostics routed through the metrics registry: the stderr
+/// line stays (operators grep for it) and `env.parse_errors` counts how
+/// many knobs were malformed. Installed by a static registrar because
+/// common/ cannot link against observability — any binary that links
+/// metrics.o (every xqdb binary) gets the hook before main().
+void EnvParseWarnToMetrics(const char* name, const char* detail) {
+  MetricsRegistry::Global().GetCounter("env.parse_errors")->Increment();
+  std::fprintf(stderr, "xqdb: %s: %s\n", name, detail);
+}
+
+[[maybe_unused]] const bool g_env_warn_hook_installed = [] {
+  SetEnvParseWarnHook(&EnvParseWarnToMetrics);
+  return true;
+}();
+
 /// Upper bound of bucket b. Bucket 63 is open-ended: 1LL << 63 would be
 /// signed-overflow UB, so its bound reports as LLONG_MAX.
 long long BucketBound(size_t b) {

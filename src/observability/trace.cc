@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/mutex.h"
+#include "common/str_util.h"
 #include "common/thread_annotations.h"
 
 namespace xqdb {
@@ -96,15 +97,11 @@ bool TraceEnabledByEnv() {
 }
 
 long long SlowQueryThresholdNs() {
-  static const long long threshold = [] {
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv, no setenv
-    const char* env = std::getenv("XQDB_SLOW_QUERY_MS");
-    if (env == nullptr) return 0LL;
-    char* end = nullptr;
-    double ms = std::strtod(env, &end);
-    if (end == env || ms <= 0) return 0LL;
-    return static_cast<long long>(ms * 1e6);
-  }();
+  // Checked parse (satellite of the untrusted-input hardening pass): the
+  // old strtod accepted "50ms please" as 50 and garbage as silently-off.
+  // Whole milliseconds only; 0 or unset = the slow-query log is off.
+  static const long long threshold =
+      ParseEnvInt("XQDB_SLOW_QUERY_MS", 0, 86400000, 0) * 1000000LL;
   return threshold;
 }
 
@@ -112,6 +109,9 @@ std::string QueryTrace::ToJson() const {
   std::string out = "{\"kind\": \"" + JsonEscape(kind) + "\", \"query\": \"" +
                     JsonEscape(text) + "\"";
   if (!plan.empty()) out += ", \"plan\": \"" + JsonEscape(plan) + "\"";
+  if (session_id != 0) {
+    out += ", \"session\": " + std::to_string(session_id);
+  }
   out += ", \"ok\": ";
   out += ok ? "true" : "false";
   if (!ok) out += ", \"error\": \"" + JsonEscape(error) + "\"";

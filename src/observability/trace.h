@@ -1,6 +1,7 @@
 #ifndef XQDB_OBSERVABILITY_TRACE_H_
 #define XQDB_OBSERVABILITY_TRACE_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -18,6 +19,7 @@ struct QueryTrace {
   std::string plan;   // the access-path narration ("" for DDL/DML)
   bool ok = true;     // false when execution returned an error status
   std::string error;  // Status::ToString() when !ok
+  uint64_t session_id = 0;  // server session that ran it (0 = library call)
   ExecStats stats;
 
   std::string ToJson() const;

@@ -1,0 +1,241 @@
+#include "server/protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace xqdb {
+
+namespace {
+
+/// Strict decimal length parse, reusing the checked env-knob parser: the
+/// sentinel fallback of -1 can never come back from a clean parse (min is
+/// 0), so ok && value >= 0 means "all digits, in range".
+Result<size_t> ParseLength(std::string_view text) {
+  ParsedEnvInt parsed = ParseEnvIntText(
+      text, 0, static_cast<long long>(kMaxFramePayload), -1);
+  if (!parsed.ok) {
+    return Status::InvalidArgument("malformed frame length '" +
+                                   std::string(text) + "'");
+  }
+  if (parsed.clamped) {
+    return Status::InvalidArgument(
+        "frame length " + std::string(text) + " out of range (max " +
+        std::to_string(kMaxFramePayload) + ")");
+  }
+  return static_cast<size_t>(parsed.value);
+}
+
+bool ValidCodeToken(std::string_view code) {
+  if (code.empty() || code.size() > 32) return false;
+  for (char c : code) {
+    if (!(c >= 'A' && c <= 'Z') && !(c >= 'a' && c <= 'z')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view VerbName(Verb v) {
+  switch (v) {
+    case Verb::kQuery:
+      return "QUERY";
+    case Verb::kXQuery:
+      return "XQUERY";
+    case Verb::kExplain:
+      return "EXPLAIN";
+    case Verb::kLint:
+      return "LINT";
+    case Verb::kPing:
+      return "PING";
+  }
+  return "?";
+}
+
+Result<RequestHeader> ParseRequestHeader(std::string_view line) {
+  size_t sp = line.find(' ');
+  if (sp == std::string_view::npos) {
+    return Status::InvalidArgument("frame header needs 'VERB LENGTH'");
+  }
+  std::string_view verb_text = line.substr(0, sp);
+  std::string_view len_text = line.substr(sp + 1);
+  if (len_text.find(' ') != std::string_view::npos) {
+    return Status::InvalidArgument("trailing garbage after frame length");
+  }
+  RequestHeader header;
+  if (verb_text == "QUERY") {
+    header.verb = Verb::kQuery;
+  } else if (verb_text == "XQUERY") {
+    header.verb = Verb::kXQuery;
+  } else if (verb_text == "EXPLAIN") {
+    header.verb = Verb::kExplain;
+  } else if (verb_text == "LINT") {
+    header.verb = Verb::kLint;
+  } else if (verb_text == "PING") {
+    header.verb = Verb::kPing;
+  } else {
+    return Status::InvalidArgument("unknown verb '" + std::string(verb_text) +
+                                   "'");
+  }
+  XQDB_ASSIGN_OR_RETURN(header.payload_len, ParseLength(len_text));
+  return header;
+}
+
+Result<ResponseHeader> ParseResponseHeader(std::string_view line) {
+  ResponseHeader header;
+  if (line.rfind("OK ", 0) == 0) {
+    header.ok = true;
+    XQDB_ASSIGN_OR_RETURN(header.payload_len, ParseLength(line.substr(3)));
+    return header;
+  }
+  if (line.rfind("ERR ", 0) == 0) {
+    std::string_view rest = line.substr(4);
+    size_t sp = rest.find(' ');
+    if (sp == std::string_view::npos) {
+      return Status::InvalidArgument("ERR header needs 'ERR CODE LENGTH'");
+    }
+    std::string_view code = rest.substr(0, sp);
+    if (!ValidCodeToken(code)) {
+      return Status::InvalidArgument("malformed error code in ERR header");
+    }
+    header.ok = false;
+    header.code = std::string(code);
+    XQDB_ASSIGN_OR_RETURN(header.payload_len,
+                          ParseLength(rest.substr(sp + 1)));
+    return header;
+  }
+  return Status::InvalidArgument("response header must start with OK or ERR");
+}
+
+std::string FormatRequest(Verb v, std::string_view payload) {
+  std::string out(VerbName(v));
+  out += ' ';
+  out += std::to_string(payload.size());
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+std::string FormatOk(std::string_view payload) {
+  std::string out = "OK ";
+  out += std::to_string(payload.size());
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+std::string FormatError(std::string_view code, std::string_view message) {
+  std::string out = "ERR ";
+  out += code;
+  out += ' ';
+  out += std::to_string(message.size());
+  out += '\n';
+  out += message;
+  return out;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Connect(uint16_t port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("connect: ") + std::strerror(err));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status Client::WriteAll(const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd_, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadExact(char* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t r = ::read(fd_, buf + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("read: ") + std::strerror(errno));
+    }
+    if (r == 0) return Status::Internal("connection closed mid-frame");
+    off += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadHeaderLine(std::string* line) {
+  line->clear();
+  // Byte-at-a-time is fine: headers are tiny and this keeps the payload
+  // bytes out of any read-ahead buffer.
+  char c;
+  while (line->size() < kMaxFrameHeaderLen) {
+    XQDB_RETURN_IF_ERROR(ReadExact(&c, 1));
+    if (c == '\n') return Status::OK();
+    line->push_back(c);
+  }
+  return Status::InvalidArgument("response header too long");
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+Result<ResponseFrame> Client::ReadResponse() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  std::string line;
+  XQDB_RETURN_IF_ERROR(ReadHeaderLine(&line));
+  XQDB_ASSIGN_OR_RETURN(ResponseHeader header, ParseResponseHeader(line));
+  ResponseFrame frame;
+  frame.ok = header.ok;
+  frame.code = std::move(header.code);
+  frame.payload.resize(header.payload_len);
+  if (header.payload_len > 0) {
+    XQDB_RETURN_IF_ERROR(ReadExact(frame.payload.data(), header.payload_len));
+  }
+  return frame;
+}
+
+Result<ResponseFrame> Client::Call(Verb v, std::string_view payload) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  std::string request = FormatRequest(v, payload);
+  XQDB_RETURN_IF_ERROR(WriteAll(request.data(), request.size()));
+  return ReadResponse();
+}
+
+}  // namespace xqdb

@@ -1,0 +1,109 @@
+#ifndef XQDB_SERVER_PROTOCOL_H_
+#define XQDB_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xqdb {
+
+/// xqdb's wire protocol: length-prefixed frames over a byte stream.
+///
+///   request  := VERB SP LENGTH LF payload[LENGTH]
+///   response := "OK" SP LENGTH LF payload[LENGTH]
+///             | "ERR" SP CODE SP LENGTH LF message[LENGTH]
+///
+/// VERB is one of QUERY (SQL), XQUERY, EXPLAIN, LINT, PING; LENGTH is the
+/// payload byte count in decimal. CODE is a machine-readable error class:
+/// the StatusCodeToString name of a query error ("ParseError", ...) or a
+/// server-level code ("Protocol", "Busy", "Timeout").
+///
+/// Every field of an incoming frame is untrusted: the verb is matched
+/// against the closed set, the length is parsed with the same strict
+/// checked parser the env knobs use and bounded by kMaxFramePayload, and
+/// the header line itself is bounded by kMaxFrameHeaderLen. A malformed
+/// header yields an ERR Protocol frame and the connection is closed —
+/// framing is unrecoverable once the byte stream is off the rails.
+
+/// Longest accepted header line, LF included. Generous: the longest legal
+/// header is "EXPLAIN 16777216\n".
+inline constexpr size_t kMaxFrameHeaderLen = 64;
+
+/// Largest accepted payload (16 MiB) — bounds per-connection memory.
+inline constexpr size_t kMaxFramePayload = 16 * 1024 * 1024;
+
+enum class Verb { kQuery, kXQuery, kExplain, kLint, kPing };
+
+std::string_view VerbName(Verb v);
+
+/// Parsed request header: what to run and how many payload bytes follow.
+struct RequestHeader {
+  Verb verb = Verb::kPing;
+  size_t payload_len = 0;
+};
+
+/// Parses "VERB LENGTH" (the header line without its LF). Returns
+/// InvalidArgument with a precise reason on any deviation.
+Result<RequestHeader> ParseRequestHeader(std::string_view line);
+
+/// A decoded response frame (client side).
+struct ResponseFrame {
+  bool ok = false;
+  std::string code;     // empty when ok
+  std::string payload;  // result text, or the error message
+};
+
+/// Parses "OK LENGTH" / "ERR CODE LENGTH" (without the LF) into the frame
+/// shell; the caller reads `payload_len` bytes into `payload`.
+struct ResponseHeader {
+  bool ok = false;
+  std::string code;
+  size_t payload_len = 0;
+};
+Result<ResponseHeader> ParseResponseHeader(std::string_view line);
+
+/// Frame encoders.
+std::string FormatRequest(Verb v, std::string_view payload);
+std::string FormatOk(std::string_view payload);
+std::string FormatError(std::string_view code, std::string_view message);
+
+/// A minimal blocking client over one TCP connection to 127.0.0.1 —
+/// the test/bench counterpart of the server (one in-flight call at a
+/// time; not thread-safe).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+  Status Connect(uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and reads the response frame. A Status error means
+  /// the transport failed (connection closed, malformed response); an ERR
+  /// frame from the server comes back as a ResponseFrame with ok == false.
+  Result<ResponseFrame> Call(Verb v, std::string_view payload);
+
+  /// Writes raw bytes (malformed-frame fuzzing in tests).
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads one response frame without sending anything first.
+  Result<ResponseFrame> ReadResponse();
+
+ private:
+  Status WriteAll(const char* data, size_t n);
+  Status ReadExact(char* buf, size_t n);
+  Status ReadHeaderLine(std::string* line);
+
+  int fd_ = -1;
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_SERVER_PROTOCOL_H_

@@ -1,0 +1,372 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/str_util.h"
+#include "observability/metrics.h"
+
+namespace xqdb {
+
+namespace {
+
+/// Blocking-read slice: sessions wake this often to check the idle budget
+/// and the server's stop flag, so shutdown and timeouts are bounded by one
+/// slice even when a client sends nothing.
+constexpr int kRecvSliceMs = 200;
+
+long long NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status WriteAllFd(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+void SendFrameBestEffort(int fd, const std::string& frame) {
+  (void)WriteAllFd(fd, frame.data(), frame.size());
+}
+
+/// SQL-vs-XQuery dispatch for EXPLAIN/LINT: a payload whose first keyword
+/// is a SQL statement head goes to the SQL front end, everything else is
+/// treated as standalone XQuery.
+bool LooksLikeSql(std::string_view text) {
+  std::string_view t = TrimWhitespace(text);
+  size_t end = 0;
+  while (end < t.size() &&
+         ((t[end] >= 'a' && t[end] <= 'z') || (t[end] >= 'A' && t[end] <= 'Z'))) {
+    ++end;
+  }
+  std::string_view head = t.substr(0, end);
+  for (std::string_view kw :
+       {"SELECT", "INSERT", "DELETE", "CREATE", "DROP", "UPDATE"}) {
+    if (EqualsIgnoreCase(head, kw)) return true;
+  }
+  return false;
+}
+
+struct ServerMetrics {
+  Counter* accepted;
+  Counter* rejected;
+  Counter* closed;
+  Counter* frames_ok;
+  Counter* frames_error;
+  Counter* idle_timeouts;
+  Histogram* query_ns;
+};
+
+ServerMetrics& Metrics() {
+  static ServerMetrics m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return ServerMetrics{reg.GetCounter("server.connections_accepted"),
+                         reg.GetCounter("server.connections_rejected"),
+                         reg.GetCounter("server.connections_closed"),
+                         reg.GetCounter("server.frames_ok"),
+                         reg.GetCounter("server.frames_error"),
+                         reg.GetCounter("server.idle_timeouts"),
+                         reg.GetHistogram("server.query_ns")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db), options_(options),
+      admission_(std::max(1, options.max_sessions)) {
+  // A <=1-thread pool runs Submit() inline on the accept thread, which
+  // would serialize every session; see ServerOptions::worker_threads.
+  options_.worker_threads = std::max(2, options_.worker_threads);
+  options_.idle_timeout_ms = std::max(kRecvSliceMs, options_.idle_timeout_ms);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already started");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::InvalidArgument(std::string("bind: ") +
+                                   std::strerror(err));
+  }
+  if (::listen(fd, 128) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("listen: ") + std::strerror(err));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(err));
+  }
+  port_ = ntohs(addr.sin_port);
+  // Non-blocking listen socket: the accept loop drains every pending
+  // connection per readiness event without risking a block.
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  if (::pipe(wake_pipe_) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("pipe: ") + std::strerror(err));
+  }
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  session_pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(options_.worker_threads));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  char wake = 'x';
+  (void)!::write(wake_pipe_[1], &wake, 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Joining the pool waits for every session task: each notices stopping_
+  // within one recv slice and closes its connection.
+  session_pool_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void Server::AcceptLoop() {
+  const int wake_fd = wake_pipe_[0];
+  int ep = -1;
+  if (options_.use_epoll) {
+    ep = ::epoll_create1(0);
+    if (ep >= 0) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = listen_fd_;
+      ::epoll_ctl(ep, EPOLL_CTL_ADD, listen_fd_, &ev);
+      ev.data.fd = wake_fd;
+      ::epoll_ctl(ep, EPOLL_CTL_ADD, wake_fd, &ev);
+    }
+  }
+  while (!stopping_.load(std::memory_order_acquire)) {
+    bool listen_ready = false;
+    if (ep >= 0) {
+      epoll_event events[8];
+      int n = ::epoll_wait(ep, events, 8, 500);
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.fd == listen_fd_) listen_ready = true;
+      }
+    } else {
+      // poll() fallback — identical semantics, any POSIX kernel.
+      pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fd, POLLIN, 0}};
+      int n = ::poll(fds, 2, 500);
+      listen_ready = n > 0 && (fds[0].revents & POLLIN) != 0;
+    }
+    if (!listen_ready) continue;
+    for (;;) {
+      int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) break;  // EAGAIN: drained (or a transient error)
+      HandleAccepted(conn);
+    }
+  }
+  if (ep >= 0) ::close(ep);
+}
+
+void Server::HandleAccepted(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval slice{};
+  slice.tv_usec = kRecvSliceMs * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &slice, sizeof(slice));
+  if (!admission_.TryAcquire()) {
+    Metrics().rejected->Increment();
+    SendFrameBestEffort(
+        fd, FormatError("Busy", "session limit reached, try again later"));
+    ::close(fd);
+    return;
+  }
+  Metrics().accepted->Increment();
+  active_sessions_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t session_id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  session_pool_->Submit([this, fd, session_id] {
+    ServeConnection(fd, session_id);
+    active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    admission_.Release();
+    Metrics().closed->Increment();
+  });
+}
+
+void Server::ServeConnection(int fd, uint64_t session_id) {
+  // read_exact outcome: 0 = done, 1 = idle timeout, 2 = closed/error,
+  // 3 = server stopping.
+  long long idle_ms = 0;
+  auto read_exact = [&](char* buf, size_t n) -> int {
+    size_t off = 0;
+    while (off < n) {
+      ssize_t r = ::recv(fd, buf + off, n - off, 0);
+      if (r > 0) {
+        off += static_cast<size_t>(r);
+        idle_ms = 0;
+        continue;
+      }
+      if (r == 0) return 2;
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (stopping_.load(std::memory_order_acquire)) return 3;
+        idle_ms += kRecvSliceMs;
+        if (idle_ms >= options_.idle_timeout_ms) return 1;
+        continue;
+      }
+      return 2;
+    }
+    return 0;
+  };
+
+  for (;;) {
+    // Header line, bounded. The byte budget covers the longest legal
+    // header; anything longer is a protocol violation, not a big query
+    // (payload bytes are counted, not read line-wise).
+    std::string line;
+    int rc = 0;
+    bool overlong = false;
+    for (;;) {
+      char c;
+      rc = read_exact(&c, 1);
+      if (rc != 0) break;
+      if (c == '\n') break;
+      line.push_back(c);
+      if (line.size() >= kMaxFrameHeaderLen) {
+        overlong = true;
+        break;
+      }
+    }
+    if (rc == 1) {
+      Metrics().idle_timeouts->Increment();
+      SendFrameBestEffort(fd, FormatError("Timeout", "session idle timeout"));
+      break;
+    }
+    if (rc != 0) break;  // peer closed, transport error, or stopping
+    if (overlong) {
+      Metrics().frames_error->Increment();
+      SendFrameBestEffort(fd, FormatError("Protocol", "frame header too long"));
+      break;
+    }
+
+    auto header = ParseRequestHeader(line);
+    if (!header.ok()) {
+      // Malformed framing is unrecoverable: report and close.
+      Metrics().frames_error->Increment();
+      SendFrameBestEffort(fd,
+                          FormatError("Protocol", header.status().message()));
+      break;
+    }
+
+    std::string payload(header->payload_len, '\0');
+    if (header->payload_len > 0) {
+      rc = read_exact(payload.data(), header->payload_len);
+      if (rc == 1) {
+        Metrics().idle_timeouts->Increment();
+        SendFrameBestEffort(
+            fd, FormatError("Timeout", "timed out mid-frame"));
+        break;
+      }
+      if (rc != 0) break;
+    }
+
+    const long long t0 = NowNs();
+    Result<std::string> result = Dispatch(header->verb, payload, session_id);
+    Metrics().query_ns->Record(NowNs() - t0);
+
+    std::string out;
+    if (result.ok()) {
+      Metrics().frames_ok->Increment();
+      out = FormatOk(*result);
+    } else {
+      Metrics().frames_error->Increment();
+      out = FormatError(StatusCodeToString(result.status().code()),
+                        result.status().message());
+    }
+    if (!WriteAllFd(fd, out.data(), out.size()).ok()) break;
+  }
+  ::close(fd);
+}
+
+Result<std::string> Server::Dispatch(Verb verb, const std::string& payload,
+                                     uint64_t session_id) {
+  ExecOptions opts;
+  opts.session_id = session_id;
+  switch (verb) {
+    case Verb::kPing:
+      return std::string("pong");
+    case Verb::kQuery: {
+      XQDB_ASSIGN_OR_RETURN(ResultSet rs, db_->ExecuteSql(payload, opts));
+      return rs.ToString(1000);
+    }
+    case Verb::kXQuery: {
+      XQDB_ASSIGN_OR_RETURN(Database::XQueryResult out,
+                            db_->ExecuteXQuery(payload, opts));
+      std::string text;
+      for (const std::string& row : out.rows) {
+        text += row;
+        text += '\n';
+      }
+      return text;
+    }
+    case Verb::kExplain:
+      return LooksLikeSql(payload) ? db_->ExplainSql(payload)
+                                   : db_->ExplainXQuery(payload);
+    case Verb::kLint: {
+      if (LooksLikeSql(payload)) {
+        XQDB_ASSIGN_OR_RETURN(LintReport report, db_->LintSql(payload));
+        return report.Render(payload);
+      }
+      XQDB_ASSIGN_OR_RETURN(LintReport report, db_->LintXQuery(payload));
+      return report.Render(payload);
+    }
+  }
+  return Status::Internal("unhandled verb");
+}
+
+}  // namespace xqdb

@@ -1,0 +1,108 @@
+#ifndef XQDB_SERVER_SERVER_H_
+#define XQDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/semaphore.h"
+#include "common/thread_pool.h"
+#include "core/database.h"
+#include "server/protocol.h"
+
+namespace xqdb {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see Server::port()).
+  uint16_t port = 0;
+
+  /// Admission-control bound on concurrently served connections. A
+  /// connection beyond the limit receives one "ERR Busy" frame and is
+  /// closed instead of queueing invisibly.
+  int max_sessions = 64;
+
+  /// A session idle (no frame started) this long is sent "ERR Timeout"
+  /// and closed, so abandoned clients cannot hold permits forever.
+  int idle_timeout_ms = 30000;
+
+  /// Dedicated session pool size. Sessions must NOT run on
+  /// ThreadPool::Global(): query execution fans out on the global pool,
+  /// and its caller-stealing ParallelFor could otherwise make one session
+  /// block on another session's chunk. Clamped to at least 2 (a size <= 1
+  /// pool runs Submit() inline, which would serialize the accept loop).
+  int worker_threads = 16;
+
+  /// Multiplex the accept loop with epoll; false falls back to poll().
+  /// Both paths behave identically — the flag exists so tests exercise
+  /// the fallback on any kernel.
+  bool use_epoll = true;
+};
+
+/// Multi-client serving front end over one Database.
+///
+/// One accept-loop thread multiplexes the listen socket (epoll, or poll as
+/// the fallback); each admitted connection becomes a session task on a
+/// dedicated ThreadPool. Sessions speak the length-prefixed frame protocol
+/// of server/protocol.h, executing each frame against the database with a
+/// per-statement pinned snapshot epoch — readers never block behind
+/// concurrent DML and never observe a half-applied statement (the
+/// EpochManager scheme of common/epoch.h).
+///
+/// Observability: the serving layer meters itself into the global metrics
+/// registry — counters server.connections_{accepted,rejected,closed},
+/// server.frames_{ok,error}, server.idle_timeouts, and the
+/// server.query_ns histogram every dispatched frame records into.
+class Server {
+ public:
+  Server(Database* db, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Fails if the port is
+  /// taken.
+  Status Start();
+
+  /// Stops accepting, disconnects idle sessions at their next poll tick,
+  /// and joins every serving thread. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start(); with options.port == 0 this is the
+  /// kernel-assigned ephemeral port).
+  uint16_t port() const { return port_; }
+
+  /// Live admitted sessions (tests).
+  long long active_sessions() const {
+    return active_sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleAccepted(int fd);
+  void ServeConnection(int fd, uint64_t session_id);
+
+  /// Executes one decoded frame. The returned string is the OK payload;
+  /// a Status error becomes an ERR frame with the status's code name.
+  Result<std::string> Dispatch(Verb verb, const std::string& payload,
+                               uint64_t session_id);
+
+  Database* db_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> session_pool_;
+  Semaphore admission_;
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<long long> active_sessions_{0};
+};
+
+}  // namespace xqdb
+
+#endif  // XQDB_SERVER_SERVER_H_

@@ -65,7 +65,7 @@ Result<Sequence> SqlExecutor::EvalEmbeddedXQuery(
     const EmbeddedXQuery& q, const std::vector<ColumnSlot>& schema,
     const std::vector<SqlValue>& row, QueryRuntime* runtime,
     ExecStats* stats) {
-  Evaluator eval(&q.parsed.static_context, catalog_, runtime);
+  Evaluator eval(&q.parsed.static_context, &snapshot_provider_, runtime);
   eval.set_structural_enabled(structural_enabled_);
   eval.set_stats(stats);
   for (const PassingArg& arg : q.passing) {
@@ -311,7 +311,8 @@ Result<std::vector<std::vector<SqlValue>>> SqlExecutor::FilterRows(
   return kept;
 }
 
-Result<size_t> SqlExecutor::RunDelete(const DeleteStmt& stmt) {
+Result<size_t> SqlExecutor::RunDelete(const DeleteStmt& stmt,
+                                      uint64_t write_epoch) {
   XQDB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table_name));
   std::vector<ColumnSlot> schema;
   for (const ColumnDef& col : table->columns()) {
@@ -325,7 +326,7 @@ Result<size_t> SqlExecutor::RunDelete(const DeleteStmt& stmt) {
       n < kParallelRowThreshold) {
     QueryRuntime runtime;
     for (uint32_t r = 0; r < n; ++r) {
-      if (table->is_deleted(r)) continue;
+      if (!table->VisibleAt(r, snapshot_epoch_)) continue;
       if (stmt.where != nullptr) {
         XQDB_ASSIGN_OR_RETURN(
             bool hit, EvalPredicate(*stmt.where, schema, table->row(r),
@@ -350,7 +351,7 @@ Result<size_t> SqlExecutor::RunDelete(const DeleteStmt& stmt) {
       QueryRuntime runtime;
       for (size_t r = lo; r < hi; ++r) {
         uint32_t rid = static_cast<uint32_t>(r);
-        if (table->is_deleted(rid)) continue;
+        if (!table->VisibleAt(rid, snapshot_epoch_)) continue;
         auto hit = EvalPredicate(*stmt.where, schema, table->row(rid),
                                  &runtime, &out.stats);
         if (!hit.ok()) {
@@ -367,7 +368,7 @@ Result<size_t> SqlExecutor::RunDelete(const DeleteStmt& stmt) {
     }
   }
   for (uint32_t r : victims) {
-    XQDB_RETURN_IF_ERROR(table->DeleteRow(r));
+    XQDB_RETURN_IF_ERROR(table->DeleteRow(r, write_epoch));
   }
   return victims.size();
 }
@@ -454,7 +455,7 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
         // Full scan (or a demoted stale summary-containment probe).
         static_row_ids.reserve(table->live_row_count());
         for (uint32_t r = 0; r < table->row_count(); ++r) {
-          if (!table->is_deleted(r)) static_row_ids.push_back(r);
+          if (table->VisibleAt(r, snapshot_epoch_)) static_row_ids.push_back(r);
         }
       }
 
@@ -469,7 +470,7 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
           // Tips 5/6 made executable: evaluate the outer join key against
           // this row, then probe the inner table's index with it.
           Evaluator eval(&path->join_source->parsed.static_context,
-                         catalog_, rs.runtime.get());
+                         &snapshot_provider_, rs.runtime.get());
           eval.set_structural_enabled(structural_enabled_);
           eval.set_stats(&stats);
           for (const PassingArg& arg : path->join_source->passing) {
@@ -511,7 +512,9 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
         }
         const bool from_index = per_row_probe || static_probe;
         for (uint32_t r : *row_ids) {
-          if (table->is_deleted(r)) continue;  // tombstoned since probe
+          // Outside the snapshot: inserted after it, deleted at or before
+          // it, or (index entry for a row still being inserted) unpublished.
+          if (!table->VisibleAt(r, snapshot_epoch_)) continue;
           ++stats.rows_scanned;
           // Definition 1's audit trail: a row visited with no index
           // pre-filter is a scanned document; pre-filtered visits are
@@ -547,8 +550,8 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
               combined.push_back(SqlValue::Integer(ordinal));
               continue;
             }
-            Evaluator eval(&ref.row_query->parsed.static_context, catalog_,
-                           rs.runtime.get());
+            Evaluator eval(&ref.row_query->parsed.static_context,
+                           &snapshot_provider_, rs.runtime.get());
             eval.set_structural_enabled(structural_enabled_);
             eval.set_stats(&stats);
             Focus focus;

@@ -31,9 +31,17 @@ struct ResultSet {
 /// access paths chosen by the planner. Joins are nested loops in FROM
 /// order; XMLTABLE items are lateral. The full WHERE clause is re-applied
 /// after index pre-filtering (indexes only need Definition 1's guarantee).
+///
+/// Every row visit and every db2-fn:xmlcolumn resolution is gated on
+/// `snapshot_epoch`: rows inserted after the snapshot, or deleted at or
+/// before it, do not exist for this executor. The default kEpochLatest
+/// sees all live rows (single-session behaviour).
 class SqlExecutor {
  public:
-  explicit SqlExecutor(Catalog* catalog) : catalog_(catalog) {}
+  explicit SqlExecutor(Catalog* catalog,
+                       uint64_t snapshot_epoch = kEpochLatest)
+      : catalog_(catalog), snapshot_epoch_(snapshot_epoch),
+        snapshot_provider_(catalog, snapshot_epoch) {}
 
   /// Per-statement override of the structural-join default for every
   /// embedded XQuery evaluation (ExecOptions::disable_structural).
@@ -41,10 +49,11 @@ class SqlExecutor {
 
   Result<ResultSet> Run(const SelectStmt& stmt, const SelectPlan& plan);
 
-  /// DELETE FROM t [WHERE cond]: evaluates the condition per live row and
-  /// tombstones matches (XML and relational indexes are maintained).
+  /// DELETE FROM t [WHERE cond]: evaluates the condition per snapshot-
+  /// visible row and tombstones matches at `write_epoch` (physical index
+  /// maintenance is deferred until no pinned snapshot can see the rows).
   /// Returns the number of deleted rows.
-  Result<size_t> RunDelete(const DeleteStmt& stmt);
+  Result<size_t> RunDelete(const DeleteStmt& stmt, uint64_t write_epoch);
 
  private:
   struct ColumnSlot {
@@ -86,6 +95,8 @@ class SqlExecutor {
   static Result<Sequence> PassingToSequence(const SqlValue& v);
 
   Catalog* catalog_;
+  uint64_t snapshot_epoch_;
+  SnapshotProvider snapshot_provider_;
   bool structural_enabled_ = StructuralJoinDefault();
 };
 

@@ -7,6 +7,7 @@ namespace xqdb {
 Result<Table*> Catalog::CreateTable(const std::string& name,
                                     std::vector<ColumnDef> columns) {
   std::string key = ToUpperAscii(name);
+  WriterMutexLock lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table " + key + " already exists");
   }
@@ -18,6 +19,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name,
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) {
+  ReaderMutexLock lock(mu_);
   auto it = tables_.find(ToUpperAscii(name));
   if (it == tables_.end()) {
     return Status::NotFound("table " + ToUpperAscii(name) + " does not exist");
@@ -26,6 +28,7 @@ Result<Table*> Catalog::GetTable(const std::string& name) {
 }
 
 Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  ReaderMutexLock lock(mu_);
   auto it = tables_.find(ToUpperAscii(name));
   if (it == tables_.end()) {
     return Status::NotFound("table " + ToUpperAscii(name) + " does not exist");
@@ -34,10 +37,12 @@ Result<const Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  ReaderMutexLock lock(mu_);
   return tables_.count(ToUpperAscii(name)) > 0;
 }
 
 std::vector<const Table*> Catalog::AllTables() const {
+  ReaderMutexLock lock(mu_);
   std::vector<const Table*> out;
   out.reserve(tables_.size());
   for (const auto& [name, table] : tables_) out.push_back(table.get());
@@ -46,6 +51,12 @@ std::vector<const Table*> Catalog::AllTables() const {
 
 Result<std::vector<NodeHandle>> Catalog::XmlColumn(
     std::string_view table, std::string_view column) const {
+  return XmlColumnAt(table, column, kEpochLatest);
+}
+
+Result<std::vector<NodeHandle>> Catalog::XmlColumnAt(std::string_view table,
+                                                     std::string_view column,
+                                                     uint64_t epoch) const {
   XQDB_ASSIGN_OR_RETURN(const Table* t, GetTable(std::string(table)));
   int col = t->ColumnIndex(ToUpperAscii(column));
   if (col < 0) {
@@ -56,9 +67,10 @@ Result<std::vector<NodeHandle>> Catalog::XmlColumn(
     return Status::InvalidArgument("db2-fn:xmlcolumn requires an XML column");
   }
   std::vector<NodeHandle> out;
-  out.reserve(t->row_count());
-  for (uint32_t r = 0; r < t->row_count(); ++r) {
-    if (t->is_deleted(r)) continue;
+  size_t n = t->row_count();
+  out.reserve(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    if (!t->VisibleAt(r, epoch)) continue;
     const Document* doc = t->xml_document(r, col);
     if (doc != nullptr) {
       out.push_back(NodeHandle{doc, doc->root()});
@@ -70,7 +82,7 @@ Result<std::vector<NodeHandle>> Catalog::XmlColumn(
 Result<std::vector<NodeHandle>> FilteredProvider::XmlColumn(
     std::string_view table, std::string_view column) const {
   if (ToUpperAscii(table) != table_ || ToUpperAscii(column) != column_) {
-    return base_->XmlColumn(table, column);
+    return base_->XmlColumnAt(table, column, epoch_);
   }
   XQDB_ASSIGN_OR_RETURN(const Table* t, base_->GetTable(table_));
   int col = t->ColumnIndex(column_);
@@ -80,7 +92,7 @@ Result<std::vector<NodeHandle>> FilteredProvider::XmlColumn(
   std::vector<NodeHandle> out;
   out.reserve(rows_.size());
   for (uint32_t r : rows_) {
-    if (t->is_deleted(r)) continue;
+    if (!t->VisibleAt(r, epoch_)) continue;
     const Document* doc = t->xml_document(r, col);
     if (doc != nullptr) {
       out.push_back(NodeHandle{doc, doc->root()});

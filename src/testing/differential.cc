@@ -1,10 +1,13 @@
 #include "testing/differential.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
+#include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "core/database.h"
 #include "workload/generator.h"
@@ -455,6 +458,33 @@ Result<DiffScenario> ParseScenarioText(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   int lineno = 0;
+  // Checked numeric parses: a corpus file is untrusted input (hand-edited,
+  // minimizer-produced, or fetched), and the bare std::stoi/stod here used
+  // to throw uncaught std::invalid_argument straight through xqdiff. Each
+  // malformed header value now names its line and dies as a ParseError.
+  auto parse_int = [&lineno](const std::string& key, const std::string& val,
+                             int* out) -> Status {
+    auto v = ParseXsInteger(val);
+    if (!v || *v < 0 || *v > std::numeric_limits<int>::max()) {
+      return Status::ParseError("corpus line " + std::to_string(lineno) +
+                                ": malformed " + key + " value '" + val +
+                                "' (expected a non-negative integer)");
+    }
+    *out = static_cast<int>(*v);
+    return Status::OK();
+  };
+  auto parse_fraction = [&lineno](const std::string& key,
+                                  const std::string& val,
+                                  double* out) -> Status {
+    auto v = ParseXsDouble(val);
+    if (!v || std::isnan(*v) || *v < 0.0 || *v > 1.0) {
+      return Status::ParseError("corpus line " + std::to_string(lineno) +
+                                ": malformed " + key + " value '" + val +
+                                "' (expected a fraction in [0, 1])");
+    }
+    *out = *v;
+    return Status::OK();
+  };
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
@@ -467,21 +497,49 @@ Result<DiffScenario> ParseScenarioText(const std::string& text) {
     std::string val = line.substr(colon + 1);
     if (!val.empty() && val[0] == ' ') val.erase(0, 1);
     if (key == "seed") {
-      s.workload.seed = static_cast<unsigned>(std::stoul(val));
+      auto v = ParseXsInteger(val);
+      if (!v || *v < 0 || *v > std::numeric_limits<unsigned>::max()) {
+        return Status::ParseError("corpus line " + std::to_string(lineno) +
+                                  ": malformed seed value '" + val + "'");
+      }
+      s.workload.seed = static_cast<unsigned>(*v);
     } else if (key == "orders") {
-      s.workload.num_orders = std::stoi(val);
+      if (Status st = parse_int(key, val, &s.workload.num_orders); !st.ok()) {
+        return st;
+      }
     } else if (key == "customers") {
-      s.workload.num_customers = std::stoi(val);
+      if (Status st = parse_int(key, val, &s.workload.num_customers);
+          !st.ok()) {
+        return st;
+      }
     } else if (key == "products") {
-      s.workload.num_products = std::stoi(val);
+      if (Status st = parse_int(key, val, &s.workload.num_products);
+          !st.ok()) {
+        return st;
+      }
     } else if (key == "lineitems_max") {
-      s.workload.lineitems_max = std::stoi(val);
+      if (Status st = parse_int(key, val, &s.workload.lineitems_max);
+          !st.ok()) {
+        return st;
+      }
     } else if (key == "multi_price") {
-      s.workload.multi_price_fraction = std::stod(val);
+      if (Status st =
+              parse_fraction(key, val, &s.workload.multi_price_fraction);
+          !st.ok()) {
+        return st;
+      }
     } else if (key == "string_price") {
-      s.workload.string_price_fraction = std::stod(val);
+      if (Status st =
+              parse_fraction(key, val, &s.workload.string_price_fraction);
+          !st.ok()) {
+        return st;
+      }
     } else if (key == "canadian") {
-      s.workload.canadian_postal_fraction = std::stod(val);
+      if (Status st =
+              parse_fraction(key, val, &s.workload.canadian_postal_fraction);
+          !st.ok()) {
+        return st;
+      }
     } else if (key == "namespaces") {
       s.workload.use_namespaces = val != "0";
     } else if (key == "ddl") {
@@ -515,7 +573,13 @@ Result<DiffScenario> LoadScenarioFile(const std::string& path) {
   if (!in) return Status::NotFound("cannot open corpus file: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseScenarioText(buf.str());
+  Result<DiffScenario> parsed = ParseScenarioText(buf.str());
+  if (!parsed.ok()) {
+    // Prefix the file path so a sweep over a corpus directory names the
+    // offending file, not just a line number.
+    return Status::ParseError(path + ": " + parsed.status().message());
+  }
+  return parsed;
 }
 
 Status SaveScenarioFile(const DiffScenario& scenario, const std::string& path,

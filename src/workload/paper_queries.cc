@@ -1,0 +1,151 @@
+#include "workload/paper_queries.h"
+
+namespace xqdb {
+
+namespace {
+
+// Texts follow tests/paper_queries_test.cc; predicates use the generated
+// price range (1..1000), so thresholds like 100 select real subsets.
+const PaperQuery kQueries[] = {
+    {"Q1", false, false,
+     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+     "//order[lineitem/@price>100] return $i"},
+    {"Q2", false, false,
+     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+     "//order[lineitem/@*>100] return $i"},
+    {"Q3", false, false,
+     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+     "//order[lineitem/@price > \"100\" ] return $i"},
+    {"Q4", false, false,
+     "for $i in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")/order "
+     "for $j in db2-fn:xmlcolumn(\"CUSTOMER.CDOC\")/customer "
+     "where $i/custid/xs:double(.) = $j/id/xs:double(.) "
+     "return $i"},
+    {"Q5", true, false,
+     "SELECT XMLQUERY('$order//lineitem[@price > 100]' "
+     "passing orddoc as \"order\") FROM orders"},
+    {"Q6", true, false,
+     "VALUES (XMLQUERY('db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")"
+     "//lineitem[@price > 100]'))"},
+    {"Q7", false, false,
+     "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]"},
+    {"Q8", true, false,
+     "SELECT ordid, orddoc FROM orders "
+     "WHERE XMLEXISTS('$order//lineitem[@price > 100]' "
+     "passing orddoc as \"order\")"},
+    {"Q9", true, false,
+     "SELECT ordid, orddoc FROM orders "
+     "WHERE XMLEXISTS('$order//lineitem/@price > 100' "
+     "passing orddoc as \"order\")"},
+    {"Q10", true, false,
+     "SELECT ordid, XMLQUERY('$order//lineitem[@price > 100]' "
+     "passing orddoc as \"order\") FROM orders "
+     "WHERE XMLEXISTS('$order//lineitem[@price > 100]' "
+     "passing orddoc as \"order\")"},
+    {"Q11", true, false,
+     "SELECT o.ordid, t.lineitem FROM orders o, "
+     "XMLTABLE('$order//lineitem[@price > 100]' "
+     "passing o.orddoc as \"order\" "
+     "COLUMNS \"lineitem\" XML BY REF PATH '.') as t(lineitem)"},
+    {"Q12", true, false,
+     "SELECT o.ordid, t.lineitem, t.price FROM orders o, "
+     "XMLTABLE('$order//lineitem' passing o.orddoc as \"order\" "
+     "COLUMNS \"lineitem\" XML BY REF PATH '.', "
+     "\"price\" DECIMAL(6,3) PATH '@price[. > 100]') as t(lineitem, price)"},
+    {"Q13", true, false,
+     "SELECT p.name, XMLQUERY('$order//lineitem' passing o.orddoc as "
+     "\"order\") FROM products p, orders o "
+     "WHERE XMLEXISTS('$order//lineitem/product[id eq $pid]' "
+     "passing o.orddoc as \"order\", p.id as \"pid\")"},
+    {"Q14", true, true,
+     "SELECT p.name FROM products p, orders o "
+     "WHERE p.id = XMLCAST(XMLQUERY('$order//lineitem/product/id' "
+     "passing o.orddoc as \"order\") AS VARCHAR(13))"},
+    {"Q15", true, false,
+     "SELECT c.cid, XMLQUERY('$order//lineitem' passing o.orddoc as "
+     "\"order\") FROM orders o, customer c "
+     "WHERE XMLCAST(XMLQUERY('$order/order/custid' passing o.orddoc as "
+     "\"order\") AS DOUBLE) = "
+     "XMLCAST(XMLQUERY('$cust/customer/id' passing c.cdoc as \"cust\") "
+     "AS DOUBLE)"},
+    {"Q16", true, false,
+     "SELECT c.cid, XMLQUERY('$order//lineitem' passing o.orddoc as "
+     "\"order\") FROM orders o, customer c "
+     "WHERE XMLEXISTS('$order/order[custid/xs:double(.) = "
+     "$cust/customer/id/xs:double(.)]' "
+     "passing o.orddoc as \"order\", c.cdoc as \"cust\")"},
+    {"Q17", false, false,
+     "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') "
+     "for $item in $doc//lineitem[@price > 100] "
+     "return <result>{$item}</result>"},
+    {"Q18", false, false,
+     "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') "
+     "let $item := $doc//lineitem[@price > 100] "
+     "return <result>{$item}</result>"},
+    {"Q19", false, false,
+     "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+     "return <result>{$ord/lineitem[@price > 100]}</result>"},
+    {"Q20", false, false,
+     "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+     "where $ord/lineitem/@price > 100 "
+     "return <result>{$ord/lineitem}</result>"},
+    {"Q21", false, false,
+     "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+     "let $price := $ord/lineitem/@price "
+     "where $price > 100 "
+     "return <result>{$ord/lineitem}</result>"},
+    {"Q22", false, false,
+     "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+     "return $ord/lineitem[@price > 100]"},
+    {"Q23", false, false,
+     "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem"},
+    {"Q24", false, false,
+     "for $ord in (for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+     "return <my_order>{$o/*}</my_order>) "
+     "return $ord/my_order"},
+    {"Q25", false, true,
+     "let $order := <neworder>{db2-fn:xmlcolumn('ORDERS.ORDDOC')/"
+     "order[custid > 1001]}</neworder> "
+     "return $order[//customer/name]"},
+    {"Q26", false, false,
+     "let $view := for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/"
+     "order/lineitem return <item>{$i/@price}"
+     "<pid>{$i/product/id/data(.)}</pid></item> "
+     "for $j in $view where $j/pid = 'p2' return $j/@price"},
+    {"Q27", false, false,
+     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem "
+     "where $i/product/id/data(.) = 'p2' return $i/@price"},
+    {"Q29", false, false,
+     "for $ord in db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")"
+     "/order[lineitem/price/text() = \"99.50\"] return $ord"},
+    {"Q30a", false, false,
+     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+     "//order[lineitem[@price>100 and @price<200]] return $i"},
+    {"Q30b", false, false,
+     "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+     "//order[lineitem[price>100 and price<200]] return $i"},
+    {"Q30c", false, false,
+     "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+     "//lineitem[price/data()[. > 100 and . < 200]]"},
+};
+
+}  // namespace
+
+const std::vector<PaperQuery>& AllPaperQueries() {
+  static const std::vector<PaperQuery> all(std::begin(kQueries),
+                                           std::end(kQueries));
+  return all;
+}
+
+const std::vector<PaperQuery>& ServablePaperQueries() {
+  static const std::vector<PaperQuery> servable = [] {
+    std::vector<PaperQuery> out;
+    for (const PaperQuery& q : AllPaperQueries()) {
+      if (!q.expect_error) out.push_back(q);
+    }
+    return out;
+  }();
+  return servable;
+}
+
+}  // namespace xqdb

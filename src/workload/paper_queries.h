@@ -1,0 +1,30 @@
+#ifndef XQDB_WORKLOAD_PAPER_QUERIES_H_
+#define XQDB_WORKLOAD_PAPER_QUERIES_H_
+
+#include <vector>
+
+namespace xqdb {
+
+/// One of the paper's thirty example queries, phrased against the §2.2
+/// schema (orders.orddoc / customer.cdoc / products) — the same schema
+/// SetupPaperSchema creates and the workload generator populates.
+struct PaperQuery {
+  const char* name;    // "Q1", "Q30b", ...
+  bool is_sql;         // true → ExecuteSql, false → ExecuteXQuery
+  bool expect_error;   // the paper presents this query AS an error
+  const char* text;
+};
+
+/// All catalogued queries, in paper order. Q14 and Q25 are deliberate
+/// errors (XMLCAST cardinality, absolute path in a predicate) and carry
+/// expect_error; Q28 needs the namespaced variant of the workload and is
+/// omitted here.
+const std::vector<PaperQuery>& AllPaperQueries();
+
+/// The serving/bench subset: every query that must execute without an
+/// error frame on the default (namespace-free) generated workload.
+const std::vector<PaperQuery>& ServablePaperQueries();
+
+}  // namespace xqdb
+
+#endif  // XQDB_WORKLOAD_PAPER_QUERIES_H_

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "common/str_util.h"
 #include "xquery/evaluator.h"
 
 namespace xqdb {
@@ -17,11 +19,28 @@ std::atomic<int> g_structural_default{-1};
 bool ReadEnvDefault() {
   const char* v = std::getenv("XQDB_STRUCTURAL");
   if (v == nullptr) return true;
-  return std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0 &&
-         std::strcmp(v, "false") != 0;
+  if (auto parsed = ParseStructuralKnob(v)) return *parsed;
+  // Unrecognized text used to silently enable structural joins ("offf"
+  // behaved like "on"); now it warns once and keeps the default.
+  static const bool warned = [v] {
+    std::fprintf(stderr,
+                 "xqdb: XQDB_STRUCTURAL: ignoring unrecognized value \"%s\" "
+                 "(accepted: 0, 1, on, off); structural joins stay on\n",
+                 v);
+    return true;
+  }();
+  (void)warned;
+  return true;
 }
 
 }  // namespace
+
+std::optional<bool> ParseStructuralKnob(std::string_view text) {
+  std::string_view t = TrimWhitespace(text);
+  if (t == "1" || EqualsIgnoreCase(t, "on")) return true;
+  if (t == "0" || EqualsIgnoreCase(t, "off")) return false;
+  return std::nullopt;
+}
 
 bool StructuralJoinDefault() {
   int s = g_structural_default.load(std::memory_order_relaxed);

@@ -123,5 +123,42 @@ TEST(StrUtilTest, Split) {
   EXPECT_EQ(parts[2], "");
 }
 
+// --- Env-knob parsing: every XQDB_* integer goes through this parser, so
+// its rejection behaviour IS the hardening contract. -----------------------
+
+TEST(ParseEnvIntTest, CleanValuesParse) {
+  ParsedEnvInt p = ParseEnvIntText("8", 1, 64, 4);
+  EXPECT_TRUE(p.ok);
+  EXPECT_FALSE(p.clamped);
+  EXPECT_EQ(p.value, 8);
+
+  // Surrounding whitespace and an explicit sign are fine.
+  EXPECT_EQ(ParseEnvIntText("  42 ", 0, 100, -1).value, 42);
+  EXPECT_EQ(ParseEnvIntText("+7", 0, 100, -1).value, 7);
+  EXPECT_EQ(ParseEnvIntText("-3", -10, 10, 0).value, -3);
+}
+
+TEST(ParseEnvIntTest, GarbageFallsBack) {
+  for (const char* bad :
+       {"", "   ", "abc", "12 threads", "1.5", "0x10", "++1", "9e3",
+        "99999999999999999999999999"}) {
+    ParsedEnvInt p = ParseEnvIntText(bad, 1, 64, 4);
+    EXPECT_FALSE(p.ok) << "'" << bad << "' should not parse";
+    EXPECT_EQ(p.value, 4) << bad;
+  }
+}
+
+TEST(ParseEnvIntTest, OutOfRangeClampsToNearerBound) {
+  ParsedEnvInt lo = ParseEnvIntText("0", 1, 64, 4);
+  EXPECT_TRUE(lo.ok);
+  EXPECT_TRUE(lo.clamped);
+  EXPECT_EQ(lo.value, 1);
+
+  ParsedEnvInt hi = ParseEnvIntText("1000", 1, 64, 4);
+  EXPECT_TRUE(hi.ok);
+  EXPECT_TRUE(hi.clamped);
+  EXPECT_EQ(hi.value, 64);
+}
+
 }  // namespace
 }  // namespace xqdb

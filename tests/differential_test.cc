@@ -86,6 +86,44 @@ TEST(CorpusFormatTest, ParseRejectsMalformedLines) {
   EXPECT_FALSE(ParseScenarioText("expect: orphan\n").ok());
 }
 
+TEST(CorpusFormatTest, MalformedNumbersAreParseErrorsNotCrashes) {
+  // Regression: these header values went through bare std::stoi/stod and
+  // threw uncaught std::invalid_argument out of xqdiff --replay. Each must
+  // now come back as a ParseError naming the offending line.
+  const char* cases[] = {
+      "seed: banana\n",
+      "seed: -1\n",
+      "seed: 99999999999999999999\n",
+      "orders: twelve\n",
+      "orders: -5\n",
+      "orders: 2.5\n",
+      "customers: \n",
+      "products: 1e3\n",
+      "lineitems_max: 0x10\n",
+      "multi_price: lots\n",
+      "multi_price: 1.5\n",
+      "multi_price: -0.1\n",
+      "multi_price: NaN\n",
+      "string_price: 100%\n",
+      "canadian: eh\n",
+  };
+  for (const char* text : cases) {
+    auto parsed = ParseScenarioText(text);
+    ASSERT_FALSE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << text;
+    // The diagnostic names the line so a hand-edited corpus is fixable.
+    EXPECT_NE(parsed.status().ToString().find("line 1"), std::string::npos)
+        << parsed.status().ToString();
+  }
+  // Sanity: the same keys with clean values parse.
+  auto good = ParseScenarioText(
+      "seed: 7\norders: 12\nmulti_price: 0.25\n"
+      "xquery: db2-fn:xmlcolumn('ORDERS.ORDDOC')/order\n");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->workload.seed, 7u);
+  EXPECT_EQ(good->workload.num_orders, 12);
+}
+
 TEST(MinimizerTest, ShrinksToTheImplicatedQuery) {
   // Three harmless queries plus one with an impossible pinned expectation:
   // the minimizer must keep the divergence alive while dropping everything

@@ -8,7 +8,8 @@
 #              clang-tidy is not installed)
 #   undefined  UBSan build (-fno-sanitize-recover) + the FULL ctest suite
 #   thread     TSan build + the `concurrency` ctest label (thread pool,
-#              parallel exec, cache/metrics contention)
+#              parallel exec, cache/metrics contention, serving layer),
+#              then a bench_serve pass (4 clients + DML) under TSan
 #   address    ASan build + the 30s `fuzz-smoke` ctest label
 #
 # Each mode writes <out>/xqcheck-<mode>.json and the run ends with an
@@ -106,8 +107,13 @@ for mode in $(echo "$MODES" | tr ',' ' '); do
         ctest --output-on-failure -j "$JOBS"
       ;;
     thread)
+      # The concurrency label, then the serving bench: N real client
+      # connections + a DML thread is the cross-thread traffic TSan is
+      # best at — zero error frames AND zero reports is the pass bar.
       run_mode thread -DXQDB_SANITIZE=thread -DXQDB_TIDY=OFF -- \
-        ctest --output-on-failure -L concurrency -j "$JOBS"
+        bash -c "ctest --output-on-failure -L concurrency -j $JOBS && \
+          XQDB_BENCH_ORDERS=200 ./bench/bench_serve --clients 4 --iters 1 \
+            --dml --out bench_serve_tsan.json"
       ;;
     address)
       run_mode address -DXQDB_SANITIZE=address -DXQDB_TIDY=OFF -- \
