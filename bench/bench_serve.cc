@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "core/database.h"
 #include "observability/metrics.h"
 #include "server/protocol.h"
@@ -49,6 +50,7 @@ using xqdb::ServerOptions;
 using xqdb::ServablePaperQueries;
 using xqdb::Status;
 using xqdb::Verb;
+using xqdb::WriteFileAtomic;
 
 int OrdersFromEnv() {
   if (const char* env = std::getenv("XQDB_BENCH_ORDERS")) {
@@ -250,11 +252,11 @@ int main(int argc, char** argv) {
   json += buf;
   json += "}\n";
 
-  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-  } else {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  // Temp-file + rename, same as bench_parallel: never publish a truncated
+  // BENCH_serve.json.
+  if (Status st = WriteFileAtomic(out_path, json); !st.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                 st.message().c_str());
     return 1;
   }
   std::printf("%s", json.c_str());

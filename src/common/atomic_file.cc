@@ -1,0 +1,62 @@
+#include "common/atomic_file.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace xqdb {
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  if (path.empty()) {
+    return Status::InvalidArgument("WriteFileAtomic: empty path");
+  }
+  // Temporary lives next to the destination; a dot prefix keeps it out of
+  // BENCH_*.json globs while a write is in flight.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, std::max<size_t>(slash, 1));
+  std::string tmpl = dir + "/.atomic.XXXXXX";
+  std::vector<char> name(tmpl.begin(), tmpl.end());
+  name.push_back('\0');
+  int fd = ::mkstemp(name.data());
+  if (fd < 0) {
+    return Status::Internal("mkstemp " + tmpl + ": " + std::strerror(errno));
+  }
+  const std::string tmp_path(name.data());
+
+  Status status = Status::OK();
+  size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t w = ::write(fd, contents.data() + off, contents.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      status = Status::Internal("write " + tmp_path + ": " +
+                                std::strerror(errno));
+      break;
+    }
+    off += static_cast<size_t>(w);
+  }
+  // Flush before rename so a crash after publication cannot surface an
+  // empty file under the final name.
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Internal("fsync " + tmp_path + ": " +
+                              std::strerror(errno));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::Internal("close " + tmp_path + ": " +
+                              std::strerror(errno));
+  }
+  if (status.ok() && ::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    status = Status::Internal("rename " + tmp_path + " -> " + path + ": " +
+                              std::strerror(errno));
+  }
+  if (!status.ok()) ::unlink(tmp_path.c_str());
+  return status;
+}
+
+}  // namespace xqdb

@@ -1,0 +1,27 @@
+#ifndef XQDB_COMMON_ATOMIC_FILE_H_
+#define XQDB_COMMON_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xqdb {
+
+/// Atomically replaces the file at `path` with `contents`: the bytes are
+/// written to a uniquely named temporary file in the SAME directory, flushed,
+/// and rename(2)d over the destination. Readers therefore see either the old
+/// complete file or the new complete file — never a truncated or interleaved
+/// one. The benches use this for their BENCH_*.json reports, which CI and
+/// EXPERIMENTS.md recipes read while a rerun may be in flight; a plain
+/// fopen(path, "w") truncates the report in place and a concurrently failing
+/// run leaves a half-written artifact behind.
+///
+/// Same-directory placement is what makes the rename atomic (rename across
+/// filesystems falls back to copy+unlink). On any failure the temporary file
+/// is removed and the destination is left untouched.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+}  // namespace xqdb
+
+#endif  // XQDB_COMMON_ATOMIC_FILE_H_

@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 
@@ -7,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "core/planner.h"
 #include "observability/trace.h"
+#include "sql/batch_filter.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xquery/parser.h"
@@ -127,6 +129,7 @@ Result<ResultSet> Database::RunSelect(const SelectStmt& stmt,
   }
   SqlExecutor executor(&catalog_, epoch);
   if (options.disable_structural) executor.set_structural_enabled(false);
+  if (options.disable_batch) executor.set_batch_enabled(false);
   return executor.Run(stmt, plan);
 }
 
@@ -330,6 +333,107 @@ Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
                 summary->MatchedPathsCoveredBy(*plan.access.summary_nfa,
                                                *plan.access.containment_nfa);
   }
+  if (use_index && plan.access.kind == AccessPath::Kind::kIndexOnly) {
+    // Covering aggregate: answer fn:count/sum/avg/min/max straight from the
+    // B+Tree entries — zero documents materialized. The plan proved the
+    // index entry set equals the query match set in the pattern language
+    // (containment both ways); what it could NOT prove statically is the
+    // data-dependent residue, so re-verify here, exactly like the
+    // summary-containment gate above: any tolerantly skipped uncastable or
+    // NaN node means the entries under-count the match set, and we demote
+    // to the collection scan. The batch knob gates this path too so
+    // XQDB_BATCH=0 (and the xqdiff row-at-a-time oracle) exercises the
+    // evaluator instead.
+    auto table = catalog_.GetTable(plan.table);
+    bool covering = !options.disable_batch && BatchExecDefault() &&
+                    table.ok() && plan.access.index != nullptr &&
+                    plan.access.index->cast_skip_count() == 0;
+    ProbeStats pstats;
+    std::vector<DoubleIndexEntry> entries;
+    if (covering) {
+      covering = plan.access.index->ScanDoubleEntries(&entries, &pstats);
+    }
+    if (covering) {
+      std::vector<DoubleIndexEntry> visible;
+      visible.reserve(entries.size());
+      for (const DoubleIndexEntry& e : entries) {
+        if (table.value()->VisibleAt(e.row, epoch)) visible.push_back(e);
+      }
+      // Key order out of the tree; the aggregates below are specified over
+      // document order (sum accumulates left to right; min/max keep the
+      // first of equal keys), so re-sort by (row, node id).
+      std::sort(visible.begin(), visible.end(),
+                [](const DoubleIndexEntry& a, const DoubleIndexEntry& b) {
+                  return a.row != b.row ? a.row < b.row : a.node < b.node;
+                });
+      const size_t n = visible.size();
+      switch (plan.access.index_only_agg) {
+        case AccessPath::IndexOnlyAgg::kNone:
+          return Status::Internal("index-only plan without an aggregate");
+        case AccessPath::IndexOnlyAgg::kCount:
+          out.items.push_back(
+              Item(AtomicValue::Integer(static_cast<long long>(n))));
+          break;
+        case AccessPath::IndexOnlyAgg::kSum: {
+          // fn:sum of untyped values casts each to double; the empty
+          // sequence sums to xs:integer 0 (functions.cc FnSum).
+          if (n == 0) {
+            out.items.push_back(Item(AtomicValue::Integer(0)));
+          } else {
+            double sum = 0;
+            for (const DoubleIndexEntry& e : visible) sum += e.key;
+            out.items.push_back(Item(AtomicValue::Double(sum)));
+          }
+          break;
+        }
+        case AccessPath::IndexOnlyAgg::kAvg: {
+          if (n > 0) {  // fn:avg of () is ().
+            double sum = 0;
+            for (const DoubleIndexEntry& e : visible) sum += e.key;
+            out.items.push_back(
+                Item(AtomicValue::Double(sum / static_cast<double>(n))));
+          }
+          break;
+        }
+        case AccessPath::IndexOnlyAgg::kMin:
+        case AccessPath::IndexOnlyAgg::kMax: {
+          if (n > 0) {  // fn:min/max of () is ().
+            const bool want_min =
+                plan.access.index_only_agg == AccessPath::IndexOnlyAgg::kMin;
+            double best = visible[0].key;
+            for (size_t i = 1; i < n; ++i) {
+              const double k = visible[i].key;
+              // Strict compare: equal keys keep the earlier value, matching
+              // the evaluator's MinMax loop. NaN cannot appear — KeyFor
+              // skips NaN keys and the cast_skip_count gate above proved
+              // there were none.
+              if (want_min ? k < best : k > best) best = k;
+            }
+            out.items.push_back(Item(AtomicValue::Double(best)));
+          }
+          break;
+        }
+      }
+      long long distinct_rows = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (i == 0 || visible[i].row != visible[i - 1].row) ++distinct_rows;
+      }
+      out.stats.index_entries_probed =
+          static_cast<long long>(pstats.entries_scanned);
+      out.stats.index_docs_returned = distinct_rows;
+      out.stats.index_only_rows = static_cast<long long>(n);
+      out.stats.xquery_evals = 1;
+      // docs_scanned and rows_scanned stay 0: no document was opened.
+      out.rows.reserve(out.items.size());
+      for (const Item& item : out.items) {
+        out.rows.push_back(item.atomic().Lexical());
+      }
+      return out;
+    }
+    // Demoted: the covering claim no longer holds (batch execution is off,
+    // or DML introduced a tolerant cast skip). Scan the collection.
+    use_index = false;
+  }
   if (use_index) {
     ProbeStats pstats;
     std::vector<uint32_t> rows;
@@ -365,6 +469,7 @@ Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
       }
       case AccessPath::Kind::kFullScan:
       case AccessPath::Kind::kIndexJoinProbe:  // never planned standalone
+      case AccessPath::Kind::kIndexOnly:       // handled (or demoted) above
         break;
     }
     out.stats.index_entries_probed =
@@ -473,6 +578,7 @@ std::string Database::RenderXQueryLint(const std::string& query) {
 Result<ResultSet> Database::RunDeleteStmt(const DeleteStmt& stmt,
                                           const ExecOptions& options) {
   size_t deleted = 0;
+  ExecStats exec_stats;
   {
     WriteTicket ticket(epoch_manager_);
     // Victims are evaluated against the last committed epoch (everything
@@ -480,7 +586,8 @@ Result<ResultSet> Database::RunDeleteStmt(const DeleteStmt& stmt,
     // concurrent pinned readers keep seeing them until this commits.
     SqlExecutor executor(&catalog_, epoch_manager_.current());
     if (options.disable_structural) executor.set_structural_enabled(false);
-    auto n = executor.RunDelete(stmt, ticket.write_epoch());
+    if (options.disable_batch) executor.set_batch_enabled(false);
+    auto n = executor.RunDelete(stmt, ticket.write_epoch(), &exec_stats);
     if (!n.ok()) return n.status();  // no victims stamped before an error
     deleted = *n;
   }
@@ -489,6 +596,7 @@ Result<ResultSet> Database::RunDeleteStmt(const DeleteStmt& stmt,
   // immediately — single-session behaviour is unchanged.
   VacuumTable(stmt.table_name);
   ResultSet out;
+  out.stats = exec_stats;  // predicate counters, merged across chunks
   out.stats.rows_scanned = static_cast<long long>(deleted);
   return out;
 }

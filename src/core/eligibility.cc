@@ -410,4 +410,17 @@ AccessPath ChooseAccessPath(const std::vector<const XmlIndex*>& indexes,
   return path;
 }
 
+bool IndexCoversExactly(const XmlIndex& index, const Pattern& query) {
+  // Language equality, both directions of Definition 1's containment: every
+  // node the query can match is indexed (the usual pre-filter direction)
+  // AND every indexed node is a query match (the covering direction — an
+  // extra entry would add a value the query never produces). Either
+  // direction failing to *decide* is a rejection, not an error: the plan
+  // simply stays a scan.
+  auto forward = PatternContains(index.pattern(), query);
+  if (!forward.ok() || !forward.value()) return false;
+  auto backward = PatternContains(query, index.pattern());
+  return backward.ok() && backward.value();
+}
+
 }  // namespace xqdb

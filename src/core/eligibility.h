@@ -62,6 +62,16 @@ AccessPath ChooseAccessPath(const std::vector<const XmlIndex*>& indexes,
                             const std::string& table = {},
                             const std::string& column = {});
 
+/// Covering (index-only) eligibility: true iff the index's entry set is
+/// provably the query path's match set — pattern-language containment in
+/// BOTH directions. One direction (index ⊇ query) is Definition 1's
+/// pre-filter contract; the other (query ⊇ index) is what lets an
+/// aggregate read B+Tree entries *instead of* documents: no indexed node
+/// may lie outside the query path. Data-dependent residue (tolerantly
+/// skipped uncastable/NaN nodes) is NOT checked here — executors gate on
+/// XmlIndex::cast_skip_count() == 0 at run time.
+bool IndexCoversExactly(const XmlIndex& index, const Pattern& query);
+
 }  // namespace xqdb
 
 #endif  // XQDB_CORE_ELIGIBILITY_H_

@@ -30,6 +30,14 @@ struct ExecOptions {
   /// evaluations must produce identical results on every query.
   bool disable_structural = false;
 
+  /// Disables batch-at-a-time (vectorized) predicate execution and covering
+  /// index-only plans for this execution, falling back to row-at-a-time
+  /// EvalPredicate and document evaluation. The per-execution form of the
+  /// XQDB_BATCH=off escape hatch and the hook for the batch-vs-row
+  /// differential oracle: both executions must produce identical results on
+  /// every query.
+  bool disable_batch = false;
+
   /// Emits a JSON QueryTrace record for this execution to the trace sink
   /// (observability/trace.h) even when the process-wide XQDB_TRACE switch
   /// is off. Counters and phase timings are collected either way; this only

@@ -52,6 +52,95 @@ void Conjuncts(const SqlExpr& e, std::vector<const SqlExpr*>* out) {
   }
 }
 
+/// Converts one aggregate-argument axis step to a linear-pattern step for
+/// the covering-index check (same conversion the eligibility extractor
+/// applies to predicate paths). Returns false = not index-only material.
+bool AppendCoveredStep(const PathStep& step, bool* pending_skip,
+                       std::vector<NormStep>* steps) {
+  if (step.test.kind == NodeTestSpec::Kind::kAnyNode &&
+      step.axis == PathAxis::kDescendantOrSelf) {
+    *pending_skip = true;
+    return true;
+  }
+  if (step.test.kind != NodeTestSpec::Kind::kName) return false;
+  switch (step.axis) {
+    case PathAxis::kChild:
+      steps->push_back(NormStep{
+          *pending_skip, ElementTest(step.test.ns_any, step.test.ns_uri,
+                                     step.test.local_any, step.test.local)});
+      break;
+    case PathAxis::kDescendant:
+      steps->push_back(NormStep{
+          true, ElementTest(step.test.ns_any, step.test.ns_uri,
+                            step.test.local_any, step.test.local)});
+      break;
+    case PathAxis::kAttribute:
+      steps->push_back(NormStep{
+          *pending_skip, AttributeTest(step.test.ns_any, step.test.ns_uri,
+                                       step.test.local_any, step.test.local)});
+      break;
+    default:
+      return false;
+  }
+  *pending_skip = false;
+  return true;
+}
+
+/// A query shape a covering index can answer without touching documents:
+/// one aggregate over one predicate-free simple path rooted at
+/// db2-fn:xmlcolumn. The value exactness argument needs every gathered
+/// value to be the untyped-to-double cast the index key IS — which holds
+/// for stored documents (ParseXml annotates everything untyped) and is
+/// re-gated at execution on cast_skip_count() == 0.
+struct IndexOnlyCandidate {
+  std::string table;
+  std::string column;
+  Pattern pattern;
+  AccessPath::IndexOnlyAgg agg = AccessPath::IndexOnlyAgg::kNone;
+};
+
+std::optional<IndexOnlyCandidate> DetectIndexOnlyAggregate(const Expr& body) {
+  if (body.kind != ExprKind::kFunctionCall || body.children.size() != 1 ||
+      body.children[0] == nullptr) {
+    return std::nullopt;
+  }
+  AccessPath::IndexOnlyAgg agg;
+  if (body.fn_name == "fn:count") {
+    agg = AccessPath::IndexOnlyAgg::kCount;
+  } else if (body.fn_name == "fn:sum") {
+    agg = AccessPath::IndexOnlyAgg::kSum;
+  } else if (body.fn_name == "fn:avg") {
+    agg = AccessPath::IndexOnlyAgg::kAvg;
+  } else if (body.fn_name == "fn:min") {
+    agg = AccessPath::IndexOnlyAgg::kMin;
+  } else if (body.fn_name == "fn:max") {
+    agg = AccessPath::IndexOnlyAgg::kMax;
+  } else {
+    return std::nullopt;
+  }
+  const Expr& arg = *body.children[0];
+  if (arg.kind != ExprKind::kPath || arg.absolute || arg.steps.empty() ||
+      arg.steps[0].is_axis_step || !arg.steps[0].predicates.empty()) {
+    return std::nullopt;
+  }
+  const Expr* src = arg.steps[0].expr.get();
+  if (src == nullptr || src->kind != ExprKind::kXmlColumn) return std::nullopt;
+  std::vector<NormStep> steps;
+  bool pending_skip = false;
+  for (size_t i = 1; i < arg.steps.size(); ++i) {
+    const PathStep& step = arg.steps[i];
+    if (!step.is_axis_step || !step.predicates.empty()) return std::nullopt;
+    if (!AppendCoveredStep(step, &pending_skip, &steps)) return std::nullopt;
+  }
+  if (pending_skip || steps.empty()) return std::nullopt;  // trailing '//'
+  IndexOnlyCandidate c;
+  c.table = src->table_name;
+  c.column = src->column_name;
+  c.pattern = MakePattern({std::move(steps)});
+  c.agg = agg;
+  return c;
+}
+
 /// If `e` is a column reference to an XML column of base ref `ref`,
 /// returns the column name.
 std::optional<std::string> XmlColumnOfRef(const SqlExpr& e,
@@ -244,6 +333,36 @@ Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) const {
 
 Result<XQueryPlan> Planner::PlanXQuery(const Expr& body) const {
   XQueryPlan plan;
+
+  // Covering index-only aggregates: answer fn:count/sum/avg/min/max over a
+  // predicate-free indexed path straight from B+Tree entries. Requires a
+  // DOUBLE index whose pattern language *equals* the query path's — the
+  // pre-filter direction alone would allow extra entries the query never
+  // produces. The executor re-verifies the data-dependent half of the
+  // claim (zero tolerant cast skips) and demotes to a collection scan.
+  if (auto cand = DetectIndexOnlyAggregate(body)) {
+    auto table_result = catalog_->GetTable(cand->table);
+    if (table_result.ok()) {
+      for (const XmlIndex* idx :
+           table_result.value()->indexes().XmlIndexesOn(cand->column)) {
+        if (idx->type() != IndexValueType::kDouble) continue;
+        if (!IndexCoversExactly(*idx, cand->pattern)) continue;
+        plan.use_index = true;
+        plan.table = cand->table;
+        plan.column = cand->column;
+        plan.access.kind = AccessPath::Kind::kIndexOnly;
+        plan.access.index = idx;
+        plan.access.index_only_agg = cand->agg;
+        plan.access.index_only_path_text = PatternToString(cand->pattern);
+        plan.access.summary =
+            "covering aggregate: pattern language equals the query path "
+            "(both containment directions); valid while the index has no "
+            "tolerant cast skips";
+        return plan;
+      }
+    }
+  }
+
   auto sources = CollectXmlColumnSources(body);
   for (const auto& [table_name, column] : sources) {
     auto table_result = catalog_->GetTable(table_name);

@@ -406,4 +406,18 @@ std::vector<uint32_t> XmlIndex::AllRows() const {
   return result.ok() ? std::move(result).value() : std::vector<uint32_t>{};
 }
 
+bool XmlIndex::ScanDoubleEntries(std::vector<DoubleIndexEntry>* out,
+                                 ProbeStats* stats) const {
+  if (type_ != IndexValueType::kDouble) return false;
+  ReaderMutexLock lock(*mu_);
+  out->reserve(out->size() + entry_count_);
+  size_t scanned = double_tree_.Scan(
+      ScanBound<double>::Unbounded(), ScanBound<double>::Unbounded(),
+      [&](double key, const IndexedNodeRef& ref) {
+        out->push_back(DoubleIndexEntry{key, ref.row, ref.node});
+      });
+  if (stats != nullptr) stats->entries_scanned += scanned;
+  return true;
+}
+
 }  // namespace xqdb

@@ -49,6 +49,16 @@ struct ProbeStats {
   size_t entries_scanned = 0;
 };
 
+/// One entry of a DOUBLE index, as surfaced by ScanDoubleEntries: the key
+/// (the node's value cast to double) plus the node it came from. The basis
+/// of covering index-only plans — aggregates over an indexed path read
+/// these instead of touching any document.
+struct DoubleIndexEntry {
+  double key = 0;
+  uint32_t row = 0;
+  NodeIdx node = kNullNode;
+};
+
 /// An XML value index: "CREATE INDEX name ON table(col) USING XMLPATTERN
 /// 'pattern' AS type". Contains one entry per node that matches the pattern
 /// *and* is castable to the index type; uncastable nodes are skipped — the
@@ -116,6 +126,15 @@ class XmlIndex {
   /// any entry. Only meaningful for varchar indexes, which by definition
   /// contain *all* matching nodes (§2.2).
   std::vector<uint32_t> AllRows() const;
+
+  /// Index-only entry scan: copies every (key, row, node) entry of a
+  /// DOUBLE index out in key order, metering the walk into `stats`.
+  /// Returns false (out untouched) for non-double indexes. Callers own the
+  /// visibility filtering and any re-sorting (document order is
+  /// (row, node) order, the order the evaluator would produce the values
+  /// in — B+Tree key order is not that).
+  bool ScanDoubleEntries(std::vector<DoubleIndexEntry>* out,
+                         ProbeStats* stats) const;
 
   /// Approximate fraction of the index's entries in [lo, hi] (for the
   /// planner's cost-based scan-vs-probe decision; see core/eligibility).

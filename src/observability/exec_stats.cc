@@ -20,6 +20,9 @@ constexpr Field kCounters[] = {
     {"index_docs_returned", &ExecStats::index_docs_returned},
     {"rows_filtered", &ExecStats::rows_filtered},
     {"xquery_evals", &ExecStats::xquery_evals},
+    {"batches_executed", &ExecStats::batches_executed},
+    {"batch_rows", &ExecStats::batch_rows},
+    {"index_only_rows", &ExecStats::index_only_rows},
     {"cast_failures", &ExecStats::cast_failures},
     {"nfa_matches", &ExecStats::nfa_matches},
     {"pool_tasks", &ExecStats::pool_tasks},

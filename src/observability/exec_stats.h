@@ -35,6 +35,14 @@ struct ExecStats {
                                       // concurrent queries)
   long long plan_cache_hits = 0;      // 1 if this execution reused a plan
 
+  // -- Batch-execution counters (vectorized predicate kernels and covering
+  // index-only plans; see DESIGN.md §12) -----------------------------------
+  long long batches_executed = 0;     // ValueBatch kernel invocations
+  long long batch_rows = 0;           // rows whose verdict came from a batch
+                                      // kernel (not per-row EvalPredicate)
+  long long index_only_rows = 0;      // B+Tree entries answered without
+                                      // touching any document (kIndexOnly)
+
   // -- Structural-join counters (pre/post interval evaluation) -------------
   long long structural_join_emitted = 0;  // nodes emitted by merged-interval
                                           // axis scans
@@ -60,6 +68,9 @@ struct ExecStats {
     index_docs_returned += o.index_docs_returned;
     rows_filtered += o.rows_filtered;
     xquery_evals += o.xquery_evals;
+    batches_executed += o.batches_executed;
+    batch_rows += o.batch_rows;
+    index_only_rows += o.index_only_rows;
     cast_failures += o.cast_failures;
     nfa_matches += o.nfa_matches;
     pool_tasks += o.pool_tasks;

@@ -241,22 +241,29 @@ void Server::HandleAccepted(int fd) {
 void Server::ServeConnection(int fd, uint64_t session_id) {
   // read_exact outcome: 0 = done, 1 = idle timeout, 2 = closed/error,
   // 3 = server stopping.
-  long long idle_ms = 0;
+  //
+  // The idle budget is measured against the monotonic clock, not by adding
+  // kRecvSliceMs per wakeup: an SO_RCVTIMEO recv() may return well before
+  // its slice elapses (a signal can interrupt it immediately), and charging
+  // every early wakeup as a full slice expires the budget in a fraction of
+  // the configured time on a signal-pounded connection. The converse hazard
+  // is covered too — a signal storm that keeps restarting the slice can no
+  // longer postpone the timeout, because EINTR also checks the deadline.
+  const auto idle_budget = std::chrono::milliseconds(options_.idle_timeout_ms);
+  auto deadline = std::chrono::steady_clock::now() + idle_budget;
   auto read_exact = [&](char* buf, size_t n) -> int {
     size_t off = 0;
     while (off < n) {
       ssize_t r = ::recv(fd, buf + off, n - off, 0);
       if (r > 0) {
         off += static_cast<size_t>(r);
-        idle_ms = 0;
+        deadline = std::chrono::steady_clock::now() + idle_budget;
         continue;
       }
       if (r == 0) return 2;
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
         if (stopping_.load(std::memory_order_acquire)) return 3;
-        idle_ms += kRecvSliceMs;
-        if (idle_ms >= options_.idle_timeout_ms) return 1;
+        if (std::chrono::steady_clock::now() >= deadline) return 1;
         continue;
       }
       return 2;

@@ -1,0 +1,401 @@
+#include "sql/batch_filter.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "xdm/cast.h"
+#include "xdm/item.h"
+#include "xpath/pattern.h"
+#include "xquery/ast.h"
+#include "xquery/parser.h"
+#include "xquery/structural_join.h"
+
+namespace xqdb {
+
+namespace {
+
+/// -1 = not yet resolved from the environment; 0/1 = resolved/overridden.
+std::atomic<int> g_batch_default{-1};
+
+bool ReadEnvDefault() {
+  const char* v = std::getenv("XQDB_BATCH");
+  if (v == nullptr) return true;
+  if (auto parsed = ParseBatchKnob(v)) return *parsed;
+  static const bool warned = [v] {
+    std::fprintf(stderr,
+                 "xqdb: XQDB_BATCH: ignoring unrecognized value \"%s\" "
+                 "(accepted: 0, 1, on, off); batch execution stays on\n",
+                 v);
+    return true;
+  }();
+  (void)warned;
+  return true;
+}
+
+}  // namespace
+
+std::optional<bool> ParseBatchKnob(std::string_view text) {
+  // Same strict grammar as XQDB_STRUCTURAL, on purpose: one habit works for
+  // every xqdb escape hatch.
+  return ParseStructuralKnob(text);
+}
+
+bool BatchExecDefault() {
+  int s = g_batch_default.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = ReadEnvDefault() ? 1 : 0;
+    // Racing first calls resolve the same environment value; any later
+    // SetBatchExecDefault wins via plain store.
+    g_batch_default.store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void SetBatchExecDefault(bool enabled) {
+  g_batch_default.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Left-to-right conjunct order (SQL AND short-circuits left to right).
+void SplitConjuncts(const SqlExpr& e, std::vector<const SqlExpr*>* out) {
+  if (e.kind == SqlExprKind::kAnd) {
+    SplitConjuncts(*e.children[0], out);
+    SplitConjuncts(*e.children[1], out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+/// Converts one query axis step to a linear-pattern step. Mirrors the
+/// eligibility extractor's AppendAxisStep, restricted to the shapes the
+/// kernel gather understands. Returns false = conjunct not batchable.
+bool AppendStep(const PathStep& step, bool* pending_skip,
+                std::vector<NormStep>* steps) {
+  if (step.test.kind == NodeTestSpec::Kind::kAnyNode &&
+      step.axis == PathAxis::kDescendantOrSelf) {
+    *pending_skip = true;
+    return true;
+  }
+  if (step.test.kind != NodeTestSpec::Kind::kName) return false;
+  switch (step.axis) {
+    case PathAxis::kChild:
+      steps->push_back(NormStep{
+          *pending_skip, ElementTest(step.test.ns_any, step.test.ns_uri,
+                                     step.test.local_any, step.test.local)});
+      break;
+    case PathAxis::kDescendant:
+      steps->push_back(NormStep{
+          true, ElementTest(step.test.ns_any, step.test.ns_uri,
+                            step.test.local_any, step.test.local)});
+      break;
+    case PathAxis::kAttribute:
+      steps->push_back(NormStep{
+          *pending_skip, AttributeTest(step.test.ns_any, step.test.ns_uri,
+                                       step.test.local_any, step.test.local)});
+      break;
+    default:
+      return false;
+  }
+  *pending_skip = false;
+  return true;
+}
+
+/// Numeric constant of a comparison operand (literal or negated literal).
+/// The kernel compares doubles; an integer constant converts with the same
+/// AsDouble() promotion CompareAtomic applies to mixed numeric pairs.
+std::optional<double> NumericConstantOf(const Expr& e) {
+  if (e.kind == ExprKind::kLiteral && e.literal.is_numeric()) {
+    return e.literal.AsDouble();
+  }
+  if (e.kind == ExprKind::kUnaryMinus && e.children.size() == 1 &&
+      e.children[0]->kind == ExprKind::kLiteral &&
+      e.children[0]->literal.is_numeric()) {
+    return -e.children[0]->literal.AsDouble();
+  }
+  return std::nullopt;
+}
+
+/// A single-axis-step relative path (`@price` or `price`) — the only
+/// comparison-operand shape whose matches are, by construction, direct
+/// children/attributes of the predicate's context node, which is what lets
+/// the kernel recover the context grouping from each match's parent link.
+const PathStep* SingleRelativeStep(const Expr& e) {
+  if (e.kind != ExprKind::kPath || e.absolute || e.path_source != nullptr ||
+      e.steps.size() != 1) {
+    return nullptr;
+  }
+  const PathStep& s = e.steps[0];
+  if (!s.is_axis_step || !s.predicates.empty()) return nullptr;
+  if (s.test.kind != NodeTestSpec::Kind::kName) return nullptr;
+  if (s.axis != PathAxis::kAttribute && s.axis != PathAxis::kChild) {
+    return nullptr;
+  }
+  return &s;
+}
+
+/// Tries to compile one XMLEXISTS conjunct into a kernel.
+std::optional<BatchKernel> CompileConjunct(
+    const SqlExpr& e,
+    const std::function<int(const std::string&, const std::string&)>&
+        resolve_slot) {
+  if (e.kind != SqlExprKind::kXmlExists || e.xquery == nullptr) {
+    return std::nullopt;
+  }
+  const EmbeddedXQuery& q = *e.xquery;
+  if (q.passing.size() != 1 || q.passing[0].value == nullptr ||
+      q.passing[0].value->kind != SqlExprKind::kColumnRef) {
+    return std::nullopt;
+  }
+  int slot = resolve_slot(q.passing[0].value->qualifier,
+                          q.passing[0].value->column);
+  if (slot < 0) return std::nullopt;
+  const Expr* body = q.parsed.body.get();
+  if (body == nullptr || body->kind != ExprKind::kPath || body->absolute) {
+    return std::nullopt;
+  }
+
+  // Path source: the passed variable, bound to the column's document.
+  const Expr* src = body->path_source.get();
+  size_t first = 0;
+  if (src == nullptr) {
+    if (body->steps.empty() || body->steps[0].is_axis_step) {
+      return std::nullopt;
+    }
+    if (!body->steps[0].predicates.empty()) return std::nullopt;
+    src = body->steps[0].expr.get();
+    first = 1;
+  }
+  if (src == nullptr || src->kind != ExprKind::kVarRef ||
+      src->var != q.passing[0].var_name) {
+    return std::nullopt;
+  }
+
+  // Axis steps: child/descendant/attribute name steps and bare `//`;
+  // predicates are forbidden except a single one on the final step.
+  std::vector<NormStep> steps;
+  bool pending_skip = false;
+  const Expr* compare = nullptr;
+  for (size_t i = first; i < body->steps.size(); ++i) {
+    const PathStep& step = body->steps[i];
+    if (!step.is_axis_step) return std::nullopt;
+    if (!AppendStep(step, &pending_skip, &steps)) return std::nullopt;
+    if (step.predicates.empty()) continue;
+    const bool is_last = i + 1 == body->steps.size();
+    if (!is_last || step.predicates.size() != 1) return std::nullopt;
+    // The predicated step must be element-producing: the kernel reads the
+    // comparison operand off the context node's attribute/child links.
+    if (step.axis != PathAxis::kChild && step.axis != PathAxis::kDescendant) {
+      return std::nullopt;
+    }
+    compare = step.predicates[0].get();
+  }
+  if (pending_skip) return std::nullopt;  // trailing '//'
+  if (steps.empty()) return std::nullopt;
+
+  BatchKernel kernel;
+  kernel.xml_slot = slot;
+
+  if (compare != nullptr) {
+    if (compare->kind != ExprKind::kGeneralCompare ||
+        compare->children.size() != 2) {
+      return std::nullopt;
+    }
+    const Expr& lhs = *compare->children[0];
+    const Expr& rhs = *compare->children[1];
+    const PathStep* operand = SingleRelativeStep(lhs);
+    std::optional<double> constant = NumericConstantOf(rhs);
+    CompareOp op = compare->cmp_op;
+    if (operand == nullptr || !constant.has_value()) {
+      operand = SingleRelativeStep(rhs);
+      constant = NumericConstantOf(lhs);
+      op = FlipCompareOp(compare->cmp_op);
+      if (operand == nullptr || !constant.has_value()) return std::nullopt;
+    }
+    StepTest t =
+        operand->axis == PathAxis::kAttribute
+            ? AttributeTest(operand->test.ns_any, operand->test.ns_uri,
+                            operand->test.local_any, operand->test.local)
+            : ElementTest(operand->test.ns_any, operand->test.ns_uri,
+                          operand->test.local_any, operand->test.local);
+    steps.push_back(NormStep{false, t});
+    kernel.has_compare = true;
+    kernel.op = op;
+    kernel.literal = *constant;
+  }
+
+  Pattern pattern = MakePattern({std::move(steps)});
+  auto nfa = PatternNfa::Compile(pattern);
+  if (!nfa.ok()) return std::nullopt;
+  kernel.nfa = std::make_shared<const PatternNfa>(std::move(nfa).value());
+  kernel.pattern_text = PatternToString(pattern);
+  return kernel;
+}
+
+/// Vectorizable comparison, exactly reproducing ApplyOp over CompareAtomic's
+/// numeric branch: IEEE semantics make every ordered comparison with NaN
+/// false and `!=` true, which is ApplyOp's kUnordered rule.
+bool CompareKey(CompareOp op, double a, double b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+/// Gather-phase row states beyond the shared verdict constants.
+constexpr uint8_t kRowGathered = 3;
+
+/// Streams one row's document through the pattern NFA, appending gathered
+/// values/groups/flags to the batch. Returns a pre-verdict: false (NULL
+/// cell / existence miss), true (existence hit), fallback (cell shape the
+/// kernel does not model), or gathered (compare kernels: decide later).
+uint8_t GatherRow(const BatchKernel& k, const std::vector<SqlValue>& row,
+                  ValueBatch* b) {
+  if (k.xml_slot < 0 || static_cast<size_t>(k.xml_slot) >= row.size()) {
+    return kBatchRowFallback;
+  }
+  const SqlValue& cell = row[static_cast<size_t>(k.xml_slot)];
+  if (cell.is_null()) return kBatchRowFalse;  // empty binding: no matches
+  if (cell.kind() != SqlValue::Kind::kXml) return kBatchRowFallback;
+  const Sequence& seq = cell.xml_value();
+  if (seq.size() != 1 || !seq[0].is_node()) return kBatchRowFallback;
+  const NodeHandle& h = seq[0].node();
+  // Pattern matching starts at the document node; anything else (fragment
+  // root, mid-document node) must keep the evaluator's navigation.
+  if (h.doc == nullptr || h.idx != h.doc->root() ||
+      h.doc->node(h.idx).kind != NodeKind::kDocument) {
+    return kBatchRowFallback;
+  }
+  const Document& doc = *h.doc;
+
+  if (!k.has_compare) {
+    bool any = false;
+    ForEachMatch(*k.nfa, doc, [&](NodeIdx) { any = true; });
+    return any ? kBatchRowTrue : kBatchRowFalse;
+  }
+
+  ForEachMatch(*k.nfa, doc, [&](NodeIdx n) {
+    uint8_t flags = 0;
+    double value = 0;
+    auto typed = TypedValueOf(NodeHandle{&doc, n});
+    if (!typed.ok()) {
+      flags = kBatchValueTypedFail;
+    } else if (typed->type() == AtomicType::kUntypedAtomic) {
+      auto cast = CastTo(*typed, AtomicType::kDouble);
+      if (cast.ok()) {
+        value = cast->double_value();
+      } else {
+        flags = kBatchValueCastFail;
+      }
+    } else if (typed->type() == AtomicType::kDouble) {
+      value = typed->double_value();
+    } else {
+      // Schema-annotated integers keep CompareAtomic's exact long-long
+      // path, strings raise XPTY0004 — both outside the double kernel.
+      flags = kBatchValueUnsupported;
+    }
+    b->values.push_back(value);
+    b->flags.push_back(flags);
+    b->groups.push_back(doc.node(n).parent);
+  });
+  return kRowGathered;
+}
+
+/// Decides one gathered row of a compare kernel, replicating the
+/// evaluator's per-context-node evaluation order:
+///  - Atomize runs over a context node's whole operand sequence before any
+///    pair comparison, so a typed-value failure anywhere in the row errors
+///    even when an earlier value already matched;
+///  - within one context node the pair loop short-circuits on the first
+///    hit, so values after a hit (including uncastable ones) are skipped;
+///  - a cast failure reached before its group's first hit errors the query.
+/// Error rows return kBatchRowFallback — the exact row-at-a-time pass
+/// reproduces the precise Status.
+uint8_t DecideCompareRow(const BatchKernel& k, const ValueBatch& b, size_t i,
+                         std::vector<NodeIdx>* passed_groups) {
+  const uint32_t v0 = b.row_begin[i];
+  const uint32_t v1 = b.row_begin[i + 1];
+  for (uint32_t v = v0; v < v1; ++v) {
+    if (b.flags[v] & (kBatchValueTypedFail | kBatchValueUnsupported)) {
+      return kBatchRowFallback;
+    }
+  }
+  passed_groups->clear();
+  for (uint32_t v = v0; v < v1; ++v) {
+    const NodeIdx g = b.groups[v];
+    bool group_done = false;
+    for (NodeIdx p : *passed_groups) {
+      if (p == g) {
+        group_done = true;
+        break;
+      }
+    }
+    if (group_done) continue;
+    if (b.flags[v] & kBatchValueCastFail) return kBatchRowFallback;
+    if (CompareKey(k.op, b.values[v], k.literal)) passed_groups->push_back(g);
+  }
+  return passed_groups->empty() ? kBatchRowFalse : kBatchRowTrue;
+}
+
+}  // namespace
+
+BatchProgram CompileBatchProgram(
+    const SqlExpr& where,
+    const std::function<int(const std::string& qualifier,
+                            const std::string& column)>& resolve_slot) {
+  BatchProgram program;
+  std::vector<const SqlExpr*> conjuncts;
+  SplitConjuncts(where, &conjuncts);
+  for (const SqlExpr* conjunct : conjuncts) {
+    BatchStep step;
+    step.conjunct = conjunct;
+    step.kernel = CompileConjunct(*conjunct, resolve_slot);
+    if (step.kernel.has_value()) program.any_kernel = true;
+    program.steps.push_back(std::move(step));
+  }
+  return program;
+}
+
+void RunBatchKernel(const BatchKernel& kernel,
+                    const std::vector<std::vector<SqlValue>>& rows,
+                    const std::vector<uint32_t>& sel, ValueBatch* scratch,
+                    std::vector<uint8_t>* verdicts, ExecStats* stats) {
+  verdicts->resize(sel.size());
+  std::vector<NodeIdx> passed_groups;
+  for (size_t base = 0; base < sel.size(); base += kBatchRows) {
+    const size_t count = std::min(kBatchRows, sel.size() - base);
+    scratch->Reset();
+    scratch->row_begin.reserve(count + 1);
+    for (size_t i = 0; i < count; ++i) {
+      scratch->row_begin.push_back(
+          static_cast<uint32_t>(scratch->values.size()));
+      scratch->row_flags.push_back(
+          GatherRow(kernel, rows[sel[base + i]], scratch));
+    }
+    scratch->row_begin.push_back(static_cast<uint32_t>(scratch->values.size()));
+    ++stats->batches_executed;
+    for (size_t i = 0; i < count; ++i) {
+      uint8_t v = scratch->row_flags[i];
+      if (v == kRowGathered) {
+        v = DecideCompareRow(kernel, *scratch, i, &passed_groups);
+      }
+      (*verdicts)[base + i] = v;
+      if (v != kBatchRowFallback) ++stats->batch_rows;
+    }
+  }
+}
+
+}  // namespace xqdb

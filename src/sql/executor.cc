@@ -252,22 +252,120 @@ Result<bool> SqlExecutor::EvalPredicate(const SqlExpr& e,
   }
 }
 
+Status SqlExecutor::FilterChunkRows(
+    const SqlExpr& where, const std::vector<ColumnSlot>& schema,
+    const std::vector<std::vector<SqlValue>>& rows, size_t lo, size_t hi,
+    QueryRuntime* runtime, ExecStats* stats, std::vector<char>* keep) {
+  keep->assign(hi - lo, 0);
+  for (size_t i = lo; i < hi; ++i) {
+    XQDB_ASSIGN_OR_RETURN(
+        bool b, EvalPredicate(where, schema, rows[i], runtime, stats));
+    (*keep)[i - lo] = b ? 1 : 0;
+    if (!b) ++stats->rows_filtered;
+  }
+  return Status::OK();
+}
+
+Status SqlExecutor::FilterChunkBatch(
+    const BatchProgram& program, const std::vector<ColumnSlot>& schema,
+    const std::vector<std::vector<SqlValue>>& rows, size_t lo, size_t hi,
+    QueryRuntime* runtime, ExecStats* stats, std::vector<char>* keep) {
+  // Selection vector of surviving row indices, ascending. Conjuncts narrow
+  // it left-to-right, which reproduces row-at-a-time AND short-circuit: a
+  // row rejected by conjunct i never evaluates conjunct i+1.
+  std::vector<uint32_t> sel;
+  sel.reserve(hi - lo);
+  for (size_t i = lo; i < hi; ++i) sel.push_back(static_cast<uint32_t>(i));
+
+  // Conjunct-major evaluation surfaces errors in a different order than
+  // row-major evaluation, so errors are collected instead of returned
+  // eagerly: a row errors here iff it errors row-at-a-time (it reaches the
+  // erroring conjunct iff it survived the earlier ones), and the lowest
+  // erroring row is exactly the row the row-at-a-time pass stops at.
+  size_t error_row = hi;
+  Status error = Status::OK();
+
+  ValueBatch scratch;
+  std::vector<uint8_t> verdicts;
+  std::vector<uint32_t> next;
+  for (const BatchStep& step : program.steps) {
+    if (sel.empty()) break;
+    next.clear();
+    if (step.kernel.has_value()) {
+      RunBatchKernel(*step.kernel, rows, sel, &scratch, &verdicts, stats);
+    }
+    for (size_t i = 0; i < sel.size(); ++i) {
+      const uint32_t r = sel[i];
+      // Rows at or past a recorded error cannot change which error the
+      // row-at-a-time pass would report first; drop them unevaluated.
+      if (static_cast<size_t>(r) >= error_row) break;
+      if (step.kernel.has_value()) {
+        const uint8_t v = verdicts[i];
+        if (v == kBatchRowTrue) {
+          next.push_back(r);
+          continue;
+        }
+        if (v == kBatchRowFalse) continue;
+        // kBatchRowFallback: exact re-evaluation of this conjunct only.
+      }
+      auto b = EvalPredicate(*step.conjunct, schema, rows[r], runtime, stats);
+      if (!b.ok()) {
+        error = b.status();
+        error_row = r;
+        break;
+      }
+      if (*b) next.push_back(r);
+    }
+    std::swap(sel, next);
+  }
+  if (error_row != hi) return error;
+
+  keep->assign(hi - lo, 0);
+  for (uint32_t r : sel) (*keep)[r - lo] = 1;
+  stats->rows_filtered += static_cast<long long>((hi - lo) - sel.size());
+  return Status::OK();
+}
+
 Result<std::vector<std::vector<SqlValue>>> SqlExecutor::FilterRows(
     const SqlExpr& where, const std::vector<ColumnSlot>& schema,
     std::vector<std::vector<SqlValue>> rows, QueryRuntime* runtime,
     ExecStats* stats) {
   ThreadPool& pool = ThreadPool::Global();
   const size_t n = rows.size();
+
+  // Compile the WHERE clause's vectorizable conjuncts once per statement.
+  // Slot resolution must agree with EvalScalar's kColumnRef rules:
+  // ambiguous or unresolved references stay un-batched so the exact path
+  // reports the identical error.
+  BatchProgram program;
+  if (batch_enabled_ && n > 0) {
+    program = CompileBatchProgram(
+        where, [&schema](const std::string& qualifier,
+                         const std::string& column) -> int {
+          int found = -1;
+          for (size_t i = 0; i < schema.size(); ++i) {
+            if (schema[i].name != column) continue;
+            if (!qualifier.empty() && schema[i].qualifier != qualifier) {
+              continue;
+            }
+            if (found >= 0) return -1;  // ambiguous
+            found = static_cast<int>(i);
+          }
+          return found;
+        });
+  }
+  const bool use_batch = program.any_kernel;
+
   if (pool.thread_count() <= 1 || n < kParallelRowThreshold) {
+    std::vector<char> keep;
+    XQDB_RETURN_IF_ERROR(
+        use_batch ? FilterChunkBatch(program, schema, rows, 0, n, runtime,
+                                     stats, &keep)
+                  : FilterChunkRows(where, schema, rows, 0, n, runtime, stats,
+                                    &keep));
     std::vector<std::vector<SqlValue>> kept;
-    for (auto& row : rows) {
-      XQDB_ASSIGN_OR_RETURN(
-          bool b, EvalPredicate(where, schema, row, runtime, stats));
-      if (b) {
-        kept.push_back(std::move(row));
-      } else {
-        ++stats->rows_filtered;
-      }
+    for (size_t i = 0; i < n; ++i) {
+      if (keep[i]) kept.push_back(std::move(rows[i]));
     }
     return kept;
   }
@@ -276,7 +374,9 @@ Result<std::vector<std::vector<SqlValue>>> SqlExecutor::FilterRows(
   // QueryRuntime (predicate temporaries — constructed nodes — never
   // outlive the predicate) and private ExecStats; the verdict bitmap is
   // written to disjoint per-chunk slots, so the only shared state is the
-  // read-only table storage behind `rows`.
+  // read-only table storage behind `rows`. Chunk results merge in chunk
+  // (row) order: the first erroring chunk's error wins, and counter totals
+  // equal the serial pass (each row contributes to exactly one chunk).
   const size_t grain = PredicateGrain(n, pool.thread_count());
   const size_t chunks = (n + grain - 1) / grain;
   struct ChunkOut {
@@ -287,18 +387,12 @@ Result<std::vector<std::vector<SqlValue>>> SqlExecutor::FilterRows(
   std::vector<ChunkOut> outs(chunks);
   pool.ParallelFor(0, n, grain, [&](size_t lo, size_t hi) {
     ChunkOut& out = outs[lo / grain];
-    out.keep.assign(hi - lo, 0);
     QueryRuntime chunk_runtime;
-    for (size_t i = lo; i < hi; ++i) {
-      auto b = EvalPredicate(where, schema, rows[i], &chunk_runtime,
-                             &out.stats);
-      if (!b.ok()) {
-        out.error = b.status();
-        return;
-      }
-      out.keep[i - lo] = *b ? 1 : 0;
-      if (!*b) ++out.stats.rows_filtered;
-    }
+    out.error = use_batch
+                    ? FilterChunkBatch(program, schema, rows, lo, hi,
+                                       &chunk_runtime, &out.stats, &out.keep)
+                    : FilterChunkRows(where, schema, rows, lo, hi,
+                                      &chunk_runtime, &out.stats, &out.keep);
   });
   std::vector<std::vector<SqlValue>> kept;
   for (size_t c = 0; c < chunks; ++c) {
@@ -312,7 +406,8 @@ Result<std::vector<std::vector<SqlValue>>> SqlExecutor::FilterRows(
 }
 
 Result<size_t> SqlExecutor::RunDelete(const DeleteStmt& stmt,
-                                      uint64_t write_epoch) {
+                                      uint64_t write_epoch,
+                                      ExecStats* out_stats) {
   XQDB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table_name));
   std::vector<ColumnSlot> schema;
   for (const ColumnDef& col : table->columns()) {
@@ -370,6 +465,7 @@ Result<size_t> SqlExecutor::RunDelete(const DeleteStmt& stmt,
   for (uint32_t r : victims) {
     XQDB_RETURN_IF_ERROR(table->DeleteRow(r, write_epoch));
   }
+  if (out_stats != nullptr) out_stats->Merge(stats);
   return victims.size();
 }
 

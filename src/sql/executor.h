@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "observability/exec_stats.h"
+#include "sql/batch_filter.h"
 #include "sql/plan.h"
 #include "sql/sql_ast.h"
 #include "storage/catalog.h"
@@ -47,13 +48,22 @@ class SqlExecutor {
   /// embedded XQuery evaluation (ExecOptions::disable_structural).
   void set_structural_enabled(bool enabled) { structural_enabled_ = enabled; }
 
+  /// Per-statement override of the batch-execution default
+  /// (ExecOptions::disable_batch). Off forces row-at-a-time EvalPredicate
+  /// for every WHERE conjunct — the batch-vs-row oracle's ground truth.
+  void set_batch_enabled(bool enabled) { batch_enabled_ = enabled; }
+
   Result<ResultSet> Run(const SelectStmt& stmt, const SelectPlan& plan);
 
   /// DELETE FROM t [WHERE cond]: evaluates the condition per snapshot-
   /// visible row and tombstones matches at `write_epoch` (physical index
   /// maintenance is deferred until no pinned snapshot can see the rows).
-  /// Returns the number of deleted rows.
-  Result<size_t> RunDelete(const DeleteStmt& stmt, uint64_t write_epoch);
+  /// Returns the number of deleted rows. When `stats` is non-null the
+  /// predicate-evaluation counters (merged across parallel chunks) are
+  /// accumulated into it — previously they were computed and dropped, so
+  /// DELETE reported no xquery_evals/cast_failures at all.
+  Result<size_t> RunDelete(const DeleteStmt& stmt, uint64_t write_epoch,
+                           ExecStats* stats = nullptr);
 
  private:
   struct ColumnSlot {
@@ -89,6 +99,25 @@ class SqlExecutor {
       std::vector<std::vector<SqlValue>> rows, QueryRuntime* runtime,
       ExecStats* stats);
 
+  /// Row-at-a-time predicate pass over rows[lo, hi): the exact reference
+  /// path. Writes keep bits (keep[i - lo]) and counts rows_filtered.
+  Status FilterChunkRows(const SqlExpr& where,
+                         const std::vector<ColumnSlot>& schema,
+                         const std::vector<std::vector<SqlValue>>& rows,
+                         size_t lo, size_t hi, QueryRuntime* runtime,
+                         ExecStats* stats, std::vector<char>* keep);
+
+  /// Batch-at-a-time predicate pass over rows[lo, hi): conjuncts execute
+  /// left-to-right over a narrowing selection vector; vectorized conjuncts
+  /// run their kernel (fallback rows re-evaluated exactly), residual
+  /// conjuncts evaluate per surviving row. Counter totals and the
+  /// first-error choice match FilterChunkRows on every input.
+  Status FilterChunkBatch(const BatchProgram& program,
+                          const std::vector<ColumnSlot>& schema,
+                          const std::vector<std::vector<SqlValue>>& rows,
+                          size_t lo, size_t hi, QueryRuntime* runtime,
+                          ExecStats* stats, std::vector<char>* keep);
+
   /// Converts a PASSING argument to an XQuery sequence with the SQL type
   /// mapped to the corresponding XML Schema type (paper §3.3: "$pid
   /// inherits its subtype from the SQL side").
@@ -98,6 +127,7 @@ class SqlExecutor {
   uint64_t snapshot_epoch_;
   SnapshotProvider snapshot_provider_;
   bool structural_enabled_ = StructuralJoinDefault();
+  bool batch_enabled_ = BatchExecDefault();
 };
 
 }  // namespace xqdb

@@ -39,6 +39,32 @@ std::string AccessPathToString(const AccessPath& path) {
       out = "PATH SUMMARY EXISTENCE PROBE " + path.summary_path_text +
             " (strong DataGuide, no document scan)";
       break;
+    case AccessPath::Kind::kIndexOnly: {
+      const char* agg = "?";
+      switch (path.index_only_agg) {
+        case AccessPath::IndexOnlyAgg::kNone:
+          break;
+        case AccessPath::IndexOnlyAgg::kCount:
+          agg = "count";
+          break;
+        case AccessPath::IndexOnlyAgg::kSum:
+          agg = "sum";
+          break;
+        case AccessPath::IndexOnlyAgg::kAvg:
+          agg = "avg";
+          break;
+        case AccessPath::IndexOnlyAgg::kMin:
+          agg = "min";
+          break;
+        case AccessPath::IndexOnlyAgg::kMax:
+          agg = "max";
+          break;
+      }
+      out = "XML INDEX ONLY SCAN " + path.index->name() + " (fn:" +
+            std::string(agg) + " over " + path.index_only_path_text +
+            ", no document access)";
+      break;
+    }
   }
   if (path.summary_containment) {
     out += " [summary-derived containment]";

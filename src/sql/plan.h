@@ -23,7 +23,11 @@ struct AccessPath {
     kIndexStructural, // unbounded varchar probe: "the path exists"
     kIndexJoinProbe,  // per-outer-row equality probe (Tips 5/6)
     kSummaryExistence, // path-summary probe: no index, no document scan
+    kIndexOnly,       // covering aggregate answered from B+Tree entries
   };
+
+  /// kIndexOnly: which aggregate the entry scan computes.
+  enum class IndexOnlyAgg { kNone, kCount, kSum, kAvg, kMin, kMax };
   Kind kind = Kind::kFullScan;
   const XmlIndex* index = nullptr;
   const XmlIndex* index2 = nullptr;  // kIndexIntersect second probe
@@ -48,6 +52,15 @@ struct AccessPath {
   std::string summary_table;
   std::string summary_column;
   std::string summary_path_text;
+
+  // kIndexOnly: the covering aggregate and the query path it covers. The
+  // plan is valid only while the index has zero tolerant cast skips (a
+  // skipped node is a node the evaluator would see but the entry scan
+  // would not); the executor re-verifies cast_skip_count() == 0 at
+  // execution time — like kSummaryExistence, DML after planning can
+  // invalidate the claim — and demotes to a collection scan otherwise.
+  IndexOnlyAgg index_only_agg = IndexOnlyAgg::kNone;
+  std::string index_only_path_text;
 
   /// Human-readable eligibility story for EXPLAIN: which predicates were
   /// found, which indexes were considered, and why each was (in)eligible.

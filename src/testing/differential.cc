@@ -139,12 +139,19 @@ void RunPhase(Database* db, const DiffScenario& s, const DiffOptions& opt,
     ExecOptions recursive_opts;
     recursive_opts.disable_cache = true;
     recursive_opts.disable_structural = true;
+    ExecOptions row_opts;
+    row_opts.disable_cache = true;
+    row_opts.disable_batch = true;
 
     const Outcome scan_ref = RunOne(db, q, scan_opts);
     const Outcome idx_cold = RunOne(db, q, cold_opts);
     // Same plan as idx_cold; only the axis evaluation strategy differs
     // (recursive tree walk instead of interval-based structural joins).
     const Outcome recursive = RunOne(db, q, recursive_opts);
+    // Same plan again; only the filter execution strategy differs
+    // (row-at-a-time EvalPredicate instead of the vectorized batch
+    // kernels, and covering aggregates demote to the evaluator).
+    const Outcome row_mode = RunOne(db, q, row_opts);
     // First default-options run compiles into (or, post-DML, replays the
     // now-stale phase-A entry from) the cache; the second is a sure hit.
     const Outcome warm = RunOne(db, q, ExecOptions{});
@@ -159,6 +166,11 @@ void RunPhase(Database* db, const DiffScenario& s, const DiffOptions& opt,
       divs->push_back({"structural-vs-recursive", phase, q,
                        DiffDetail("recursive walk", recursive,
                                   "structural join", idx_cold)});
+    }
+    if (!SameOutcome(row_mode, idx_cold, false)) {
+      divs->push_back({"batch-vs-row", phase, q,
+                       DiffDetail("row-at-a-time", row_mode, "batch kernels",
+                                  idx_cold)});
     }
     if (!SameOutcome(warm, idx_cold, false)) {
       divs->push_back({"cached-vs-cold", phase, q,

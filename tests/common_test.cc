@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <sstream>
+#include <string>
 
+#include "common/atomic_file.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/str_util.h"
@@ -158,6 +163,58 @@ TEST(ParseEnvIntTest, OutOfRangeClampsToNearerBound) {
   EXPECT_TRUE(hi.ok);
   EXPECT_TRUE(hi.clamped);
   EXPECT_EQ(hi.value, 64);
+}
+
+// --- WriteFileAtomic: the benches' report writer ---------------------------
+
+namespace {
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+}  // namespace
+
+TEST(AtomicFileTest, CreatesNewFileWithExactContents) {
+  const std::string path =
+      ::testing::TempDir() + "/atomic_file_test_create.json";
+  std::remove(path.c_str());
+  Status st = WriteFileAtomic(path, "{\"a\": 1}\n");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(Slurp(path), "{\"a\": 1}\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, ReplacesExistingFileCompletely) {
+  // The new contents are SHORTER than the old: an in-place truncating
+  // rewrite that died midway would leave a prefix mix; the rename swap
+  // must leave exactly the new bytes.
+  const std::string path =
+      ::testing::TempDir() + "/atomic_file_test_replace.json";
+  ASSERT_TRUE(
+      WriteFileAtomic(path, std::string(4096, 'x') + "OLD-TAIL").ok());
+  Status st = WriteFileAtomic(path, "new");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(Slurp(path), "new");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, FailureLeavesDestinationUntouched) {
+  // Target directory does not exist: mkstemp fails, the destination (also
+  // nonexistent) must not be created and no temp file may be left behind.
+  const std::string path =
+      ::testing::TempDir() + "/no_such_dir_xqdb/report.json";
+  Status st = WriteFileAtomic(path, "data");
+  EXPECT_FALSE(st.ok());
+  std::ifstream probe(path);
+  EXPECT_FALSE(probe.good());
+}
+
+TEST(AtomicFileTest, EmptyPathIsInvalidArgument) {
+  Status st = WriteFileAtomic("", "data");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -196,6 +196,130 @@ TEST_F(ParallelExecTest, XQueryPlanCacheHits) {
   EXPECT_EQ(first->rows, second->rows);
 }
 
+// ----- Per-chunk ExecStats merge: exact totals ------------------------------
+//
+// The parallel filter gives every chunk a private ExecStats and merges them
+// after the join; these pins catch double counting, a dropped chunk, and
+// the n % grain == 0 edge (no phantom trailing chunk). The fixture builds
+// its own table so every total is exactly computable.
+
+class StatsMergeTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+  }
+
+  void MakeTable(int rows) {
+    Exec("CREATE TABLE t (id INTEGER, doc XML)");
+    for (int i = 1; i <= rows; ++i) {
+      Exec("INSERT INTO t VALUES (" + std::to_string(i) +
+           ", '<o><l price=\"" + std::to_string(i) + "\"/></o>')");
+    }
+  }
+
+  void Exec(const std::string& sql) {
+    auto rs = db_.ExecuteSql(sql);
+    ASSERT_TRUE(rs.ok()) << sql << ": " << rs.status().ToString();
+  }
+
+  ExecStats Select(const std::string& sql, const ExecOptions& opts = {}) {
+    auto rs = db_.ExecuteSql(sql, opts);
+    EXPECT_TRUE(rs.ok()) << sql << ": " << rs.status().ToString();
+    return rs.ok() ? rs->stats : ExecStats{};
+  }
+
+  static constexpr char kFilter[] =
+      "SELECT id FROM t WHERE XMLEXISTS("
+      "'$d//l[@price > 128]' passing doc as \"d\")";
+
+  Database db_;
+};
+
+constexpr char StatsMergeTest::kFilter[];
+
+TEST_F(StatsMergeTest, EmptyTableReportsAllZeroFilterCounters) {
+  MakeTable(0);
+  ThreadPool::SetGlobalThreads(4);
+  ExecStats stats = Select(kFilter);
+  EXPECT_EQ(stats.rows_filtered, 0);
+  EXPECT_EQ(stats.xquery_evals, 0);
+  EXPECT_EQ(stats.batches_executed, 0);
+  EXPECT_EQ(stats.batch_rows, 0);
+  EXPECT_EQ(stats.docs_scanned, 0);
+}
+
+TEST_F(StatsMergeTest, SingleRowExactCounters) {
+  MakeTable(1);  // price 1, filtered by "> 128"
+  ThreadPool::SetGlobalThreads(4);  // below threshold: serial chunk
+  ExecStats stats = Select(kFilter);
+  EXPECT_EQ(stats.rows_filtered, 1);
+  // Every document contains //l, so the path-summary existence pre-filter
+  // admits the whole table: visits are metered as index_docs_returned and
+  // docs_scanned stays 0 (see the Definition-1 audit-trail comment in
+  // SqlExecutor::Run).
+  EXPECT_EQ(stats.rows_scanned, 1);
+  EXPECT_EQ(stats.index_docs_returned, 1);
+  EXPECT_EQ(stats.docs_scanned, 0);
+  // The single row is kernel-decided: one sub-batch, one batch row, no
+  // per-row evaluator fallback.
+  EXPECT_EQ(stats.batches_executed, 1);
+  EXPECT_EQ(stats.batch_rows, 1);
+  EXPECT_EQ(stats.xquery_evals, 0);
+
+  ExecOptions row_mode;
+  row_mode.disable_batch = true;
+  row_mode.disable_cache = true;
+  ExecStats row_stats = Select(kFilter, row_mode);
+  EXPECT_EQ(row_stats.rows_filtered, 1);
+  EXPECT_EQ(row_stats.xquery_evals, 1);
+  EXPECT_EQ(row_stats.batches_executed, 0);
+}
+
+TEST_F(StatsMergeTest, ExactGrainMultipleTotalsAcrossChunks) {
+  // 256 rows at 4 threads: PredicateGrain = max(16, ceil(256/16)) = 16,
+  // so exactly 16 chunks of exactly 16 rows — n % grain == 0, the edge
+  // where an off-by-one in chunk math drops or repeats a chunk. Prices
+  // 1..256 against "> 128" filter exactly half.
+  MakeTable(256);
+  ThreadPool::SetGlobalThreads(4);
+  ExecStats stats = Select(kFilter);
+  EXPECT_EQ(stats.rows_filtered, 128);
+  EXPECT_EQ(stats.rows_scanned, 256);
+  EXPECT_EQ(stats.index_docs_returned, 256);  // summary pre-filter admits all
+  EXPECT_EQ(stats.docs_scanned, 0);
+  // One kernel sub-batch per 16-row chunk; every row kernel-decided.
+  EXPECT_EQ(stats.batches_executed, 16);
+  EXPECT_EQ(stats.batch_rows, 256);
+  EXPECT_EQ(stats.xquery_evals, 0);
+
+  ExecOptions row_mode;
+  row_mode.disable_batch = true;
+  row_mode.disable_cache = true;
+  ExecStats row_stats = Select(kFilter, row_mode);
+  EXPECT_EQ(row_stats.rows_filtered, 128);
+  EXPECT_EQ(row_stats.xquery_evals, 256);
+  EXPECT_EQ(row_stats.batches_executed, 0);
+  EXPECT_EQ(row_stats.batch_rows, 0);
+}
+
+TEST_F(StatsMergeTest, DeleteSurfacesMergedPredicateCounters) {
+  // DELETE merges per-chunk predicate stats the same way; they used to be
+  // computed and then dropped on the floor. 256 rows, 4 threads, exact
+  // grain multiple; the WHERE evaluates one embedded XQuery per visible
+  // row (DELETE keeps the row-at-a-time path).
+  MakeTable(256);
+  ThreadPool::SetGlobalThreads(4);
+  auto rs = db_.ExecuteSql(
+      "DELETE FROM t WHERE XMLEXISTS("
+      "'$d//l[@price > 128]' passing doc as \"d\")");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->stats.rows_scanned, 128);  // deleted-row count
+  EXPECT_EQ(rs->stats.xquery_evals, 256);  // one per visible candidate row
+  ExecStats after = Select(kFilter);
+  EXPECT_EQ(after.rows_filtered, 128);  // survivors all fail the predicate
+  EXPECT_EQ(after.index_docs_returned, 128);
+}
+
 TEST_F(ParallelExecTest, PatternCacheInternsCompiledPatterns) {
   const auto before = GetPatternCacheStats();
   auto a = GetCompiledPattern("//parallel-test/unique/@attr");

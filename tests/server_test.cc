@@ -7,6 +7,9 @@
 // TSan matrix sweeps every cross-thread handoff here.
 
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -204,6 +207,67 @@ TEST_F(ServerFixture, IdleSessionsTimeOut) {
   EXPECT_EQ(frame->code, "Timeout");
   auto next = client.ReadResponse();
   EXPECT_FALSE(next.ok());  // closed
+}
+
+TEST_F(ServerFixture, IdleTimeoutHoldsUnderSignalStorm) {
+  // Regression: the idle budget used to be accounted by adding one full
+  // recv slice per wakeup. A signal landing inside recv() wakes the session
+  // early, so a signal-pounded connection either expired in a fraction of
+  // the configured budget (every early wakeup charged a full slice) or —
+  // on the EINTR path, which restarted the slice without charging anything
+  // — never expired at all. The budget is now a monotonic-clock deadline;
+  // the storm must not move it in either direction.
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;  // no SA_RESTART: recv really returns EINTR
+  struct sigaction old_sa {};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  ServerOptions options;
+  options.idle_timeout_ms = 400;
+  StartServer(options);  // session threads inherit an unblocked SIGUSR1
+
+  // Block SIGUSR1 on every test-side thread so the process-directed storm
+  // can only land on the server's threads.
+  sigset_t usr1;
+  sigemptyset(&usr1);
+  sigaddset(&usr1, SIGUSR1);
+  sigset_t prev_mask;
+  ASSERT_EQ(pthread_sigmask(SIG_BLOCK, &usr1, &prev_mask), 0);
+
+  Client client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  ASSERT_TRUE(MustCall(client, Verb::kPing, "").ok);
+
+  std::atomic<bool> storming{true};
+  std::thread storm([&storming, &usr1] {
+    pthread_sigmask(SIG_BLOCK, &usr1, nullptr);
+    while (storming.load(std::memory_order_relaxed)) {
+      ::kill(::getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto frame = client.ReadResponse();  // silence until the server evicts us
+  const long long waited_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  storming.store(false, std::memory_order_relaxed);
+  storm.join();
+
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_FALSE(frame->ok);
+  EXPECT_EQ(frame->code, "Timeout");
+  // Not early (the premature-expiry direction)...
+  EXPECT_GE(waited_ms, 300);
+  // ...and not postponed far past budget + slice + scheduling slack (the
+  // EINTR restart used to defer it indefinitely).
+  EXPECT_LT(waited_ms, 2000);
+
+  ASSERT_EQ(pthread_sigmask(SIG_SETMASK, &prev_mask, nullptr), 0);
+  ASSERT_EQ(sigaction(SIGUSR1, &old_sa, nullptr), 0);
 }
 
 TEST_F(ServerFixture, PollFallbackServes) {

@@ -91,6 +91,73 @@ TEST_F(TraceFixture, ForcedScanReportsCollectionScan) {
   EXPECT_EQ(xr->stats.index_docs_returned, 0);
 }
 
+// ----- Index-only (covering) aggregates -------------------------------------
+
+TEST_F(TraceFixture, IndexOnlyAggregateAnswersFromEntriesAlone) {
+  // fn:count over exactly the indexed path: the entry set IS the match set
+  // (containment both ways), so the B+Tree answers without opening one
+  // document — the counters must show it.
+  auto xr = db_.ExecuteXQuery(
+      "fn:count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/@price)");
+  ASSERT_TRUE(xr.ok()) << xr.status().ToString();
+  ASSERT_EQ(xr->rows.size(), 1u);
+  EXPECT_EQ(xr->rows[0], "10");
+  EXPECT_NE(xr->plan.find("XML INDEX ONLY SCAN LI_PRICE"), std::string::npos)
+      << xr->plan;
+  EXPECT_EQ(xr->stats.index_only_rows, kCollectionSize);
+  EXPECT_EQ(xr->stats.index_docs_returned, kCollectionSize);
+  EXPECT_EQ(xr->stats.docs_scanned, 0);
+  EXPECT_EQ(xr->stats.rows_scanned, 0);
+}
+
+TEST_F(TraceFixture, IndexOnlyAggregateValuesMatchTheEvaluator) {
+  // 100 + 200 + ... + 1000; every aggregate is answered from keys only.
+  const struct {
+    const char* fn;
+    const char* want;
+  } kCases[] = {{"fn:sum", "5500"},
+                {"fn:avg", "550"},
+                {"fn:min", "100"},
+                {"fn:max", "1000"}};
+  for (const auto& c : kCases) {
+    const std::string q = std::string(c.fn) +
+                          "(db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                          "//lineitem/@price)";
+    auto fast = db_.ExecuteXQuery(q);
+    ASSERT_TRUE(fast.ok()) << q << ": " << fast.status().ToString();
+    ASSERT_EQ(fast->rows.size(), 1u) << q;
+    EXPECT_EQ(fast->rows[0], c.want) << q;
+    EXPECT_GT(fast->stats.index_only_rows, 0) << q;
+    EXPECT_EQ(fast->stats.docs_scanned, 0) << q;
+    // Ground truth: the same query with batch execution disabled runs the
+    // evaluator over the collection and must agree byte for byte.
+    ExecOptions row_mode;
+    row_mode.disable_batch = true;
+    auto slow = db_.ExecuteXQuery(q, row_mode);
+    ASSERT_TRUE(slow.ok()) << q << ": " << slow.status().ToString();
+    ASSERT_EQ(slow->rows.size(), 1u) << q;
+    EXPECT_EQ(slow->rows[0], fast->rows[0]) << q;
+    EXPECT_EQ(slow->stats.index_only_rows, 0) << q;
+    EXPECT_GT(slow->stats.docs_scanned, 0) << q;
+  }
+}
+
+TEST_F(TraceFixture, IndexOnlyAggregateDemotesAfterUncastableInsert) {
+  // A post-DML document whose @price cannot cast to double is tolerantly
+  // skipped by the index (cast_skip_count > 0): the entries now UNDER-count
+  // the match set, so the covering claim is stale and execution must demote
+  // to the collection scan — which sees all 11 @price nodes.
+  Exec("INSERT INTO orders VALUES (11, '<order><custid>11</custid>"
+       "<lineitem price=\"cheap\"/></order>')");
+  auto xr = db_.ExecuteXQuery(
+      "fn:count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/@price)");
+  ASSERT_TRUE(xr.ok()) << xr.status().ToString();
+  ASSERT_EQ(xr->rows.size(), 1u);
+  EXPECT_EQ(xr->rows[0], "11");
+  EXPECT_EQ(xr->stats.index_only_rows, 0);
+  EXPECT_EQ(xr->stats.docs_scanned, kCollectionSize + 1);
+}
+
 // ----- EXPLAIN ANALYZE rendering --------------------------------------------
 
 TEST_F(TraceFixture, ExplainAnalyzeXQueryAnnotatesPlanWithCounters) {
@@ -102,6 +169,16 @@ TEST_F(TraceFixture, ExplainAnalyzeXQueryAnnotatesPlanWithCounters) {
   EXPECT_NE(r->find("runtime:"), std::string::npos) << *r;
   EXPECT_NE(r->find("index_docs_returned = 3"), std::string::npos) << *r;
   EXPECT_NE(r->find("time: parse"), std::string::npos) << *r;
+}
+
+TEST_F(TraceFixture, ExplainAnalyzeXQueryShowsIndexOnlyCounters) {
+  auto r = db_.ExplainAnalyzeXQuery(
+      "fn:count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/@price)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->find("XML INDEX ONLY SCAN LI_PRICE"), std::string::npos) << *r;
+  EXPECT_NE(r->find("index_only_rows = 10"), std::string::npos) << *r;
+  // Zero counters are elided — docs_scanned must not appear at all.
+  EXPECT_EQ(r->find("docs_scanned"), std::string::npos) << *r;
 }
 
 TEST_F(TraceFixture, ExplainAnalyzeSqlAnnotatesPlanWithCounters) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "sql/batch_filter.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xquery/evaluator.h"
@@ -458,6 +459,23 @@ TEST(StructuralKnobTest, EverythingElseIsRejected) {
   for (const char* bad :
        {"", " ", "offf", "true", "false", "yes", "no", "2", "-1", "0 1"}) {
     EXPECT_EQ(ParseStructuralKnob(bad), std::nullopt)
+        << "'" << bad << "' must not be a recognized knob value";
+  }
+}
+
+// --- XQDB_BATCH knob: same pinned grammar as XQDB_STRUCTURAL (it delegates
+// to the same parser) — pinned separately so the delegation cannot silently
+// diverge. -----------------------------------------------------------------
+
+TEST(BatchKnobTest, SameGrammarAsStructuralKnob) {
+  EXPECT_EQ(ParseBatchKnob("1"), true);
+  EXPECT_EQ(ParseBatchKnob("on"), true);
+  EXPECT_EQ(ParseBatchKnob("ON"), true);
+  EXPECT_EQ(ParseBatchKnob("0"), false);
+  EXPECT_EQ(ParseBatchKnob("off"), false);
+  EXPECT_EQ(ParseBatchKnob(" off "), false);  // whitespace-tolerant
+  for (const char* bad : {"", "offf", "true", "yes", "2", "batch"}) {
+    EXPECT_EQ(ParseBatchKnob(bad), std::nullopt)
         << "'" << bad << "' must not be a recognized knob value";
   }
 }

@@ -107,13 +107,18 @@ for mode in $(echo "$MODES" | tr ',' ' '); do
         ctest --output-on-failure -j "$JOBS"
       ;;
     thread)
-      # The concurrency label, then the serving bench: N real client
-      # connections + a DML thread is the cross-thread traffic TSan is
-      # best at — zero error frames AND zero reports is the pass bar.
+      # The concurrency label (which includes the batch-execution stats
+      # merge pins in parallel_exec_test), then the serving bench: N real
+      # client connections + a DML thread is the cross-thread traffic TSan
+      # is best at — zero error frames AND zero reports is the pass bar.
+      # The bench_parallel pass drives the vectorized batch kernels and the
+      # index-only aggregate across the 4-thread chunk fan-out under TSan.
       run_mode thread -DXQDB_SANITIZE=thread -DXQDB_TIDY=OFF -- \
         bash -c "ctest --output-on-failure -L concurrency -j $JOBS && \
           XQDB_BENCH_ORDERS=200 ./bench/bench_serve --clients 4 --iters 1 \
-            --dml --out bench_serve_tsan.json"
+            --dml --out bench_serve_tsan.json && \
+          XQDB_BENCH_ORDERS=200 ./bench/bench_parallel \
+            --out bench_parallel_tsan.json"
       ;;
     address)
       run_mode address -DXQDB_SANITIZE=address -DXQDB_TIDY=OFF -- \
