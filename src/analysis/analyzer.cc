@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/rewriter.h"
+#include "analysis/static_types.h"
 #include "common/str_util.h"
 #include "core/eligibility.h"
 #include "core/planner.h"
@@ -296,13 +297,73 @@ void NoteSummaryAnswerable(const ExtractionResult& extraction,
     }
     if (!has_descendant_step) continue;
     if (!PatternNfa::Compile(pred.path).ok()) continue;
-    AddDiag(report, DiagCode::kXQL015_SummaryAnswerable, SourceSpan{},
+    // Point at the '//' step itself: narrow the predicate's source span to
+    // the first descendant-step occurrence inside it.
+    SourceSpan span = pred.span;
+    if (span.IsValid() && span.end <= ctx.body_text.size()) {
+      size_t pos = ctx.body_text.substr(span.begin, span.end - span.begin)
+                       .find("//");
+      if (pos != std::string_view::npos) {
+        span = SourceSpan{span.begin + pos, span.begin + pos + 2};
+      }
+    }
+    AddDiag(report, DiagCode::kXQL015_SummaryAnswerable,
+            span.Offset(ctx.offset),
             "existence of " + pred.path_text + " over " + src.table + "." +
                 src.column +
                 " is answerable from the collection's path summary alone: "
                 "the '//' probe reads the DataGuide, not the documents "
                 "(docs_scanned = 0 even with no index defined)");
     return;  // one note per source is enough
+  }
+}
+
+/// XQL016–XQL020: the static type & cardinality inference pass
+/// (analysis/static_types.h, DESIGN.md §13). Runs once per body — the
+/// inferencer walks the AST itself — and maps each StaticFact to its
+/// diagnostic. Unlike the extraction-driven rules this also fires in
+/// non-filtering contexts: a SELECT-list XMLQUERY over a statically empty
+/// path is still a typo worth reporting.
+void CheckStaticFacts(const Expr& body, const XqContext& ctx,
+                      LintReport* report) {
+  std::vector<ColumnBinding> bindings;
+  for (const Source& src : ctx.sources) {
+    for (const std::string& var : src.vars) {
+      bindings.push_back(ColumnBinding{var, src.table, src.column});
+    }
+  }
+  StaticQueryFacts facts = InferStaticTypes(body, ctx.catalog, bindings);
+  for (const StaticFact& f : facts.facts) {
+    DiagCode code = DiagCode::kNone;
+    switch (f.kind) {
+      case StaticFact::Kind::kEmptyPath:
+        code = DiagCode::kXQL016_StaticEmptyPath;
+        break;
+      case StaticFact::Kind::kImpossibleCast:
+        code = DiagCode::kXQL017_ImpossibleCast;
+        break;
+      case StaticFact::Kind::kAlwaysFalseCompare:
+        code = DiagCode::kXQL018_AlwaysFalseCompare;
+        break;
+      case StaticFact::Kind::kDeadBranch:
+        code = DiagCode::kXQL019_DeadBranch;
+        break;
+      case StaticFact::Kind::kEmptyAggregate:
+        code = DiagCode::kXQL020_EmptyAggregate;
+        break;
+    }
+    std::string message = f.detail;
+    if (f.kind == StaticFact::Kind::kEmptyPath && !f.collection_populated) {
+      message +=
+          " (the collection holds no documents yet — every path is empty "
+          "until data is loaded)";
+    }
+    Diagnostic* d =
+        AddDiag(report, code, f.span.Offset(ctx.offset), std::move(message));
+    if (!f.suggestion.empty()) {
+      d->suggestion = "did you mean " + f.suggestion + "? (nearest stored "
+                      "path in " + f.table + "." + f.column + ")";
+    }
   }
 }
 
@@ -491,6 +552,8 @@ void AnalyzeBody(const Expr& body, const XqContext& ctx, LintReport* report) {
     CheckFlwor(e, ctx, report);
     CheckConstructionBarrier(e, ctx, report);
   });
+
+  CheckStaticFacts(body, ctx, report);
 
   // Tip 3: a boolean-valued XMLEXISTS body is constant true.
   if (ctx.xmlexists && IsBooleanBody(body)) {

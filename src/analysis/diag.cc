@@ -54,6 +54,21 @@ constexpr DiagCodeInfo kTable[] = {
     {DiagCode::kXQL015_SummaryAnswerable, "XQL015", Severity::kNote,
      "'//' existence is answerable from the path summary alone",
      "strong DataGuide; §2.2 context filtering"},
+    {DiagCode::kXQL016_StaticEmptyPath, "XQL016", Severity::kWarning,
+     "path matches no stored document path (statically empty)",
+     "strong DataGuide as type oracle; §2.2"},
+    {DiagCode::kXQL017_ImpossibleCast, "XQL017", Severity::kError,
+     "cast of this constant always raises FORG0001",
+     "§3.1; XML Schema lexical rules"},
+    {DiagCode::kXQL018_AlwaysFalseCompare, "XQL018", Severity::kWarning,
+     "comparison is statically false: an operand is empty-sequence()",
+     "XQuery general/value comparison semantics; §3.1"},
+    {DiagCode::kXQL019_DeadBranch, "XQL019", Severity::kWarning,
+     "branch is statically unreachable",
+     "static cardinality inference; §3.4"},
+    {DiagCode::kXQL020_EmptyAggregate, "XQL020", Severity::kWarning,
+     "aggregate over a provably empty sequence",
+     "fn:sum(()) = 0; static cardinality inference"},
     {DiagCode::kXQL101_PatternMismatch, "XQL101", Severity::kNote,
      "Definition 1: index pattern does not contain the query path",
      "Def. 1 clause 1, §2.2"},

@@ -32,6 +32,12 @@ enum class DiagCode {
   kXQL013_NeIsExistential,       // '!=' vs fn:not(=) semantics
   kXQL014_DateTimeLexical,       // bad date/dateTime lexical form
   kXQL015_SummaryAnswerable,     // '//' existence answerable from DataGuide
+  // -- Static type & cardinality inference (DESIGN.md §13) ----------------
+  kXQL016_StaticEmptyPath,       // path word has no live DataGuide occurrence
+  kXQL017_ImpossibleCast,        // literal cast always raises FORG0001
+  kXQL018_AlwaysFalseCompare,    // comparison false/empty by static type
+  kXQL019_DeadBranch,            // FLWOR/if branch statically unreachable
+  kXQL020_EmptyAggregate,        // aggregate over a provably empty sequence
   // -- Definition 1 clause taxonomy (eligibility explainer) ---------------
   kXQL101_PatternMismatch,       // index pattern does not contain the path
   kXQL102_TypeMismatch,          // index value type vs comparison type

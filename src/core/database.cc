@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "analysis/analyzer.h"
+#include "analysis/static_types.h"
 #include "common/thread_pool.h"
 #include "core/planner.h"
 #include "observability/trace.h"
@@ -28,6 +29,11 @@ void ForceScanPlan(SelectPlan* plan) {
     access.notes = std::move(notes);
     access.summary = "forced collection scan (ExecOptions::force_scan)";
   }
+  // A forced scan is the ground-truth execution: no folded conjuncts, no
+  // statically-pruned plan may shortcut it.
+  plan->folds.clear();
+  plan->static_empty = false;
+  plan->static_reason.clear();
 }
 
 void ForceScanPlan(XQueryPlan* plan) {
@@ -36,6 +42,9 @@ void ForceScanPlan(XQueryPlan* plan) {
   plan->access = AccessPath{};
   plan->access.notes = std::move(notes);
   plan->access.summary = "forced collection scan (ExecOptions::force_scan)";
+  plan->static_empty = false;
+  plan->static_reason.clear();
+  plan->static_witnesses.clear();
 }
 
 long long NowNs() {
@@ -130,6 +139,7 @@ Result<ResultSet> Database::RunSelect(const SelectStmt& stmt,
   SqlExecutor executor(&catalog_, epoch);
   if (options.disable_structural) executor.set_structural_enabled(false);
   if (options.disable_batch) executor.set_batch_enabled(false);
+  if (options.disable_static) executor.set_static_enabled(false);
   return executor.Run(stmt, plan);
 }
 
@@ -147,8 +157,11 @@ Result<ResultSet> Database::ExecuteSqlInternal(const std::string& sql,
                                                std::string* plan_text) {
   const long long t0 = NowNs();
   const long long tasks0 = ThreadPool::TasksExecuted();
-  // A forced plan must not be served from (or inserted into) the cache.
-  const bool use_cache = !options.disable_cache && !options.force_scan;
+  // A forced plan must not be served from (or inserted into) the cache;
+  // neither may an unfolded plan (disable_static) mix with the cached
+  // statically-folded plans the default path produces.
+  const bool use_cache = !options.disable_cache && !options.force_scan &&
+                         !options.disable_static;
   // Serving fast path: a repeated query reuses its parsed AST + plan and
   // skips the whole front end. Only SELECTs are ever inserted, so a cache
   // hit implies a SELECT.
@@ -198,6 +211,7 @@ Result<ResultSet> Database::ExecuteSqlInternal(const std::string& sql,
       break;
     case SqlStatement::Kind::kSelect: {
       Planner planner(&catalog_);
+      if (options.disable_static) planner.set_static_enabled(false);
       auto plan = planner.PlanSelect(*stmt.select);
       if (!plan.ok()) {
         rs = plan.status();
@@ -271,7 +285,8 @@ Result<Database::XQueryResult> Database::ExecuteXQueryInternal(
     const std::string& query, const ExecOptions& options) {
   const long long t0 = NowNs();
   const long long tasks0 = ThreadPool::TasksExecuted();
-  const bool use_cache = !options.disable_cache && !options.force_scan;
+  const bool use_cache = !options.disable_cache && !options.force_scan &&
+                         !options.disable_static;
   const uint64_t catalog_version = catalog_.version();
   if (use_cache) {
     if (auto cached = query_cache_.LookupXQuery(query, catalog_version)) {
@@ -286,6 +301,7 @@ Result<Database::XQueryResult> Database::ExecuteXQueryInternal(
   XQDB_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseXQuery(query));
   const long long parse_end = NowNs();
   Planner planner(&catalog_);
+  if (options.disable_static) planner.set_static_enabled(false);
   XQDB_ASSIGN_OR_RETURN(XQueryPlan plan, planner.PlanXQuery(*parsed.body));
   if (options.force_scan) ForceScanPlan(&plan);
   const long long plan_end = NowNs();
@@ -305,6 +321,19 @@ Result<Database::XQueryResult> Database::RunXQuery(const ParsedQuery& parsed,
   XQueryResult out;
   out.plan = plan.Explain();
   out.runtime = std::make_shared<QueryRuntime>();
+
+  // Statically-empty body (DESIGN.md §13): the planner proved the result
+  // is the empty sequence and that evaluation cannot raise. The proof's
+  // emptiness witnesses are only as current as the DataGuide they were
+  // made against, so re-verify each against the live summary — DML since
+  // planning (plans are cached; DML does not bump the catalog version)
+  // demotes to the normal plan below, keeping results exact. A witness
+  // probe walks the summary trie; no document is opened either way.
+  if (plan.static_empty && !options.disable_static &&
+      VerifyEmptyWitnesses(catalog_, plan.static_witnesses)) {
+    out.stats.static_pruned_exprs = 1;
+    return out;  // zero items, zero rows, docs_scanned = 0
+  }
 
   // One consistent snapshot for the whole evaluation (see RunSelect).
   std::optional<SnapshotHandle> pin;

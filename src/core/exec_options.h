@@ -38,6 +38,14 @@ struct ExecOptions {
   /// every query.
   bool disable_batch = false;
 
+  /// Disables static type/cardinality folding for this execution: the
+  /// planner neither prunes statically-false predicates to constant-empty
+  /// plans nor drops proven-true conjuncts, and cached statically-folded
+  /// plans are bypassed. The per-execution form of the XQDB_STATIC=off
+  /// escape hatch and the hook for the static-vs-unoptimized differential
+  /// oracle: both executions must produce identical results on every query.
+  bool disable_static = false;
+
   /// Emits a JSON QueryTrace record for this execution to the trace sink
   /// (observability/trace.h) even when the process-wide XQDB_TRACE switch
   /// is off. Counters and phase timings are collected either way; this only

@@ -165,12 +165,104 @@ std::vector<std::pair<std::string, std::string>> CollectXmlColumnSources(
   return {set.begin(), set.end()};
 }
 
+void Planner::FoldStaticConjuncts(
+    const SelectStmt& stmt, const std::vector<const SqlExpr*>& conjuncts,
+    SelectPlan* plan) const {
+  bool all_base_tables = true;
+  for (const TableRef& ref : stmt.from) {
+    if (ref.kind != TableRef::Kind::kBaseTable) all_base_tables = false;
+  }
+  for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+    const SqlExpr* conjunct = conjuncts[ci];
+    if (conjunct->kind != SqlExprKind::kXmlExists ||
+        conjunct->xquery == nullptr ||
+        conjunct->xquery->parsed.body == nullptr) {
+      continue;
+    }
+    // Bind every PASSING variable to its XML column; a PASSING argument we
+    // cannot resolve leaves the variable's type unknown, which the
+    // inference handles (unknown types just prove nothing), but a
+    // non-column argument (a computed value) is left unbound the same way.
+    std::vector<ColumnBinding> bindings;
+    for (const PassingArg& arg : conjunct->xquery->passing) {
+      if (arg.value == nullptr ||
+          arg.value->kind != SqlExprKind::kColumnRef) {
+        continue;
+      }
+      for (const TableRef& ref : stmt.from) {
+        if (ref.kind != TableRef::Kind::kBaseTable) continue;
+        if (!arg.value->qualifier.empty() &&
+            arg.value->qualifier != ref.alias) {
+          continue;
+        }
+        auto table = catalog_->GetTable(ref.table_name);
+        if (!table.ok()) continue;
+        int col = table.value()->ColumnIndex(arg.value->column);
+        if (col < 0 || table.value()->columns()[static_cast<size_t>(col)]
+                               .type != SqlType::kXml) {
+          continue;
+        }
+        bindings.push_back(
+            ColumnBinding{arg.var_name, ref.table_name, arg.value->column});
+        break;
+      }
+    }
+    StaticQueryFacts facts = InferStaticTypes(
+        *conjunct->xquery->parsed.body, catalog_, bindings);
+    const StaticType& t = facts.body_type;
+    // Folding an expression that can raise would trade the error for rows
+    // (or rows for an error) — never fold those.
+    if (t.can_raise) continue;
+    StaticFold fold;
+    fold.conjunct = conjunct;
+    fold.first_conjunct = ci == 0;
+    if (t.IsEmpty()) {
+      // XMLEXISTS is true iff the body is non-empty: a statically empty
+      // body makes the conjunct constant false.
+      fold.value = false;
+      fold.witnesses = std::move(facts.witnesses);
+      fold.description = "XMLEXISTS body is statically empty-sequence()";
+      if (!fold.witnesses.empty()) {
+        const StaticEmptyWitness& w = fold.witnesses.front();
+        fold.description += ": no stored path in " + w.table + "." +
+                            w.column + " matches " + w.path_text;
+      }
+    } else if (t.NonEmpty()) {
+      // A provably non-empty body (a boolean result is the Tip 3 trap:
+      // one item either way) makes XMLEXISTS constant true. The proof is
+      // usually pure type algebra, but summary-derived emptiness facts can
+      // feed it (a condition over a dead path selecting the non-empty
+      // branch), so any witnesses collected during inference ride along
+      // and are re-verified at execution exactly like the false-fold ones.
+      fold.value = true;
+      fold.witnesses = std::move(facts.witnesses);
+      fold.description = "XMLEXISTS body is statically non-empty (" +
+                         t.CardinalityName() + ") — the predicate never "
+                         "filters";
+    } else {
+      continue;
+    }
+    if (!fold.value && fold.first_conjunct && all_base_tables &&
+        !plan->static_empty) {
+      // AND evaluates left-to-right: a false FIRST conjunct means no later
+      // conjunct (and no raising expression) ever runs, and base-table
+      // scans cannot raise either, so the zero-row result is observably
+      // identical to the unfolded execution.
+      plan->static_empty = true;
+      plan->static_reason = fold.description;
+    }
+    plan->folds.push_back(std::move(fold));
+  }
+}
+
 Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) const {
   SelectPlan plan;
   plan.access.resize(stmt.from.size());
 
   std::vector<const SqlExpr*> where_conjuncts;
   if (stmt.where != nullptr) Conjuncts(*stmt.where, &where_conjuncts);
+
+  if (static_enabled_) FoldStaticConjuncts(stmt, where_conjuncts, &plan);
 
   for (size_t i = 0; i < stmt.from.size(); ++i) {
     const TableRef& ref = stmt.from[i];
@@ -333,6 +425,25 @@ Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) const {
 
 Result<XQueryPlan> Planner::PlanXQuery(const Expr& body) const {
   XQueryPlan plan;
+
+  // Static type/cardinality inference (DESIGN.md §13): a body proven
+  // empty-sequence() — and proven unable to raise — executes as a
+  // constant-empty result with docs_scanned = 0. The proof's emptiness
+  // witnesses are re-verified against the live path summary at execution;
+  // the normal access path below stays in the plan as the demotion target.
+  if (static_enabled_) {
+    StaticQueryFacts facts = InferStaticTypes(body, catalog_, {});
+    if (facts.body_type.IsEmpty() && !facts.body_type.can_raise) {
+      plan.static_empty = true;
+      plan.static_witnesses = std::move(facts.witnesses);
+      plan.static_reason = "body is statically empty-sequence()";
+      if (!plan.static_witnesses.empty()) {
+        const StaticEmptyWitness& w = plan.static_witnesses.front();
+        plan.static_reason += ": no stored path in " + w.table + "." +
+                              w.column + " matches " + w.path_text;
+      }
+    }
+  }
 
   // Covering index-only aggregates: answer fn:count/sum/avg/min/max over a
   // predicate-free indexed path straight from B+Tree entries. Requires a

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/static_types.h"
 #include "common/result.h"
 #include "sql/plan.h"
 #include "sql/sql_ast.h"
@@ -25,6 +26,12 @@ class Planner {
  public:
   explicit Planner(const Catalog* catalog) : catalog_(catalog) {}
 
+  /// Per-statement override of the static-folding default
+  /// (ExecOptions::disable_static / the XQDB_STATIC knob). Off, the
+  /// planner emits no StaticFold entries and never marks a plan
+  /// STATIC EMPTY — the unoptimized shape the differential oracle runs.
+  void set_static_enabled(bool enabled) { static_enabled_ = enabled; }
+
   Result<SelectPlan> PlanSelect(const SelectStmt& stmt) const;
 
   /// Standalone XQuery: picks (at most) one pre-filtering index probe over
@@ -33,7 +40,18 @@ class Planner {
   Result<XQueryPlan> PlanXQuery(const Expr& body) const;
 
  private:
+  /// The static type/cardinality fold pass (DESIGN.md §13): for every
+  /// top-level WHERE conjunct that is XMLEXISTS over base-table XML
+  /// columns, infers the body's static type and records a StaticFold when
+  /// the conjunct's truth value is proven and the body cannot raise. A
+  /// false first conjunct over an all-base-table FROM additionally marks
+  /// the plan STATIC EMPTY.
+  void FoldStaticConjuncts(const SelectStmt& stmt,
+                           const std::vector<const SqlExpr*>& conjuncts,
+                           SelectPlan* plan) const;
+
   const Catalog* catalog_;
+  bool static_enabled_ = StaticFoldDefault();
 };
 
 /// Collects the distinct db2-fn:xmlcolumn sources in an expression tree.

@@ -351,10 +351,12 @@ class Extractor {
 
   void EmitValuePredicate(const ResolvedPath& operand, CompareOp op,
                           const Constant& constant, bool value_comparison,
+                          SourceSpan span,
                           std::vector<ExtractedPredicate>* sink) {
     ExtractedPredicate pred;
     pred.path = MakePattern({operand.steps});
     pred.path_text = PatternToString(pred.path);
+    pred.span = span;
     pred.has_value = true;
     pred.op = op;
     pred.constant = constant.value;
@@ -369,12 +371,13 @@ class Extractor {
     sink->push_back(std::move(pred));
   }
 
-  void EmitStructuralPredicate(const Steps& steps,
+  void EmitStructuralPredicate(const Steps& steps, SourceSpan span,
                                std::vector<ExtractedPredicate>* sink) {
     if (steps.empty()) return;
     ExtractedPredicate pred;
     pred.path = MakePattern({steps});
     pred.path_text = PatternToString(pred.path);
+    pred.span = span;
     pred.has_value = false;
     pred.description = "exists(" + pred.path_text + ") (structural)";
     sink->push_back(std::move(pred));
@@ -393,12 +396,12 @@ class Extractor {
     auto rconst = ConstantOf(rhs);
 
     if (lpath.has_value() && rconst.has_value()) {
-      EmitValuePredicate(*lpath, e.cmp_op, *rconst, value_cmp, sink);
+      EmitValuePredicate(*lpath, e.cmp_op, *rconst, value_cmp, e.span, sink);
       return;
     }
     if (rpath.has_value() && lconst.has_value()) {
       EmitValuePredicate(*rpath, FlipCompareOp(e.cmp_op), *lconst, value_cmp,
-                         sink);
+                         e.span, sink);
       return;
     }
     if (lpath.has_value() && rpath.has_value()) {
@@ -495,7 +498,9 @@ class Extractor {
       case ExprKind::kFunctionCall:
         if (e.fn_name == "fn:exists" && e.children.size() == 1) {
           auto p = ResolveExpr(*e.children[0], &ctx, /*filtering=*/true);
-          if (p.has_value()) EmitStructuralPredicate(p->steps, sink);
+          if (p.has_value()) {
+            EmitStructuralPredicate(p->steps, e.children[0]->span, sink);
+          }
           return;
         }
         return;
@@ -503,7 +508,7 @@ class Extractor {
       case ExprKind::kContextItem:
       case ExprKind::kVarRef: {
         auto p = ResolveExpr(e, &ctx, /*filtering=*/true);
-        if (p.has_value()) EmitStructuralPredicate(p->steps, sink);
+        if (p.has_value()) EmitStructuralPredicate(p->steps, e.span, sink);
         return;
       }
       case ExprKind::kQuantified: {
@@ -548,13 +553,15 @@ class Extractor {
         if (e.fn_name == "fn:exists" && e.children.size() == 1) {
           auto p =
               ResolveExpr(*e.children[0], nullptr, /*filtering=*/true);
-          if (p.has_value()) EmitStructuralPredicate(p->steps, sink);
+          if (p.has_value()) {
+            EmitStructuralPredicate(p->steps, e.children[0]->span, sink);
+          }
         }
         return;
       case ExprKind::kPath:
       case ExprKind::kVarRef: {
         auto p = ResolveExpr(e, nullptr, /*filtering=*/true);
-        if (p.has_value()) EmitStructuralPredicate(p->steps, sink);
+        if (p.has_value()) EmitStructuralPredicate(p->steps, e.span, sink);
         return;
       }
       case ExprKind::kQuantified: {
@@ -583,7 +590,7 @@ class Extractor {
           // The path itself filters: documents where it is empty produce
           // nothing. A varchar index can answer this structurally (§2.2).
           std::vector<ExtractedPredicate> sink;
-          EmitStructuralPredicate(p->steps, &sink);
+          EmitStructuralPredicate(p->steps, e.span, &sink);
           for (auto& pred : sink) out_.predicates.push_back(std::move(pred));
         }
         return;
@@ -600,7 +607,7 @@ class Extractor {
             bound_here.push_back(clause.var);
             if (!p->steps.empty()) {
               std::vector<ExtractedPredicate> sink;
-              EmitStructuralPredicate(p->steps, &sink);
+              EmitStructuralPredicate(p->steps, clause.expr->span, &sink);
               for (auto& pred : sink) {
                 out_.predicates.push_back(std::move(pred));
               }

@@ -18,6 +18,11 @@ namespace xqdb {
 struct ExtractedPredicate {
   Pattern path;           // query-side path, in the index-pattern algebra
   std::string path_text;  // diagnostics
+  /// Span of the source expression the predicate was extracted from, into
+  /// the XQuery body text ({0,0} when the origin is synthetic). Lets lint
+  /// diagnostics (XQL015) point at the offending step instead of the whole
+  /// query.
+  SourceSpan span;
 
   bool has_value = false;
   CompareOp op = CompareOp::kEq;

@@ -198,6 +198,85 @@ bool PathSummary::AnyPathMatches(const PatternNfa& nfa,
   return false;
 }
 
+namespace {
+
+/// Banded Levenshtein distance with an early-out cap: returns cap + 1 as
+/// soon as the distance provably exceeds `cap`.
+size_t EditDistance(const std::string& a, const std::string& b, size_t cap) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const size_t big = cap + 1;
+  if (n > m + cap || m > n + cap) return big;
+  std::vector<size_t> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t prev = row[0];
+    row[0] = i;
+    size_t best = row[0];
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cur = row[j];
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, prev + cost});
+      prev = cur;
+      best = std::min(best, row[j]);
+    }
+    if (best > cap) return big;
+  }
+  return row[m] > cap ? big : row[m];
+}
+
+std::string RenderTrieSymbol(NodeRank rank, const std::string& local) {
+  switch (rank) {
+    case NodeRank::kElem:
+      return "/" + local;
+    case NodeRank::kAttr:
+      return "/@" + local;
+    case NodeRank::kText:
+      return "/text()";
+    case NodeRank::kComment:
+      return "/comment()";
+    case NodeRank::kPi:
+      return "/processing-instruction(" + local + ")";
+  }
+  return "/" + local;
+}
+
+}  // namespace
+
+std::string PathSummary::NearestLivePath(const std::string& target,
+                                         size_t max_paths) const {
+  ReaderMutexLock lock(mu_);
+  const size_t cap = std::max<size_t>(2, target.size() / 2);
+  struct Frame {
+    const TrieNode* node;
+    size_t next_child;
+    std::string path;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{&root_, 0, ""});
+  std::string best;
+  size_t best_dist = cap + 1;
+  size_t seen = 0;
+  while (!stack.empty() && seen < max_paths) {
+    Frame& f = stack.back();
+    if (f.next_child >= f.node->children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const TrieNode* child = f.node->children[f.next_child++].get();
+    if (child->rows.empty()) continue;  // dead path
+    std::string path = f.path + RenderTrieSymbol(child->rank, child->local);
+    ++seen;
+    size_t d = EditDistance(path, target, best_dist - 1);
+    if (d < best_dist) {
+      best_dist = d;
+      best = path;
+    }
+    stack.push_back(Frame{child, 0, std::move(path)});
+  }
+  return best_dist <= cap ? best : std::string();
+}
+
 bool PathSummary::MatchedPathsCoveredBy(const PatternNfa& query,
                                         const PatternNfa& cover) const {
   ReaderMutexLock lock(mu_);

@@ -78,6 +78,14 @@ class PathSummary {
   bool MatchedPathsCoveredBy(const PatternNfa& query,
                              const PatternNfa& cover) const;
 
+  /// Best-effort "did you mean" for a path the summary proved dead: walks
+  /// up to `max_paths` live paths, renders each the way diagnostics spell
+  /// paths ("/a/b/@c"), and returns the one closest in edit distance to
+  /// `target` — or "" when nothing is plausibly close (distance above
+  /// max(2, |target|/2)) or the summary is empty.
+  std::string NearestLivePath(const std::string& target,
+                              size_t max_paths = 512) const;
+
   /// Live distinct paths (trie nodes with at least one occurrence).
   size_t path_count() const {
     ReaderMutexLock lock(mu_);

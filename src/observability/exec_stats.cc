@@ -30,6 +30,8 @@ constexpr Field kCounters[] = {
     {"structural_join_emitted", &ExecStats::structural_join_emitted},
     {"intervals_compared", &ExecStats::intervals_compared},
     {"summary_pruned_paths", &ExecStats::summary_pruned_paths},
+    {"static_pruned_exprs", &ExecStats::static_pruned_exprs},
+    {"static_folded_conjuncts", &ExecStats::static_folded_conjuncts},
 };
 
 constexpr Field kTimings[] = {

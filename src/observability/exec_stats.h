@@ -51,6 +51,12 @@ struct ExecStats {
   long long summary_pruned_paths = 0;     // path-summary trie branches cut
                                           // during pattern matching
 
+  // -- Static-folding counters (type/cardinality inference; DESIGN.md §13) -
+  long long static_pruned_exprs = 0;      // predicates/bodies proven empty
+                                          // at plan time and skipped whole
+  long long static_folded_conjuncts = 0;  // proven-true WHERE conjuncts
+                                          // dropped without evaluation
+
   // -- Phase timings (monotonic nanoseconds; 0 = phase skipped, e.g.
   // parse/plan on a plan-cache hit) ---------------------------------------
   long long parse_ns = 0;
@@ -78,6 +84,8 @@ struct ExecStats {
     structural_join_emitted += o.structural_join_emitted;
     intervals_compared += o.intervals_compared;
     summary_pruned_paths += o.summary_pruned_paths;
+    static_pruned_exprs += o.static_pruned_exprs;
+    static_folded_conjuncts += o.static_folded_conjuncts;
     parse_ns += o.parse_ns;
     plan_ns += o.plan_ns;
     exec_ns += o.exec_ns;

@@ -185,6 +185,12 @@ Result<bool> SqlExecutor::EvalPredicate(const SqlExpr& e,
                                         const std::vector<SqlValue>& row,
                                         QueryRuntime* runtime,
                                         ExecStats* stats) {
+  // A conjunct whose truth value the planner proved (and Run() re-verified
+  // against the live summary) returns its constant without evaluation.
+  if (!static_folds_.empty()) {
+    auto fold = static_folds_.find(&e);
+    if (fold != static_folds_.end()) return fold->second;
+  }
   switch (e.kind) {
     case SqlExprKind::kAnd: {
       XQDB_ASSIGN_OR_RETURN(
@@ -290,6 +296,15 @@ Status SqlExecutor::FilterChunkBatch(
   std::vector<uint32_t> next;
   for (const BatchStep& step : program.steps) {
     if (sel.empty()) break;
+    // Statically folded conjunct: constant verdict for every row, no kernel
+    // and no per-row evaluation — mirrors the EvalPredicate fast path.
+    if (!static_folds_.empty()) {
+      auto fold = static_folds_.find(step.conjunct);
+      if (fold != static_folds_.end()) {
+        if (!fold->second) sel.clear();
+        continue;
+      }
+    }
     next.clear();
     if (step.kernel.has_value()) {
       RunBatchKernel(*step.kernel, rows, sel, &scratch, &verdicts, stats);
@@ -474,6 +489,61 @@ Result<ResultSet> SqlExecutor::Run(const SelectStmt& stmt,
   ResultSet rs;
   rs.runtime = std::make_shared<QueryRuntime>();
   ExecStats& stats = rs.stats;
+
+  // Re-verify the plan's static folds against the live path summaries and
+  // install the surviving ones. An emptiness proof is only as current as
+  // the DataGuide it was made against — DML since planning (the plan may
+  // come from the cache; DML does not bump the catalog version) can insert
+  // the "dead" path, in which case the fold silently demotes and the
+  // conjunct evaluates normally, exactly like a stale kSummaryExistence
+  // plan. True folds carry no witnesses (type algebra is DML-invariant)
+  // and always install.
+  static_folds_.clear();
+  bool statically_empty = false;
+  if (static_enabled_) {
+    for (const StaticFold& fold : plan.folds) {
+      if (fold.conjunct == nullptr ||
+          !VerifyEmptyWitnesses(*catalog_, fold.witnesses)) {
+        continue;
+      }
+      static_folds_[fold.conjunct] = fold.value;
+      if (fold.value) {
+        ++stats.static_folded_conjuncts;
+      } else {
+        ++stats.static_pruned_exprs;
+      }
+      if (!fold.value && fold.first_conjunct && plan.static_empty) {
+        statically_empty = true;
+      }
+    }
+  }
+  if (statically_empty) {
+    // The first conjunct is constant false over an all-base-table FROM:
+    // no row can survive and nothing that could raise ever runs, so
+    // answer with the schema alone — zero rows, zero documents opened.
+    std::vector<ColumnSlot> schema;
+    for (const TableRef& ref : stmt.from) {
+      XQDB_ASSIGN_OR_RETURN(Table * table,
+                            catalog_->GetTable(ref.table_name));
+      for (const ColumnDef& col : table->columns()) {
+        schema.push_back(ColumnSlot{ref.alias, col.name});
+      }
+    }
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        for (const ColumnSlot& slot : schema) {
+          rs.columns.push_back(slot.name);
+        }
+      } else if (!item.alias.empty()) {
+        rs.columns.push_back(item.alias);
+      } else if (item.expr->kind == SqlExprKind::kColumnRef) {
+        rs.columns.push_back(item.expr->column);
+      } else {
+        rs.columns.push_back(std::to_string(rs.columns.size() + 1));
+      }
+    }
+    return rs;
+  }
 
   std::vector<ColumnSlot> schema;
   std::vector<std::vector<SqlValue>> rows;

@@ -1,10 +1,12 @@
 #ifndef XQDB_SQL_EXECUTOR_H_
 #define XQDB_SQL_EXECUTOR_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/static_types.h"
 #include "common/result.h"
 #include "observability/exec_stats.h"
 #include "sql/batch_filter.h"
@@ -52,6 +54,12 @@ class SqlExecutor {
   /// (ExecOptions::disable_batch). Off forces row-at-a-time EvalPredicate
   /// for every WHERE conjunct — the batch-vs-row oracle's ground truth.
   void set_batch_enabled(bool enabled) { batch_enabled_ = enabled; }
+
+  /// Per-statement override of static folding (ExecOptions::disable_static).
+  /// Off, the executor ignores the plan's StaticFold entries and STATIC
+  /// EMPTY marking and evaluates every conjunct — the static-vs-unoptimized
+  /// oracle's ground truth.
+  void set_static_enabled(bool enabled) { static_enabled_ = enabled; }
 
   Result<ResultSet> Run(const SelectStmt& stmt, const SelectPlan& plan);
 
@@ -128,6 +136,12 @@ class SqlExecutor {
   SnapshotProvider snapshot_provider_;
   bool structural_enabled_ = StructuralJoinDefault();
   bool batch_enabled_ = BatchExecDefault();
+  bool static_enabled_ = StaticFoldDefault();
+  /// Verified static folds for the statement being executed: conjunct →
+  /// proven truth value. Filled once at the top of Run() (after the
+  /// witness re-verification) and read-only afterwards, so the parallel
+  /// FilterRows chunks share it without synchronization.
+  std::map<const SqlExpr*, bool> static_folds_;
 };
 
 }  // namespace xqdb

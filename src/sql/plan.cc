@@ -80,6 +80,15 @@ std::string AccessPathToString(const AccessPath& path) {
 
 std::string SelectPlan::Explain(const SelectStmt& stmt) const {
   std::string out;
+  if (static_empty) {
+    out += "  STATIC EMPTY — " + static_reason +
+           " (re-verified against the live path summary at execution; a "
+           "stale proof demotes to the plan below)\n";
+  }
+  for (const StaticFold& fold : folds) {
+    out += "  static fold: " + fold.description + " -> always " +
+           (fold.value ? "true" : "false") + "\n";
+  }
   for (size_t i = 0; i < stmt.from.size(); ++i) {
     const TableRef& ref = stmt.from[i];
     out += "  from[" + std::to_string(i) + "] ";
@@ -98,15 +107,21 @@ std::string SelectPlan::Explain(const SelectStmt& stmt) const {
 }
 
 std::string XQueryPlan::Explain() const {
+  std::string prefix;
+  if (static_empty) {
+    prefix = "  STATIC EMPTY — " + static_reason +
+             " (re-verified against the live path summary at execution; a "
+             "stale proof demotes to the plan below)\n";
+  }
   if (!use_index) {
-    std::string out = "  COLLECTION SCAN";
+    std::string out = prefix + "  COLLECTION SCAN";
     if (!access.summary.empty()) out += "  -- " + access.summary;
     for (const std::string& note : access.notes) {
       out += "\n      note: " + note;
     }
     return out + "\n";
   }
-  std::string out = "  " + table + "." + column + ": ";
+  std::string out = prefix + "  " + table + "." + column + ": ";
   out += AccessPathToString(access);
   return out + "\n";
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/static_types.h"
 #include "index/xml_index.h"
 #include "sql/sql_ast.h"
 
@@ -68,10 +69,42 @@ struct AccessPath {
   std::vector<std::string> notes;
 };
 
+/// One WHERE conjunct whose truth value the static type/cardinality
+/// inference proved at plan time (analysis/static_types.h, DESIGN.md §13).
+/// The executor drops the conjunct without evaluating it — after
+/// re-verifying every emptiness witness against the live path summary
+/// (DML may have inserted the "dead" path since the plan was cached);
+/// a stale witness demotes the fold and the conjunct evaluates normally.
+struct StaticFold {
+  /// Borrowed from the statement AST — valid while the cached statement
+  /// lives (CachedSqlQuery holds statement and plan together).
+  const SqlExpr* conjunct = nullptr;
+  bool value = false;  // the proven truth value
+  /// True when this is the first top-level conjunct: only then may a false
+  /// fold skip the whole statement (AND short-circuits left-to-right, so a
+  /// false first conjunct means no later conjunct ever evaluates — folding
+  /// cannot suppress an error a real execution would have raised).
+  bool first_conjunct = false;
+  /// Emptiness proofs backing a false fold. Empty for true folds: those
+  /// come from DML-invariant type algebra and need no re-verification.
+  std::vector<StaticEmptyWitness> witnesses;
+  std::string description;  // EXPLAIN rendering
+};
+
 /// A full plan for one SELECT: an access path per FROM item (XMLTABLE items
 /// get a default entry whose notes describe row-producer eligibility).
 struct SelectPlan {
   std::vector<AccessPath> access;
+
+  /// Conjuncts with statically proven truth values (XQDB_STATIC knob;
+  /// empty when static folding is disabled).
+  std::vector<StaticFold> folds;
+  /// The whole statement provably returns zero rows: the first top-level
+  /// conjunct folded to false and every FROM item is a base table (a scan
+  /// cannot raise, so skipping it is unobservable). The executor still
+  /// re-verifies the fold's witnesses before trusting this.
+  bool static_empty = false;
+  std::string static_reason;
 
   std::string Explain(const SelectStmt& stmt) const;
 };
@@ -83,6 +116,15 @@ struct XQueryPlan {
   std::string table;
   std::string column;
   AccessPath access;
+
+  /// The body is statically empty-sequence() and cannot raise: execution
+  /// may return the empty result without opening a document — after
+  /// re-verifying `static_witnesses` against the live path summary. A
+  /// stale witness demotes to the normal access path below (the same
+  /// discipline as kSummaryExistence plans).
+  bool static_empty = false;
+  std::string static_reason;
+  std::vector<StaticEmptyWitness> static_witnesses;
 
   std::string Explain() const;
 };

@@ -142,6 +142,9 @@ void RunPhase(Database* db, const DiffScenario& s, const DiffOptions& opt,
     ExecOptions row_opts;
     row_opts.disable_cache = true;
     row_opts.disable_batch = true;
+    ExecOptions unopt_opts;
+    unopt_opts.disable_cache = true;
+    unopt_opts.disable_static = true;
 
     const Outcome scan_ref = RunOne(db, q, scan_opts);
     const Outcome idx_cold = RunOne(db, q, cold_opts);
@@ -152,6 +155,11 @@ void RunPhase(Database* db, const DiffScenario& s, const DiffOptions& opt,
     // (row-at-a-time EvalPredicate instead of the vectorized batch
     // kernels, and covering aggregates demote to the evaluator).
     const Outcome row_mode = RunOne(db, q, row_opts);
+    // Same plan minus the static type/cardinality folds: every conjunct
+    // is evaluated and no plan is marked STATIC EMPTY, so a wrong
+    // emptiness proof (or a missed staleness demotion after phase DML)
+    // shows up as a result divergence here.
+    const Outcome unopt = RunOne(db, q, unopt_opts);
     // First default-options run compiles into (or, post-DML, replays the
     // now-stale phase-A entry from) the cache; the second is a sure hit.
     const Outcome warm = RunOne(db, q, ExecOptions{});
@@ -170,6 +178,11 @@ void RunPhase(Database* db, const DiffScenario& s, const DiffOptions& opt,
     if (!SameOutcome(row_mode, idx_cold, false)) {
       divs->push_back({"batch-vs-row", phase, q,
                        DiffDetail("row-at-a-time", row_mode, "batch kernels",
+                                  idx_cold)});
+    }
+    if (!SameOutcome(unopt, idx_cold, false)) {
+      divs->push_back({"static-vs-unoptimized", phase, q,
+                       DiffDetail("unoptimized", unopt, "static folding",
                                   idx_cold)});
     }
     if (!SameOutcome(warm, idx_cold, false)) {

@@ -20,6 +20,8 @@ struct DiffOptions {
 ///   "index-vs-scan"           planner-chosen plan vs forced collection scan
 ///   "structural-vs-recursive" interval structural joins vs recursive walk
 ///   "batch-vs-row"            vectorized batch kernels vs row-at-a-time
+///   "static-vs-unoptimized"   static type/cardinality folds vs evaluating
+///                             every conjunct (disable_static)
 ///   "parallel-vs-serial"      XQDB_THREADS=N vs the inline pool
 ///   "cached-vs-cold"          compiled-query-cache replay vs cold compile
 ///   "expectation"             corpus-pinned outcome vs the serial cold run
@@ -32,7 +34,7 @@ struct Divergence {
 };
 
 /// Loads the scenario into a fresh Database and checks every query under
-/// all five oracles, twice: once cold and once after the scenario's DML
+/// all six oracles, twice: once cold and once after the scenario's DML
 /// epoch (so phase-A cache entries are replayed stale — DML deliberately
 /// does not bump the catalog version). Restores the global thread pool
 /// before returning.

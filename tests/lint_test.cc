@@ -559,5 +559,129 @@ TEST_F(LintDbFixture, ExplainSqlCarriesLintBlock) {
   EXPECT_NE(plan->find("lint: XQL003"), std::string::npos) << *plan;
 }
 
+// ----- XQL015: span points at the '//' step, line/col renders ---------------
+
+TEST_F(LintDbFixture, Xql015SpanPointsAtTheDescendantStep) {
+  const std::string q =
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[.//part] "
+      "return $o/custid";
+  auto report = Lint(q);
+  const Diagnostic* d = Find(report, DiagCode::kXQL015_SummaryAnswerable);
+  ASSERT_NE(d, nullptr);
+  // The span is no longer the empty SourceSpan{}: it covers exactly the
+  // '//' step the note is about, so Render prints a real line:col.
+  ASSERT_TRUE(d->span.IsValid());
+  EXPECT_EQ(Spanned(q, d->span), "//");
+  const size_t expect_begin = q.find(".//") + 1;
+  EXPECT_EQ(d->span.begin, expect_begin);
+  const std::string at =
+      "at 1:" + std::to_string(expect_begin + 1);  // 1-based column
+  EXPECT_NE(report.Render(q).find(at), std::string::npos) << report.Render(q);
+}
+
+// ----- XQL016: statically empty path with nearest-live-path suggestion ------
+
+TEST_F(LintDbFixture, Xql016FiresOnDeadPathWithSuggestion) {
+  const std::string q = "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/custd";
+  auto report = Lint(q);
+  const Diagnostic* d = Find(report, DiagCode::kXQL016_StaticEmptyPath);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_TRUE(d->span.IsValid());
+  EXPECT_NE(d->message.find("/order/custd"), std::string::npos);
+  EXPECT_NE(d->suggestion.find("/order/custid"), std::string::npos);
+}
+
+TEST_F(LintDbFixture, Xql016CleanOnLivePath) {
+  auto report = Lint("db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/custid");
+  EXPECT_EQ(Count(report, DiagCode::kXQL016_StaticEmptyPath), 0);
+}
+
+TEST_F(LintDbFixture, Xql016SoftensMessageOnEmptyCollection) {
+  Exec("CREATE TABLE fresh (id INTEGER, doc XML)");
+  auto report = Lint("db2-fn:xmlcolumn('FRESH.DOC')/anything");
+  const Diagnostic* d = Find(report, DiagCode::kXQL016_StaticEmptyPath);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("no documents yet"), std::string::npos);
+  EXPECT_TRUE(d->suggestion.empty());
+}
+
+// ----- XQL017: impossible cast (always FORG0001) ----------------------------
+
+TEST(LintTest, Xql017FiresOnImpossibleCast) {
+  auto report = LintXq("\"pear\" cast as xs:integer");
+  const Diagnostic* d = Find(report, DiagCode::kXQL017_ImpossibleCast);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("FORG0001"), std::string::npos);
+}
+
+TEST(LintTest, Xql017CleanOnValidCast) {
+  auto report = LintXq("\"17\" cast as xs:integer");
+  EXPECT_EQ(Count(report, DiagCode::kXQL017_ImpossibleCast), 0);
+}
+
+// ----- XQL018: comparison against a statically empty operand ----------------
+
+TEST(LintTest, Xql018FiresOnEmptyOperand) {
+  auto report = LintXq("3 = ()");
+  const Diagnostic* d = Find(report, DiagCode::kXQL018_AlwaysFalseCompare);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST_F(LintDbFixture, Xql018FiresOnComparisonAgainstDeadPath) {
+  auto report = Lint(
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "where $o/giftwrap = 5 return $o/custid");
+  EXPECT_GE(Count(report, DiagCode::kXQL016_StaticEmptyPath), 1);
+  EXPECT_GE(Count(report, DiagCode::kXQL018_AlwaysFalseCompare), 1);
+  EXPECT_GE(Count(report, DiagCode::kXQL019_DeadBranch), 1);
+}
+
+TEST_F(LintDbFixture, Xql018CleanOnLiveComparison) {
+  auto report = Lint(
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+      "where $o/custid = 3 return $o/custid");
+  EXPECT_EQ(Count(report, DiagCode::kXQL018_AlwaysFalseCompare), 0);
+  EXPECT_EQ(Count(report, DiagCode::kXQL019_DeadBranch), 0);
+}
+
+// ----- XQL019: dead FLWOR / if branch ---------------------------------------
+
+TEST(LintTest, Xql019FiresOnForOverEmpty) {
+  auto report = LintXq("for $x in () return $x");
+  EXPECT_GE(Count(report, DiagCode::kXQL019_DeadBranch), 1);
+}
+
+TEST(LintTest, Xql019FiresOnConstantIfCondition) {
+  auto report = LintXq("if (1 = ()) then \"a\" else \"b\"");
+  EXPECT_GE(Count(report, DiagCode::kXQL019_DeadBranch), 1);
+}
+
+TEST(LintTest, Xql019CleanOnDataDependentIf) {
+  auto report = LintXq("if ($x = 1) then \"a\" else \"b\"");
+  EXPECT_EQ(Count(report, DiagCode::kXQL019_DeadBranch), 0);
+}
+
+// ----- XQL020: aggregate over a provably empty sequence ---------------------
+
+TEST(LintTest, Xql020FiresOnSumOverEmpty) {
+  auto report = LintXq("fn:sum(())");
+  EXPECT_GE(Count(report, DiagCode::kXQL020_EmptyAggregate), 1);
+}
+
+TEST_F(LintDbFixture, Xql020FiresOnAggregateOverDeadPath) {
+  auto report =
+      Lint("sum(db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/giftwrap)");
+  EXPECT_GE(Count(report, DiagCode::kXQL020_EmptyAggregate), 1);
+}
+
+TEST_F(LintDbFixture, Xql020CleanOnLiveAggregate) {
+  auto report =
+      Lint("sum(db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/custid)");
+  EXPECT_EQ(Count(report, DiagCode::kXQL020_EmptyAggregate), 0);
+}
+
 }  // namespace
 }  // namespace xqdb

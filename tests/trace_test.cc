@@ -442,5 +442,100 @@ TEST(MetricsTest, QueryExecutionFeedsGlobalIndexMetrics) {
   EXPECT_GE(probes->value(), before + 1);
 }
 
+// ----- Static type & cardinality folding (DESIGN.md §13) --------------------
+
+TEST_F(TraceFixture, StaticallyEmptyXQueryScansNothing) {
+  // /order/giftwrap has no occurrence in the DataGuide: the plan is marked
+  // STATIC EMPTY and execution answers without opening one document or
+  // evaluating one expression.
+  auto xr = db_.ExecuteXQuery(
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/giftwrap");
+  ASSERT_TRUE(xr.ok()) << xr.status().ToString();
+  EXPECT_EQ(xr->rows.size(), 0u);
+  EXPECT_EQ(xr->stats.docs_scanned, 0);
+  EXPECT_EQ(xr->stats.xquery_evals, 0);
+  EXPECT_GE(xr->stats.static_pruned_exprs, 1);
+  EXPECT_NE(xr->plan.find("STATIC EMPTY"), std::string::npos) << xr->plan;
+}
+
+TEST_F(TraceFixture, DisableStaticEvaluatesTheSameQueryNormally) {
+  ExecOptions opts;
+  opts.disable_static = true;
+  auto xr = db_.ExecuteXQuery(
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/giftwrap", opts);
+  ASSERT_TRUE(xr.ok()) << xr.status().ToString();
+  EXPECT_EQ(xr->rows.size(), 0u);  // same answer, without the static fold
+  EXPECT_EQ(xr->stats.static_pruned_exprs, 0);
+  // The §10 path-summary pruning (a *runtime* mechanism, independent of
+  // the static pass) still cuts the dead path to zero candidate rows, so
+  // docs_scanned stays 0 — but it gets there by probing the trie per
+  // execution, not by a planner constant.
+  EXPECT_EQ(xr->stats.docs_scanned, 0);
+  EXPECT_GE(xr->stats.summary_pruned_paths, 1);
+  EXPECT_EQ(xr->plan.find("STATIC EMPTY"), std::string::npos) << xr->plan;
+}
+
+TEST_F(TraceFixture, StaticallyFalseFirstConjunctPrunesTheSelect) {
+  auto rs = db_.ExecuteSql(
+      "SELECT ordid FROM orders WHERE XMLEXISTS('$d/order/giftwrap' "
+      "PASSING orddoc AS \"d\")");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 0u);
+  EXPECT_EQ(rs->stats.docs_scanned, 0);
+  EXPECT_EQ(rs->stats.xquery_evals, 0);
+  EXPECT_GE(rs->stats.static_pruned_exprs, 1);
+}
+
+TEST_F(TraceFixture, ProvenTrueConjunctIsDroppedNotEvaluated) {
+  // fn:exists(1) is exactly-one by pure type algebra: XMLEXISTS is
+  // constant true, so the conjunct folds away and no embedded XQuery
+  // evaluation runs — yet every row survives.
+  auto rs = db_.ExecuteSql(
+      "SELECT ordid FROM orders WHERE XMLEXISTS('fn:exists(1)' "
+      "PASSING orddoc AS \"d\")");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), static_cast<size_t>(kCollectionSize));
+  EXPECT_GE(rs->stats.static_folded_conjuncts, 1);
+  EXPECT_EQ(rs->stats.xquery_evals, 0);
+}
+
+TEST_F(TraceFixture, ExplainAnalyzeReportsStaticCounters) {
+  auto plan = db_.ExplainAnalyzeXQuery(
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/giftwrap");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("STATIC EMPTY"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("static_pruned_exprs"), std::string::npos) << *plan;
+}
+
+TEST_F(TraceFixture, StaleEmptinessProofDemotesCachedSelectPlan) {
+  const std::string q =
+      "SELECT ordid FROM orders WHERE XMLEXISTS('$d/order/giftwrap' "
+      "PASSING orddoc AS \"d\")";
+  auto cold = db_.ExecuteSql(q);  // compiles a STATIC EMPTY plan into cache
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->rows.size(), 0u);
+  // DML invalidates the emptiness proof (plans stay cached across DML —
+  // the catalog version deliberately does not bump).
+  Exec("INSERT INTO orders VALUES (42, '<order><custid>9</custid>"
+       "<giftwrap>yes</giftwrap></order>')");
+  auto replay = db_.ExecuteSql(q);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->rows.size(), 1u);  // the new row, found the long way
+  EXPECT_EQ(replay->stats.static_pruned_exprs, 0);
+}
+
+TEST_F(TraceFixture, StaleEmptinessProofDemotesCachedXQueryPlan) {
+  const std::string q = "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/giftwrap";
+  auto cold = db_.ExecuteXQuery(q);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->rows.size(), 0u);
+  Exec("INSERT INTO orders VALUES (43, '<order><custid>9</custid>"
+       "<giftwrap>yes</giftwrap></order>')");
+  auto replay = db_.ExecuteXQuery(q);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->rows.size(), 1u);
+  EXPECT_EQ(replay->stats.static_pruned_exprs, 0);
+}
+
 }  // namespace
 }  // namespace xqdb

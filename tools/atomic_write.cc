@@ -1,0 +1,35 @@
+// atomic_write — tiny CLI over common/atomic_file's WriteFileAtomic: reads
+// stdin to EOF and publishes it at the target path via the write-temp +
+// fsync + rename protocol, so readers never observe a torn file. xqcheck
+// routes its per-mode and aggregate JSON reports through this (a CI
+// artifact collector polling mid-run must see either the old report or the
+// new one, never a prefix).
+//
+// Usage: atomic_write <path> < contents
+// Exit status: 0 on success, 1 on write failure, 2 on usage error.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/atomic_file.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: atomic_write <path> < contents\n");
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << std::cin.rdbuf();
+  if (std::cin.bad()) {
+    std::fprintf(stderr, "atomic_write: reading stdin failed\n");
+    return 1;
+  }
+  xqdb::Status s = xqdb::WriteFileAtomic(argv[1], ss.str());
+  if (!s.ok()) {
+    std::fprintf(stderr, "atomic_write: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -3,7 +3,11 @@
 #
 # Runs, in order:
 #   analyze    clang -Werror=thread-safety capability-annotation build
-#              (-DXQDB_ANALYZE=ON; skipped when clang is not installed)
+#              (-DXQDB_ANALYZE=ON; skipped when clang is not installed),
+#              then the semantic-analysis gate: ctest -L analysis (static
+#              type/cardinality inference + the lint corpus sweep) and a
+#              200-seed xqdiff smoke whose sixth oracle compares static
+#              folding against unoptimized execution
 #   tidy       the clang-tidy sweep over src/ and tools/ (skipped when
 #              clang-tidy is not installed)
 #   undefined  UBSan build (-fno-sanitize-recover) + the FULL ctest suite
@@ -40,11 +44,25 @@ mkdir -p "$OUT"
 FAILED=0
 SUMMARY_ROWS=""
 
+# write_atomic <path>: publishes stdin at <path> via the atomic_write CLI
+# (write-temp + fsync + rename — a CI artifact poller never reads a torn
+# report). Falls back to a plain redirect before any build has produced the
+# binary.
+write_atomic() {
+  local path="$1" aw
+  aw="$(ls "$OUT"/*/tools/atomic_write 2>/dev/null | head -n 1)"
+  if [ -n "$aw" ] && [ -x "$aw" ]; then
+    "$aw" "$path"
+  else
+    cat > "$path"
+  fi
+}
+
 # record <mode> <status> <seconds> <detail>
 record() {
   local mode="$1" status="$2" seconds="$3" detail="$4"
   printf '{"mode": "%s", "status": "%s", "seconds": %s, "detail": "%s"}\n' \
-    "$mode" "$status" "$seconds" "$detail" > "$OUT/xqcheck-$mode.json"
+    "$mode" "$status" "$seconds" "$detail" | write_atomic "$OUT/xqcheck-$mode.json"
   SUMMARY_ROWS="$SUMMARY_ROWS    {\"mode\": \"$mode\", \"status\": \"$status\", \"seconds\": $seconds, \"detail\": \"$detail\"},\n"
   case "$status" in
     passed)  echo "xqcheck: $mode PASSED (${seconds}s)" ;;
@@ -89,8 +107,14 @@ for mode in $(echo "$MODES" | tr ',' ' '); do
       if [ -z "$CLANGXX" ]; then
         record analyze skipped 0 "clang++ not on PATH"
       else
+        # Post-build: the semantic-analysis suite (static type/cardinality
+        # inference tests + the lint corpus gate), then a pinned-seed
+        # xqdiff smoke — its static-vs-unoptimized oracle is the
+        # end-to-end proof that no fold changes a result.
         run_mode analyze -DXQDB_ANALYZE=ON -DXQDB_TIDY=OFF \
-          -DCMAKE_CXX_COMPILER="$CLANGXX" --
+          -DCMAKE_CXX_COMPILER="$CLANGXX" -- \
+          bash -c "ctest --output-on-failure -L analysis -j $JOBS && \
+            ./tools/xqdiff --seed 1..200 --queries 10"
       fi
       ;;
     tidy)
@@ -138,7 +162,7 @@ done
   printf '%b' "$SUMMARY_ROWS" | sed '$s/,$//'
   echo '  ]'
   echo '}'
-} > "$OUT/xqcheck.json"
+} | write_atomic "$OUT/xqcheck.json"
 
 echo "xqcheck: summary written to $OUT/xqcheck.json"
 exit $FAILED

@@ -1,7 +1,7 @@
 // xqdiff — differential correctness fuzzer for xqdb.
 //
 // For each seed it generates a workload + index set + query batch + DML
-// epoch (src/testing/query_gen.*) and checks five equivalences
+// epoch (src/testing/query_gen.*) and checks six equivalences
 // (src/testing/differential.*):
 //
 //   1. planner-chosen index plan  vs  forced collection scan
@@ -9,6 +9,7 @@
 //   3. vectorized batch kernels  vs  row-at-a-time filtering
 //   4. parallel execution (N threads)  vs  serial
 //   5. compiled-query-cache replay  vs  cold compile (incl. after DML)
+//   6. static type/cardinality folds  vs  unoptimized evaluation
 //
 // Usage:
 //   xqdiff --seed 1..1000 --queries 50          # sweep a seed range
@@ -208,7 +209,7 @@ int main(int argc, char** argv) {
   std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   std::printf(
-      "xqdiff: %u seed(s), %d queries each, 5 oracles, %.1fs — %lld "
+      "xqdiff: %u seed(s), %d queries each, 6 oracles, %.1fs — %lld "
       "divergence(s)\n",
       seeds_run, args.queries, elapsed.count(), total_divs);
   return total_divs == 0 ? 0 : 1;

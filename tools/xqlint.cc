@@ -23,6 +23,7 @@
 //              2 = usage / load failure.
 
 #include <strings.h>
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -270,6 +271,15 @@ int main(int argc, char** argv) {
     ss << std::cin.rdbuf();
     text = ss.str();
   } else {
+    // Reject directories up front: ifstream happily opens one on Linux
+    // and the failure only surfaces as a zero-byte read.
+    struct stat st {};
+    const bool have_stat = stat(args.inputs[0].c_str(), &st) == 0;
+    if (have_stat && !S_ISREG(st.st_mode)) {
+      fprintf(stderr, "xqlint: cannot read %s: not a regular file\n",
+              args.inputs[0].c_str());
+      return 2;
+    }
     std::ifstream in(args.inputs[0]);
     if (!in) {
       fprintf(stderr, "xqlint: cannot open %s\n", args.inputs[0].c_str());
@@ -277,6 +287,15 @@ int main(int argc, char** argv) {
     }
     std::ostringstream ss;
     ss << in.rdbuf();
+    // operator<<(rdbuf) reports a failed underlying read (I/O error,
+    // unreadable special file) on the *destination* stream, not `in` —
+    // except that a legitimately empty file also inserts zero characters,
+    // so only a non-empty file failing to yield bytes is an error.
+    if (in.bad() ||
+        (ss.fail() && (!have_stat || st.st_size != 0))) {
+      fprintf(stderr, "xqlint: cannot read %s\n", args.inputs[0].c_str());
+      return 2;
+    }
     text = ss.str();
   }
   return RunRawMode(text, args);
