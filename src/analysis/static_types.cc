@@ -7,6 +7,7 @@
 #include <map>
 #include <utility>
 
+#include "common/str_util.h"
 #include "index/path_summary.h"
 #include "storage/catalog.h"
 #include "xdm/cast.h"
@@ -20,7 +21,7 @@ namespace {
 std::atomic<int> g_static_default{-1};
 
 int ReadEnvDefault() {
-  const char* v = std::getenv("XQDB_STATIC");
+  const char* v = GetEnvRaw("XQDB_STATIC");
   if (v == nullptr) return 1;
   std::optional<bool> parsed = ParseStaticKnob(v);
   if (!parsed.has_value()) {

@@ -26,4 +26,20 @@ void EpochManager::Unpin(uint64_t epoch) {
   if (--it->second == 0) pins_.erase(it);
 }
 
+WriteTicket::WriteTicket(EpochManager& mgr) : mgr_(mgr) {
+  mgr_.writer_mu_.Lock();
+  write_epoch_ = mgr_.current() + 1;
+}
+
+WriteTicket::~WriteTicket() {
+  if (commit_) {
+    // Commit under pins_mu_ so no reader can pin between our store and a
+    // subsequent vacuum decision based on OldestPinned(). pins_mu_ nests
+    // under writer_mu_ here — the epoch.writer < epoch.pins rank edge.
+    MutexLock lock(mgr_.pins_mu_);
+    mgr_.epoch_.store(write_epoch_, std::memory_order_release);
+  }
+  mgr_.writer_mu_.Unlock();
+}
+
 }  // namespace xqdb

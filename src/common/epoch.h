@@ -66,13 +66,15 @@ class EpochManager {
 
   std::atomic<uint64_t> epoch_{1};
 
-  mutable Mutex pins_mu_;
+  mutable Mutex pins_mu_{"epoch.pins", LockRank::kEpochPins};
   // epoch -> number of live pins at that epoch. Small: one entry per
   // distinct epoch concurrently pinned.
   std::map<uint64_t, uint64_t> pins_ XQDB_GUARDED_BY(pins_mu_);
 
-  // Single-writer gate: one DML/DDL statement commits at a time.
-  Mutex writer_mu_;
+  // Single-writer gate: one DML/DDL statement commits at a time. Held
+  // across the whole statement, so it is the lowest-ranked lock in the
+  // process — everything else may be acquired under it, nothing above it.
+  Mutex writer_mu_{"epoch.writer", LockRank::kEpochWriter};
 };
 
 /// RAII reader pin. Copyable-by-move only; the destructor unpins.
@@ -105,21 +107,10 @@ class SnapshotHandle {
 /// publishing them).
 class XQDB_SCOPED_CAPABILITY WriteTicket {
  public:
-  explicit WriteTicket(EpochManager& mgr) XQDB_ACQUIRE(mgr.writer_mu_)
-      : mgr_(mgr) {
-    mgr_.writer_mu_.Lock();
-    write_epoch_ = mgr_.current() + 1;
-  }
-
-  ~WriteTicket() XQDB_RELEASE() {
-    if (commit_) {
-      // Commit under pins_mu_ so no reader can pin between our store and a
-      // subsequent vacuum decision based on OldestPinned().
-      MutexLock lock(mgr_.pins_mu_);
-      mgr_.epoch_.store(write_epoch_, std::memory_order_release);
-    }
-    mgr_.writer_mu_.Unlock();
-  }
+  // Bodies live in epoch.cc: headers never acquire locks (xqinvariant
+  // XQI003) — the commit-under-pins_mu_ sequencing is documented there.
+  explicit WriteTicket(EpochManager& mgr) XQDB_ACQUIRE(mgr.writer_mu_);
+  ~WriteTicket() XQDB_RELEASE();
 
   WriteTicket(const WriteTicket&) = delete;
   WriteTicket& operator=(const WriteTicket&) = delete;

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "analysis/lock_order.h"
 #include "common/thread_annotations.h"
 
 namespace xqdb {
@@ -17,38 +18,112 @@ namespace xqdb {
 /// wrappers are the capability types the whole engine locks through; the
 /// scoped lockers below are the only way shared state is normally entered.
 ///
-/// Zero overhead: every method is a single inlined forward to the standard
-/// primitive, and the annotation attributes vanish off clang.
+/// Every Mutex/SharedMutex is constructed with a lock-class name and its
+/// declared rank from the central hierarchy table in analysis/lock_order.h
+/// — there is no default constructor, so an unranked lock cannot compile
+/// (xqinvariant XQI002 additionally pins it at the source level). In
+/// XQDB_DEADLOCK builds each acquisition is checked against the per-thread
+/// held-lock stack and recorded in the process-wide acquires-after graph;
+/// in release builds the name/rank arguments are discarded and every
+/// method is a single inlined forward to the standard primitive — the
+/// wrappers stay byte-identical to the std types (static_assert'd in
+/// tests, `nm` no-op-symbol check in CI).
 
 class XQDB_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+#if defined(XQDB_DEADLOCK)
+  explicit Mutex(const char* name, LockRank rank)
+      : class_id_(lockorder::RegisterLockClass(name, rank)) {}
+#else
+  explicit Mutex(const char* /*name*/, LockRank /*rank*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() XQDB_ACQUIRE() { mu_.lock(); }
-  void Unlock() XQDB_RELEASE() { mu_.unlock(); }
-  bool TryLock() XQDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() XQDB_ACQUIRE() {
+#if defined(XQDB_DEADLOCK)
+    // Checked before blocking: a would-be deadlock aborts with a
+    // diagnosis instead of hanging the process.
+    lockorder::OnAcquire(class_id_, this, /*shared=*/false);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() XQDB_RELEASE() {
+#if defined(XQDB_DEADLOCK)
+    lockorder::OnRelease(class_id_, this);
+#endif
+    mu_.unlock();
+  }
+
+  bool TryLock() XQDB_TRY_ACQUIRE(true) {
+    bool acquired = mu_.try_lock();
+#if defined(XQDB_DEADLOCK)
+    // Recorded only on success, and after the fact: a failed try_lock
+    // never blocks, so there is nothing to diagnose pre-acquisition. A
+    // successful one still participates in the hierarchy.
+    if (acquired) lockorder::OnAcquire(class_id_, this, /*shared=*/false);
+#endif
+    return acquired;
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#if defined(XQDB_DEADLOCK)
+  lockorder::LockClassId class_id_;
+#endif
 };
 
-/// Reader-writer capability (NamePool's interning fast path).
+/// Reader-writer capability (NamePool's interning fast path). Reader and
+/// writer acquisitions are tracked as separate edge modes in the
+/// lock-order graph, and a shared-then-exclusive upgrade on the same
+/// instance — a self-deadlock with std::shared_mutex — aborts in checking
+/// builds.
 class XQDB_CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+#if defined(XQDB_DEADLOCK)
+  explicit SharedMutex(const char* name, LockRank rank)
+      : class_id_(lockorder::RegisterLockClass(name, rank)) {}
+#else
+  explicit SharedMutex(const char* /*name*/, LockRank /*rank*/) {}
+#endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() XQDB_ACQUIRE() { mu_.lock(); }
-  void Unlock() XQDB_RELEASE() { mu_.unlock(); }
-  void ReaderLock() XQDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void ReaderUnlock() XQDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() XQDB_ACQUIRE() {
+#if defined(XQDB_DEADLOCK)
+    lockorder::OnAcquire(class_id_, this, /*shared=*/false);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() XQDB_RELEASE() {
+#if defined(XQDB_DEADLOCK)
+    lockorder::OnRelease(class_id_, this);
+#endif
+    mu_.unlock();
+  }
+
+  void ReaderLock() XQDB_ACQUIRE_SHARED() {
+#if defined(XQDB_DEADLOCK)
+    lockorder::OnAcquire(class_id_, this, /*shared=*/true);
+#endif
+    mu_.lock_shared();
+  }
+
+  void ReaderUnlock() XQDB_RELEASE_SHARED() {
+#if defined(XQDB_DEADLOCK)
+    lockorder::OnRelease(class_id_, this);
+#endif
+    mu_.unlock_shared();
+  }
 
  private:
   std::shared_mutex mu_;
+#if defined(XQDB_DEADLOCK)
+  lockorder::LockClassId class_id_;
+#endif
 };
 
 /// RAII exclusive lock on a Mutex — the annotated replacement for
@@ -105,6 +180,14 @@ class CondVar {
   /// Atomically releases `mu`, waits until `pred()` is true, and reacquires
   /// `mu` before returning — identical contract to
   /// std::condition_variable::wait(lock, pred).
+  ///
+  /// Lock-order contract: the waited mutex leaves this thread's held-lock
+  /// stack for the duration of the wait (the condvar really does release
+  /// it — another thread can take it and touch the guarded state), and is
+  /// re-pushed with its rank re-validated against whatever the thread
+  /// still holds on wakeup. Waiting while holding a higher-rank lock is
+  /// therefore diagnosed at the reacquire, exactly where the inverted
+  /// acquisition actually happens.
   template <typename Pred>
   void Wait(Mutex& mu, Pred pred) XQDB_REQUIRES(mu)
       XQDB_NO_THREAD_SAFETY_ANALYSIS {
@@ -112,7 +195,13 @@ class CondVar {
     // is held on entry and on exit (wait() reacquires before returning),
     // which is exactly what REQUIRES promises callers.
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+#if defined(XQDB_DEADLOCK)
+    lockorder::OnWaitRelease(mu.class_id_, &mu);
+#endif
     cv_.wait(native, pred);
+#if defined(XQDB_DEADLOCK)
+    lockorder::OnWaitReacquire(mu.class_id_, &mu);
+#endif
     native.release();  // ownership stays with the caller's scoped lock
   }
 
@@ -122,9 +211,15 @@ class CondVar {
   template <typename Rep, typename Period, typename Pred>
   bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
                Pred pred) XQDB_REQUIRES(mu) XQDB_NO_THREAD_SAFETY_ANALYSIS {
-    // Same native-handle adoption as Wait(); see the comment there.
+    // Same native-handle adoption and wait bracket as Wait(); see there.
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+#if defined(XQDB_DEADLOCK)
+    lockorder::OnWaitRelease(mu.class_id_, &mu);
+#endif
     bool satisfied = cv_.wait_for(native, timeout, pred);
+#if defined(XQDB_DEADLOCK)
+    lockorder::OnWaitReacquire(mu.class_id_, &mu);
+#endif
     native.release();  // ownership stays with the caller's scoped lock
     return satisfied;
   }

@@ -1,0 +1,43 @@
+#include "common/semaphore.h"
+
+namespace xqdb {
+
+Semaphore::Semaphore(long long permits) : permits_(permits) {}
+
+void Semaphore::Acquire() {
+  MutexLock lock(mu_);
+  cv_.Wait(mu_, [this]() XQDB_REQUIRES(mu_) { return permits_ > 0; });
+  --permits_;
+}
+
+bool Semaphore::TryAcquire() {
+  MutexLock lock(mu_);
+  if (permits_ <= 0) return false;
+  --permits_;
+  return true;
+}
+
+bool Semaphore::AcquireFor(std::chrono::nanoseconds timeout) {
+  MutexLock lock(mu_);
+  if (!cv_.WaitFor(mu_, timeout,
+                   [this]() XQDB_REQUIRES(mu_) { return permits_ > 0; })) {
+    return false;
+  }
+  --permits_;
+  return true;
+}
+
+void Semaphore::Release() {
+  {
+    MutexLock lock(mu_);
+    ++permits_;
+  }
+  cv_.NotifyOne();
+}
+
+long long Semaphore::available() const {
+  MutexLock lock(mu_);
+  return permits_;
+}
+
+}  // namespace xqdb

@@ -16,55 +16,32 @@ namespace xqdb {
 ///
 /// (std::counting_semaphore exists but carries no capability annotations;
 /// this keeps admission control inside the analyzed lock discipline.)
+///
+/// Bodies live in semaphore.cc: headers never acquire locks (xqinvariant
+/// XQI003). AcquireFor takes nanoseconds directly — callers' durations
+/// convert implicitly — so the waiting path does not have to live in the
+/// header as a template.
 class Semaphore {
  public:
-  explicit Semaphore(long long permits) : permits_(permits) {}
+  explicit Semaphore(long long permits);
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
 
   /// Blocks until a permit is free.
-  void Acquire() XQDB_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    cv_.Wait(mu_, [this]() XQDB_REQUIRES(mu_) { return permits_ > 0; });
-    --permits_;
-  }
+  void Acquire() XQDB_EXCLUDES(mu_);
 
   /// Non-blocking: takes a permit if one is free.
-  bool TryAcquire() XQDB_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    if (permits_ <= 0) return false;
-    --permits_;
-    return true;
-  }
+  bool TryAcquire() XQDB_EXCLUDES(mu_);
 
   /// Blocks up to `timeout`; false if no permit became free.
-  template <typename Rep, typename Period>
-  bool AcquireFor(std::chrono::duration<Rep, Period> timeout)
-      XQDB_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    if (!cv_.WaitFor(mu_, timeout,
-                     [this]() XQDB_REQUIRES(mu_) { return permits_ > 0; })) {
-      return false;
-    }
-    --permits_;
-    return true;
-  }
+  bool AcquireFor(std::chrono::nanoseconds timeout) XQDB_EXCLUDES(mu_);
 
-  void Release() XQDB_EXCLUDES(mu_) {
-    {
-      MutexLock lock(mu_);
-      ++permits_;
-    }
-    cv_.NotifyOne();
-  }
+  void Release() XQDB_EXCLUDES(mu_);
 
-  long long available() const XQDB_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    return permits_;
-  }
+  long long available() const XQDB_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"server.admission", LockRank::kSemaphore};
   CondVar cv_;
   long long permits_ XQDB_GUARDED_BY(mu_);
 };

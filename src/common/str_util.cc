@@ -7,8 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
-#include <mutex>
 #include <set>
+
+#include "common/mutex.h"
 
 namespace xqdb {
 
@@ -164,11 +165,13 @@ std::atomic<void (*)(const char*, const char*)> g_env_warn_hook{nullptr};
 
 void WarnEnvParse(const char* name, const std::string& detail) {
   // One warning per knob name per process: a bad value in the environment
-  // would otherwise repeat on every lazy read site.
-  static std::mutex warned_mu;
+  // would otherwise repeat on every lazy read site. Leaked (like the set)
+  // so a static-destruction-order race cannot touch a dead mutex; released
+  // before the hook runs — the hook reaches into the metrics registry.
+  static Mutex* warned_mu = new Mutex("env.warn", LockRank::kEnvWarn);
   static std::set<std::string>* warned = new std::set<std::string>;
   {
-    std::lock_guard<std::mutex> lock(warned_mu);
+    MutexLock lock(*warned_mu);
     if (!warned->insert(name).second) return;
   }
   if (auto* hook = g_env_warn_hook.load(std::memory_order_acquire)) {
@@ -196,6 +199,8 @@ long long ParseEnvInt(const char* name, long long min_value,
   }
   return parsed.value;
 }
+
+const char* GetEnvRaw(const char* name) { return std::getenv(name); }
 
 void SetEnvParseWarnHook(void (*hook)(const char* name, const char* detail)) {
   g_env_warn_hook.store(hook, std::memory_order_release);

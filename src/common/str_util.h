@@ -68,6 +68,13 @@ ParsedEnvInt ParseEnvIntText(std::string_view text, long long min_value,
 long long ParseEnvInt(const char* name, long long min_value,
                       long long max_value, long long fallback);
 
+/// Reads a raw (string-valued) environment knob; nullptr when unset. The
+/// single sanctioned `getenv` site outside ParseEnvInt: xqinvariant
+/// XQI005 flags direct std::getenv calls elsewhere in src/, so every knob
+/// read is greppable and funnels through common/ where future validation
+/// or snapshotting can be added in one place.
+const char* GetEnvRaw(const char* name);
+
 /// Installs the process-wide sink for ParseEnvInt diagnostics (nullptr
 /// restores stderr). The observability layer installs a hook that also
 /// bumps an `env.parse_errors` counter; common/ cannot depend on metrics

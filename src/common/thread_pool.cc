@@ -101,9 +101,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // unlocked), so no ordering edge with mu_ exists.
   struct ForState {
     std::atomic<size_t> remaining;
-    Mutex done_mu;
+    Mutex done_mu{"pool.done", LockRank::kPoolDone};
     CondVar done_cv;
-    Mutex error_mu;
+    Mutex error_mu{"pool.error", LockRank::kPoolError};
     std::exception_ptr first_error XQDB_GUARDED_BY(error_mu);
   };
   auto state = std::make_shared<ForState>();
@@ -165,7 +165,7 @@ std::unique_ptr<ThreadPool>* GlobalSlot() {
   return slot;
 }
 Mutex* GlobalMu() {
-  static auto* mu = new Mutex;
+  static auto* mu = new Mutex("pool.global", LockRank::kPoolGlobal);
   return mu;
 }
 }  // namespace

@@ -87,7 +87,7 @@ class ThreadPool {
   // other thread) can observe the pool — immutable thereafter, so
   // thread_count() reads it without the lock.
   std::vector<std::thread> workers_;
-  Mutex mu_;
+  Mutex mu_{"pool.work", LockRank::kPoolWork};
   CondVar work_cv_;
   std::vector<std::function<void()>> queue_
       XQDB_GUARDED_BY(mu_);  // LIFO; tasks are symmetric

@@ -86,7 +86,7 @@ class QueryCache {
       XQDB_REQUIRES(mu_);
   void InsertLocked(std::string key, Slot slot) XQDB_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"cache.query", LockRank::kQueryCache};
   const size_t capacity_;  // set once at construction, read lock-free
   std::list<std::string> lru_ XQDB_GUARDED_BY(mu_);  // front = most recent
   std::unordered_map<std::string, Slot> entries_ XQDB_GUARDED_BY(mu_);

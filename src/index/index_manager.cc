@@ -2,6 +2,26 @@
 
 namespace xqdb {
 
+void RelationalIndex::InsertString(const std::string& key, uint32_t row) {
+  WriterMutexLock lock(*mu_);
+  string_tree_.Insert(key, row);
+}
+
+void RelationalIndex::InsertDouble(double key, uint32_t row) {
+  WriterMutexLock lock(*mu_);
+  double_tree_.Insert(key, row);
+}
+
+bool RelationalIndex::EraseString(const std::string& key, uint32_t row) {
+  WriterMutexLock lock(*mu_);
+  return string_tree_.Erase(key, row);
+}
+
+bool RelationalIndex::EraseDouble(double key, uint32_t row) {
+  WriterMutexLock lock(*mu_);
+  return double_tree_.Erase(key, row);
+}
+
 std::vector<uint32_t> RelationalIndex::LookupString(const std::string& key,
                                                     size_t* scanned) const {
   ReaderMutexLock lock(*mu_);

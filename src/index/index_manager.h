@@ -28,28 +28,18 @@ class RelationalIndex {
  public:
   RelationalIndex(std::string name, std::string column, bool numeric)
       : name_(std::move(name)), column_(std::move(column)), numeric_(numeric),
-        mu_(std::make_unique<SharedMutex>()) {}
+        mu_(std::make_unique<SharedMutex>("index.rel",
+                                          LockRank::kRelationalIndex)) {}
 
   const std::string& name() const { return name_; }
   const std::string& column() const { return column_; }
   bool numeric() const { return numeric_; }
 
-  void InsertString(const std::string& key, uint32_t row) {
-    WriterMutexLock lock(*mu_);
-    string_tree_.Insert(key, row);
-  }
-  void InsertDouble(double key, uint32_t row) {
-    WriterMutexLock lock(*mu_);
-    double_tree_.Insert(key, row);
-  }
-  bool EraseString(const std::string& key, uint32_t row) {
-    WriterMutexLock lock(*mu_);
-    return string_tree_.Erase(key, row);
-  }
-  bool EraseDouble(double key, uint32_t row) {
-    WriterMutexLock lock(*mu_);
-    return double_tree_.Erase(key, row);
-  }
+  // Bodies in index_manager.cc: headers never acquire locks (XQI003).
+  void InsertString(const std::string& key, uint32_t row);
+  void InsertDouble(double key, uint32_t row);
+  bool EraseString(const std::string& key, uint32_t row);
+  bool EraseDouble(double key, uint32_t row);
 
   std::vector<uint32_t> LookupString(const std::string& key,
                                      size_t* scanned) const;
@@ -105,7 +95,7 @@ class IndexManager {
   bool HasIndexNamedLocked(const std::string& name) const
       XQDB_REQUIRES_SHARED(mu_);
 
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{"index.manager", LockRank::kIndexManager};
   std::map<std::string, std::vector<std::unique_ptr<XmlIndex>>> xml_indexes_
       XQDB_GUARDED_BY(mu_);
   std::map<std::string, std::vector<std::unique_ptr<RelationalIndex>>>

@@ -316,4 +316,14 @@ bool PathSummary::MatchedPathsCoveredBy(const PatternNfa& query,
   return true;
 }
 
+size_t PathSummary::path_count() const {
+  ReaderMutexLock lock(mu_);
+  return path_count_;
+}
+
+size_t PathSummary::row_count() const {
+  ReaderMutexLock lock(mu_);
+  return doc_rows_.size();
+}
+
 }  // namespace xqdb

@@ -87,16 +87,11 @@ class PathSummary {
                               size_t max_paths = 512) const;
 
   /// Live distinct paths (trie nodes with at least one occurrence).
-  size_t path_count() const {
-    ReaderMutexLock lock(mu_);
-    return path_count_;
-  }
+  /// Bodies in path_summary.cc (XQI003: headers never acquire locks).
+  size_t path_count() const;
 
   /// Rows with at least one stored document.
-  size_t row_count() const {
-    ReaderMutexLock lock(mu_);
-    return doc_rows_.size();
-  }
+  size_t row_count() const;
 
  private:
   struct TrieNode {
@@ -117,7 +112,7 @@ class PathSummary {
 
   // Guards everything below (by convention — the trie is walked through
   // raw TrieNode pointers the annotation pass cannot attribute to mu_).
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{"index.path_summary", LockRank::kPathSummary};
   TrieNode root_;  // the document node; its own rows map stays empty
   std::map<uint32_t, uint32_t> doc_rows_;  // row -> stored document count
   size_t path_count_ = 0;

@@ -67,8 +67,24 @@ Result<XmlIndex> XmlIndex::Create(std::string name, std::string pattern_text,
   idx.name_ = std::move(name);
   XQDB_ASSIGN_OR_RETURN(idx.compiled_, GetCompiledPattern(pattern_text));
   idx.type_ = type;
-  idx.mu_ = std::make_unique<SharedMutex>();
+  idx.mu_ =
+      std::make_unique<SharedMutex>("index.xml", LockRank::kXmlIndex);
   return idx;
+}
+
+size_t XmlIndex::entry_count() const {
+  ReaderMutexLock lock(*mu_);
+  return entry_count_;
+}
+
+size_t XmlIndex::nfa_match_count() const {
+  ReaderMutexLock lock(*mu_);
+  return nfa_match_count_;
+}
+
+size_t XmlIndex::cast_skip_count() const {
+  ReaderMutexLock lock(*mu_);
+  return cast_skip_count_;
 }
 
 std::optional<AtomicValue> XmlIndex::KeyFor(const Document& doc,

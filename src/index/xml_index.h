@@ -82,22 +82,14 @@ class XmlIndex {
   const std::string& name() const { return name_; }
   const Pattern& pattern() const { return compiled_->pattern; }
   IndexValueType type() const { return type_; }
-  size_t entry_count() const {
-    ReaderMutexLock lock(*mu_);
-    return entry_count_;
-  }
+  // Counter reads take the reader lock; bodies in xml_index.cc (XQI003).
+  size_t entry_count() const;
 
   /// Lifetime build-side instrumentation: Pattern-NFA node matches seen and
   /// tolerant cast skips taken across every insert/bulk-build on this
   /// index. `nfa_matches - cast_skips` is what actually entered the tree.
-  size_t nfa_match_count() const {
-    ReaderMutexLock lock(*mu_);
-    return nfa_match_count_;
-  }
-  size_t cast_skip_count() const {
-    ReaderMutexLock lock(*mu_);
-    return cast_skip_count_;
-  }
+  size_t nfa_match_count() const;
+  size_t cast_skip_count() const;
 
   /// Indexes every matching node of one document (one table row).
   void InsertDocument(uint32_t row, const Document& doc);

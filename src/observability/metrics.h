@@ -89,7 +89,7 @@ class MetricsRegistry {
 
  private:
   MetricsRegistry() = default;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"metrics.registry", LockRank::kMetrics};
   std::vector<Counter*> counters_ XQDB_GUARDED_BY(mu_);
   std::vector<Histogram*> histograms_ XQDB_GUARDED_BY(mu_);
 };

@@ -49,7 +49,7 @@ std::string JsonEscape(const std::string& s) {
 /// stderr/file sinks. A leaf lock: nothing else is acquired under it, and —
 /// enforced by the annotations — no user callback runs under it either.
 Mutex* SinkMutex() {
-  static auto* mu = new Mutex;
+  static auto* mu = new Mutex("trace.sink", LockRank::kTraceSink);
   return mu;
 }
 
@@ -74,8 +74,7 @@ std::function<void(const std::string&)> SnapshotTestSink()
 /// The env-selected sink target, resolved once. Empty = stderr.
 const std::string& TraceFileFromEnv() {
   static const std::string* path = [] {
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv, no setenv
-    const char* env = std::getenv("XQDB_TRACE");
+    const char* env = GetEnvRaw("XQDB_TRACE");
     if (env == nullptr || *env == '\0' || std::strcmp(env, "stderr") == 0 ||
         std::strcmp(env, "1") == 0) {
       return new std::string;
@@ -89,8 +88,7 @@ const std::string& TraceFileFromEnv() {
 
 bool TraceEnabledByEnv() {
   static const bool enabled = [] {
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv, no setenv
-    const char* env = std::getenv("XQDB_TRACE");
+    const char* env = GetEnvRaw("XQDB_TRACE");
     return env != nullptr && *env != '\0';
   }();
   return enabled;

@@ -53,6 +53,8 @@ std::string_view VerbName(Verb v) {
       return "EXPLAIN";
     case Verb::kLint:
       return "LINT";
+    case Verb::kLockGraph:
+      return "LOCKGRAPH";
     case Verb::kPing:
       return "PING";
   }
@@ -78,6 +80,8 @@ Result<RequestHeader> ParseRequestHeader(std::string_view line) {
     header.verb = Verb::kExplain;
   } else if (verb_text == "LINT") {
     header.verb = Verb::kLint;
+  } else if (verb_text == "LOCKGRAPH") {
+    header.verb = Verb::kLockGraph;
   } else if (verb_text == "PING") {
     header.verb = Verb::kPing;
   } else {

@@ -16,7 +16,8 @@ namespace xqdb {
 ///   response := "OK" SP LENGTH LF payload[LENGTH]
 ///             | "ERR" SP CODE SP LENGTH LF message[LENGTH]
 ///
-/// VERB is one of QUERY (SQL), XQUERY, EXPLAIN, LINT, PING; LENGTH is the
+/// VERB is one of QUERY (SQL), XQUERY, EXPLAIN, LINT, LOCKGRAPH, PING;
+/// LENGTH is the
 /// payload byte count in decimal. CODE is a machine-readable error class:
 /// the StatusCodeToString name of a query error ("ParseError", ...) or a
 /// server-level code ("Protocol", "Busy", "Timeout").
@@ -35,7 +36,10 @@ inline constexpr size_t kMaxFrameHeaderLen = 64;
 /// Largest accepted payload (16 MiB) — bounds per-connection memory.
 inline constexpr size_t kMaxFramePayload = 16 * 1024 * 1024;
 
-enum class Verb { kQuery, kXQuery, kExplain, kLint, kPing };
+/// kLockGraph serves the lock-order detector's acquires-after graph as
+/// JSON (payload ignored); in release builds it reports {"enabled": false}
+/// so operators can tell a quiet graph from a disabled detector.
+enum class Verb { kQuery, kXQuery, kExplain, kLint, kLockGraph, kPing };
 
 std::string_view VerbName(Verb v);
 

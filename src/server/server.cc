@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "analysis/lock_order.h"
 #include "common/str_util.h"
 #include "observability/metrics.h"
 
@@ -372,6 +373,12 @@ Result<std::string> Server::Dispatch(Verb verb, const std::string& payload,
       XQDB_ASSIGN_OR_RETURN(LintReport report, db_->LintXQuery(payload));
       return report.Render(payload);
     }
+    case Verb::kLockGraph:
+      // Live view of the lock-order detector's acquires-after graph
+      // (payload ignored). One code path for both builds: release servers
+      // answer {"enabled": false, ...} instead of erroring, so a poller
+      // can distinguish "no contention observed" from "detector off".
+      return LockOrderSnapshotJson();
   }
   return Status::Internal("unhandled verb");
 }

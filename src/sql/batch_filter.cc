@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/str_util.h"
 #include "xdm/cast.h"
 #include "xdm/item.h"
 #include "xpath/pattern.h"
@@ -20,7 +21,7 @@ namespace {
 std::atomic<int> g_batch_default{-1};
 
 bool ReadEnvDefault() {
-  const char* v = std::getenv("XQDB_BATCH");
+  const char* v = GetEnvRaw("XQDB_BATCH");
   if (v == nullptr) return true;
   if (auto parsed = ParseBatchKnob(v)) return *parsed;
   static const bool warned = [v] {

@@ -60,7 +60,7 @@ class Catalog : public XmlColumnProvider {
   void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
  private:
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{"storage.catalog", LockRank::kCatalog};
   std::map<std::string, std::unique_ptr<Table>> tables_ XQDB_GUARDED_BY(mu_);
   std::atomic<uint64_t> version_{0};
 };

@@ -153,7 +153,7 @@ class Table {
   std::vector<int> xml_slot_of_column_;      // per column: slot or -1
   std::deque<PathSummary> path_summaries_;   // parallel to xml_store_
 
-  mutable Mutex deferred_mu_;
+  mutable Mutex deferred_mu_{"table.deferred", LockRank::kTableDeferred};
   std::vector<uint32_t> deferred_ XQDB_GUARDED_BY(deferred_mu_);
 
   IndexManager indexes_;

@@ -50,6 +50,11 @@ std::string_view NamePool::LocalOf(NameId id) const {
   return entries_[static_cast<size_t>(id)].local;
 }
 
+size_t NamePool::size() const {
+  ReaderMutexLock lock(mu_);
+  return entries_.size();
+}
+
 std::string NamePool::ToString(NameId id) const {
   if (id == kInvalidName) return "<invalid>";
   ReaderMutexLock lock(mu_);

@@ -54,17 +54,14 @@ class NamePool {
   /// "{uri}local" for diagnostics, or plain "local" when URI is empty.
   std::string ToString(NameId id) const XQDB_EXCLUDES(mu_);
 
-  size_t size() const XQDB_EXCLUDES(mu_) {
-    ReaderMutexLock lock(mu_);
-    return entries_.size();
-  }
+  size_t size() const XQDB_EXCLUDES(mu_);
 
  private:
   struct Entry {
     std::string ns_uri;
     std::string local;
   };
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{"xml.namepool", LockRank::kNamePool};
   std::deque<Entry> entries_ XQDB_GUARDED_BY(mu_);
   std::unordered_map<std::string, NameId> lookup_
       XQDB_GUARDED_BY(mu_);  // key: uri + '\x01' + local

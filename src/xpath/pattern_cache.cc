@@ -11,7 +11,7 @@ namespace xqdb {
 namespace {
 
 struct PatternCache {
-  Mutex mu;
+  Mutex mu{"cache.pattern", LockRank::kPatternCache};
   // Values are shared_ptr on purpose: lookups copy the handle out under
   // the lock, so the compiled pattern itself (immutable after compile) is
   // safely shared outside the critical section.

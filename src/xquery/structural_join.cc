@@ -17,7 +17,7 @@ namespace {
 std::atomic<int> g_structural_default{-1};
 
 bool ReadEnvDefault() {
-  const char* v = std::getenv("XQDB_STRUCTURAL");
+  const char* v = GetEnvRaw("XQDB_STRUCTURAL");
   if (v == nullptr) return true;
   if (auto parsed = ParseStructuralKnob(v)) return *parsed;
   // Unrecognized text used to silently enable structural joins ("offf"

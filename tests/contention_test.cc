@@ -17,8 +17,11 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/lock_order.h"
 #include "core/database.h"
 #include "observability/metrics.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "workload/generator.h"
 #include "xml/qname.h"
 #include "xpath/pattern_cache.h"
@@ -214,6 +217,122 @@ TEST(ContentionTest, NamePoolInterningContention) {
   });
   for (int t = 1; t < kThreads; ++t) {
     EXPECT_EQ(ids[0], ids[t]) << "thread " << t << " saw different ids";
+  }
+}
+
+// --- Deadlock-freedom hammer (ctest labels concurrency + deadlock) ----------
+
+// Drives every lock band of the declared hierarchy at once through real
+// server sessions: concurrent SELECT/XQUERY reads (snapshot pins, caches,
+// indexes, name pool), serialized DML (epoch writer gate, table inserts,
+// index maintenance), DELETE + follow-up writes (deferred-vacuum queue and
+// the commit-path VacuumDeferred), CREATE INDEX backfills, and LOCKGRAPH
+// snapshots racing the graph they observe. In XQDB_DEADLOCK builds the
+// detector aborts the process on any rank inversion, so merely finishing
+// is the first assertion; afterwards the observed acquires-after graph
+// must be a subgraph of the declared hierarchy (every edge between
+// declared classes, ranks strictly increasing — hence acyclic). Under
+// plain TSan (detector off) the same schedule still runs; the graph
+// assertions are skipped.
+TEST(ContentionTest, DeadlockHammerGraphIsSubgraphOfDeclaredHierarchy) {
+  Database db;
+  {
+    auto rs = db.ExecuteSql("CREATE TABLE hammer (id INTEGER, doc XML)");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  }
+  for (int i = 1; i <= 16; ++i) {
+    auto rs = db.ExecuteSql(
+        "INSERT INTO hammer VALUES (" + std::to_string(i) +
+        ", '<order><lineitem price=\"" + std::to_string(i * 10) +
+        "\"/></order>')");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  }
+
+  ServerOptions options;
+  options.worker_threads = kThreads;
+  Server server(&db, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> failures{0};
+  auto expect_ok = [&failures](const Result<ResponseFrame>& frame) {
+    if (!frame.ok() || !frame->ok) {
+      failures.fetch_add(1);
+      return false;
+    }
+    return true;
+  };
+
+  RunThreads(kThreads, [&](int t) {
+    Client client;
+    if (!client.Connect(server.port()).ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    for (int rep = 0; rep < 12; ++rep) {
+      // Snapshot reads: plan cache, relational/XML indexes, pattern cache,
+      // name pool, metrics — the read-side lock bands.
+      expect_ok(client.Call(
+          Verb::kQuery, "SELECT id FROM hammer WHERE id = " +
+                            std::to_string(1 + (t * 12 + rep) % 16)));
+      expect_ok(client.Call(
+          Verb::kXQuery,
+          "count(db2-fn:xmlcolumn('HAMMER.DOC')//lineitem[@price > 50])"));
+      // DML: the epoch writer gate serializes these across sessions; the
+      // insert maintains indexes, the delete queues deferred vacuum, and
+      // the next write's commit path runs VacuumDeferred.
+      int row = 1000 + t * 100 + rep;
+      expect_ok(client.Call(
+          Verb::kQuery, "INSERT INTO hammer VALUES (" + std::to_string(row) +
+                            ", '<order><lineitem price=\"5\"/></order>')"));
+      expect_ok(client.Call(Verb::kQuery, "DELETE FROM hammer WHERE id = " +
+                                              std::to_string(row)));
+      // The graph snapshot races the acquisitions it reports on.
+      if (rep % 4 == 0) {
+        auto graph = client.Call(Verb::kLockGraph, "");
+        if (expect_ok(graph) &&
+            graph->payload.find("\"enabled\"") == std::string::npos) {
+          failures.fetch_add(1);
+        }
+      }
+    }
+    client.Close();
+  });
+
+  // CREATE INDEX backfills (index band under the writer gate) from a live
+  // session, with the read/DML load above already applied.
+  {
+    Client ddl;
+    ASSERT_TRUE(ddl.Connect(server.port()).ok());
+    expect_ok(ddl.Call(
+        Verb::kQuery,
+        "CREATE INDEX hammer_price ON hammer(doc) USING XMLPATTERN "
+        "'//lineitem/@price' AS SQL DOUBLE"));
+    expect_ok(ddl.Call(Verb::kQuery, "SELECT id FROM hammer WHERE id = 1"));
+    ddl.Close();
+  }
+  server.Stop();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Detector compiled out (release/TSan build): the hammer itself — and
+  // its zero-failures assertion — is the whole test; the graph assertions
+  // below are vacuous. Not GTEST_SKIP: a skip would let ctest mask a real
+  // hammer failure above as "skipped".
+  if (!kLockOrderEnabled) return;
+  // Acceptance: everything observed under load is a subgraph of the
+  // declared hierarchy. Rank monotonicity on every edge makes the graph
+  // acyclic by construction; an undeclared endpoint would mean a lock
+  // exists outside the table (RegisterLockClass should have aborted).
+  std::vector<LockOrderEdge> edges = LockOrderEdges();
+  EXPECT_FALSE(edges.empty()) << "hammer observed no lock nesting at all";
+  for (const LockOrderEdge& e : edges) {
+    const LockRankRow* from = FindLockRankRow(e.from.c_str());
+    const LockRankRow* to = FindLockRankRow(e.to.c_str());
+    ASSERT_NE(from, nullptr) << "undeclared lock class: " << e.from;
+    ASSERT_NE(to, nullptr) << "undeclared lock class: " << e.to;
+    EXPECT_TRUE(RankOrderAllows(from->rank, to->rank))
+        << "observed edge violates declared ranks: " << e.from << " ("
+        << e.from_rank << ") -> " << e.to << " (" << e.to_rank << ")";
+    EXPECT_GT(e.count, 0);
   }
 }
 

@@ -1,0 +1,34 @@
+// xqinvariant positive fixture — NEVER compiled, never linked. Each block
+// deliberately violates one project invariant so the ctest gates can pin
+// that every XQI code still fires (the XQI001 case is exactly the raw
+// std::mutex idiom that was migrated out of common/str_util.cc; this file
+// is the tripwire against that migration being reverted anywhere).
+
+#include <cstdlib>
+#include <mutex>
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+std::mutex raw_mu;  // XQI001: raw std::mutex outside common/mutex.h
+
+int UseRawGuard() {
+  std::lock_guard<std::mutex> g(raw_mu);  // XQI001: raw scoped lock
+  return 1;
+}
+
+auto* unranked = new Mutex;  // XQI002: no LockRank from the table
+
+void (*warn_hook)(int) = nullptr;
+
+void InvokeHookUnderLock(Mutex& mu) {
+  MutexLock lock(mu);
+  warn_hook(7);  // XQI004: callback invoked while holding the lock
+}
+
+const char* SneakyEnv() {
+  return std::getenv("XQDB_FIXTURE");  // XQI005: getenv off the funnel
+}
+
+}  // namespace fixture

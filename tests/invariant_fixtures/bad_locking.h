@@ -1,0 +1,24 @@
+// xqinvariant positive fixture — NEVER compiled, never included. Header
+// half of the deliberate violations (see bad_locking.cc).
+
+#ifndef XQDB_TESTS_INVARIANT_FIXTURES_BAD_LOCKING_H_
+#define XQDB_TESTS_INVARIANT_FIXTURES_BAD_LOCKING_H_
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Gadget {
+ public:
+  int Touch() {
+    MutexLock lock(mu_);  // XQI003: lock acquired in a header
+    return 1;
+  }
+
+ private:
+  Mutex mu_;  // XQI002: declared without a rank
+};
+
+}  // namespace fixture
+
+#endif  // XQDB_TESTS_INVARIANT_FIXTURES_BAD_LOCKING_H_

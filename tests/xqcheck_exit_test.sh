@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Pins tools/xqcheck.sh's exit contract: the driver must exit nonzero when
+# ANY selected mode fails, report "failed": 1 in the aggregate JSON, and
+# exit zero on an all-green run. Runs the real script against stubbed
+# cmake/ctest binaries on a temp PATH, so no build happens and the test
+# finishes in milliseconds.
+set -u
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+mkdir -p "$TMP/bin"
+
+fail() {
+  echo "xqcheck_exit_test: FAIL: $*" >&2
+  exit 1
+}
+
+stub() {  # stub <name> <exit-status> [message]
+  local name="$1" status="$2" message="${3:-}"
+  {
+    echo "#!/usr/bin/env bash"
+    [ -n "$message" ] && echo "echo '$message'"
+    echo "exit $status"
+  } > "$TMP/bin/$name"
+  chmod +x "$TMP/bin/$name"
+}
+
+# A succeeding cmake must create the -B build directory like the real one
+# does — the driver cd's into it for the post-build step.
+stub_cmake_ok() {
+  cat > "$TMP/bin/cmake" <<'EOF'
+#!/usr/bin/env bash
+prev=""
+for arg in "$@"; do
+  [ "$prev" = "-B" ] && mkdir -p "$arg"
+  prev="$arg"
+done
+exit 0
+EOF
+  chmod +x "$TMP/bin/cmake"
+}
+
+# --- 1. A failing post-build step (ctest) must fail the whole run. --------
+stub_cmake_ok
+stub ctest 1 "stub ctest: simulated test failure"
+PATH="$TMP/bin:$PATH" bash "$REPO/tools/xqcheck.sh" \
+  --modes undefined --out "$TMP/out1" > "$TMP/out1.log" 2>&1
+status=$?
+[ "$status" -ne 0 ] || fail "ctest failure in 'undefined' mode exited 0"
+grep -q '"status": "failed"' "$TMP/out1/xqcheck-undefined.json" ||
+  fail "per-mode JSON does not record the failure"
+grep -q '"failed": 1' "$TMP/out1/xqcheck.json" ||
+  fail "aggregate JSON does not record the failure"
+
+# --- 2. A failing build must fail the run too. ----------------------------
+stub cmake 1 "stub cmake: simulated configure failure"
+PATH="$TMP/bin:$PATH" bash "$REPO/tools/xqcheck.sh" \
+  --modes undefined --out "$TMP/out2" > "$TMP/out2.log" 2>&1
+[ $? -ne 0 ] || fail "cmake failure exited 0"
+
+# --- 3. An unknown mode is a failure, not a silent no-op. -----------------
+stub_cmake_ok
+stub ctest 0
+PATH="$TMP/bin:$PATH" bash "$REPO/tools/xqcheck.sh" \
+  --modes no_such_mode --out "$TMP/out3" > "$TMP/out3.log" 2>&1
+[ $? -ne 0 ] || fail "unknown mode exited 0"
+
+# --- 4. All selected modes green: exit 0, "failed": 0. --------------------
+PATH="$TMP/bin:$PATH" bash "$REPO/tools/xqcheck.sh" \
+  --modes undefined --out "$TMP/out4" > "$TMP/out4.log" 2>&1
+[ $? -eq 0 ] || fail "clean run exited nonzero"
+grep -q '"failed": 0' "$TMP/out4/xqcheck.json" ||
+  fail "clean run's aggregate JSON claims failure"
+
+echo "xqcheck_exit_test: PASS"

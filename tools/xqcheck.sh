@@ -15,6 +15,12 @@
 #              parallel exec, cache/metrics contention, serving layer),
 #              then a bench_serve pass (4 clients + DML) under TSan
 #   address    ASan build + the 30s `fuzz-smoke` ctest label
+#   deadlock   -DXQDB_DEADLOCK=ON build + the `deadlock` ctest label
+#              (rank-table pins, detector death tests, the server-session
+#              deadlock hammer), the xqinvariant sweep over src/ and
+#              tools/ (XQI001-005 must report zero findings), and the
+#              release no-op check: a detector-off build of xqdb_common
+#              must contain no `lockorder` symbol (nm sweep)
 #
 # Each mode writes <out>/xqcheck-<mode>.json and the run ends with an
 # aggregate <out>/xqcheck.json. Exit status 0 iff no mode failed (skips do
@@ -28,7 +34,7 @@ cd "$(dirname "$0")/.."
 REPO="$(pwd)"
 OUT="$REPO/build-check"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-MODES="analyze,tidy,undefined,thread,address"
+MODES="analyze,tidy,undefined,thread,address,deadlock"
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -138,7 +144,7 @@ for mode in $(echo "$MODES" | tr ',' ' '); do
       # The bench_parallel pass drives the vectorized batch kernels and the
       # index-only aggregate across the 4-thread chunk fan-out under TSan.
       run_mode thread -DXQDB_SANITIZE=thread -DXQDB_TIDY=OFF -- \
-        bash -c "ctest --output-on-failure -L concurrency -j $JOBS && \
+        bash -c "ctest --output-on-failure -L 'concurrency|deadlock' -j $JOBS && \
           XQDB_BENCH_ORDERS=200 ./bench/bench_serve --clients 4 --iters 1 \
             --dml --out bench_serve_tsan.json && \
           XQDB_BENCH_ORDERS=200 ./bench/bench_parallel \
@@ -147,6 +153,27 @@ for mode in $(echo "$MODES" | tr ',' ' '); do
     address)
       run_mode address -DXQDB_SANITIZE=address -DXQDB_TIDY=OFF -- \
         ctest --output-on-failure -L fuzz-smoke
+      ;;
+    deadlock)
+      # Three gates in one mode: (1) the `deadlock` ctest label under the
+      # runtime detector — rank-table pins, inversion/upgrade death tests,
+      # the server-session hammer whose observed acquires-after graph must
+      # be a subgraph of the declared hierarchy; (2) the xqinvariant
+      # source sweep — zero XQI findings on the shipped tree; (3) the
+      # release no-op proof — a detector-off build of the common library
+      # must strip every `lockorder` symbol (the wrappers compile down to
+      # the bare std primitives).
+      run_mode deadlock -DXQDB_DEADLOCK=ON -DXQDB_TIDY=OFF -- \
+        bash -c "ctest --output-on-failure -L deadlock -j $JOBS && \
+          ./tools/xqinvariant '$REPO/src' '$REPO/tools' && \
+          cmake -B '$OUT/deadlock-nm' -S '$REPO' -DXQDB_DEADLOCK=OFF \
+            -DXQDB_TIDY=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null && \
+          cmake --build '$OUT/deadlock-nm' --target xqdb_common -j $JOBS \
+            > /dev/null && \
+          if nm -C '$OUT/deadlock-nm/src/libxqdb_common.a' 2>/dev/null \
+            | grep -q lockorder; then \
+            echo 'release build leaks lockorder symbols'; exit 1; \
+          fi"
       ;;
     *)
       record "$mode" failed 0 "unknown mode"
@@ -165,4 +192,13 @@ done
 } | write_atomic "$OUT/xqcheck.json"
 
 echo "xqcheck: summary written to $OUT/xqcheck.json"
+
+# Exit contract (pinned by tests/xqcheck_exit_test.sh): nonzero iff ANY
+# selected mode failed. Belt-and-braces: besides the in-shell flag, re-read
+# the per-mode reports — a `record failed` that ever ran in a subshell
+# would update the JSON but not $FAILED, and must still fail the run.
+for report in "$OUT"/xqcheck-*.json; do
+  [ -f "$report" ] || continue
+  if grep -q '"status": "failed"' "$report"; then FAILED=1; fi
+done
 exit $FAILED
